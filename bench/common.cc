@@ -1,0 +1,133 @@
+#include "bench/common.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace aalo::bench {
+
+coflow::Workload standardWorkload(std::size_t jobs, int ports, std::uint64_t seed) {
+  workload::FacebookConfig cfg;
+  cfg.num_jobs = jobs;
+  cfg.num_ports = ports;
+  cfg.seed = seed;
+  // High enough load that coflows actually contend (the paper's trace has
+  // intense bursts); at 0.15 s mean spacing the fabric sees sustained
+  // backlog and scheduling discipline dominates CCTs.
+  cfg.mean_interarrival = 0.25;
+  return workload::generateFacebookWorkload(cfg);
+}
+
+fabric::FabricConfig standardFabric(int ports) {
+  return fabric::FabricConfig{ports, util::kGbps};
+}
+
+util::Bytes heavyThreshold(const coflow::Workload& workload, double percentile) {
+  util::Summary sizes;
+  for (const auto& job : workload.jobs) {
+    for (const auto& c : job.coflows) sizes.add(c.totalBytes());
+  }
+  return sizes.percentile(percentile);
+}
+
+std::unique_ptr<sim::Scheduler> makeAalo(util::Seconds sync_interval) {
+  sched::DClasConfig cfg;  // Paper defaults: K=10, E=10, Q1=10MB.
+  cfg.sync_interval = sync_interval;
+  return std::make_unique<sched::DClasScheduler>(cfg);
+}
+
+std::unique_ptr<sim::Scheduler> makeAaloWith(sched::DClasConfig config) {
+  return std::make_unique<sched::DClasScheduler>(config);
+}
+
+std::unique_ptr<sim::Scheduler> makeFair() {
+  return std::make_unique<sched::PerFlowFairScheduler>();
+}
+
+std::unique_ptr<sim::Scheduler> makeVarys() {
+  return std::make_unique<sched::VarysScheduler>();
+}
+
+std::unique_ptr<sim::Scheduler> makeUncoordinated() {
+  sched::DClasConfig cfg;  // Same queue structure as Aalo, local knowledge.
+  return std::make_unique<sched::UncoordinatedDClasScheduler>(cfg, /*quantum=*/2.0);
+}
+
+std::unique_ptr<sim::Scheduler> makeFifoLm(util::Bytes heavy_threshold) {
+  sched::FifoLmConfig cfg;
+  cfg.heavy_threshold = heavy_threshold;
+  cfg.quantum = 2.0;
+  return std::make_unique<sched::FifoLmScheduler>(cfg);
+}
+
+std::unique_ptr<sim::Scheduler> makeFifo() {
+  return std::make_unique<sched::FifoScheduler>();
+}
+
+sim::SimResult run(const coflow::Workload& workload, fabric::FabricConfig fabric,
+                   sim::Scheduler& scheduler, const std::string& label) {
+  const auto start = std::chrono::steady_clock::now();
+  sim::SimResult result = sim::runSimulation(workload, fabric, scheduler);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  std::fprintf(stderr, "  [%-24s] %zu coflows, %zu rounds, %.1fs wall\n",
+               label.c_str(), result.coflows.size(), result.allocation_rounds, wall);
+  return result;
+}
+
+void printNormalizedByBin(const std::vector<sim::SimResult>& compared,
+                          const sim::SimResult& aalo) {
+  util::Table table({"scheme", "bin1 SN", "bin2 LN", "bin3 SW", "bin4 LW", "ALL",
+                     "ALL p95"});
+  for (const auto& result : compared) {
+    std::vector<std::string> row = {result.scheduler};
+    for (int bin = 1; bin <= 4; ++bin) {
+      const auto n = analysis::normalizedCctForBin(result, aalo, bin);
+      row.push_back(n.count == 0 ? "-" : util::Table::num(n.avg, 2) + "x");
+    }
+    const auto all = analysis::normalizedCct(result, aalo);
+    row.push_back(util::Table::num(all.avg, 2) + "x");
+    row.push_back(util::Table::num(all.p95, 2) + "x");
+    table.addRow(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+void printCctCdfs(const std::vector<sim::SimResult>& runs, std::size_t points) {
+  // One shared set of log-spaced probe points spanning all runs.
+  double lo = 1e18;
+  double hi = 0;
+  for (const auto& r : runs) {
+    for (const auto& rec : r.coflows) {
+      lo = std::min(lo, std::max(rec.cct(), 1e-4));
+      hi = std::max(hi, rec.cct());
+    }
+  }
+  std::vector<std::string> header = {"CCT <="};
+  std::vector<util::Cdf> cdfs;
+  for (const auto& r : runs) {
+    header.push_back(r.scheduler);
+    cdfs.emplace_back(analysis::cctSamples(r));
+  }
+  util::Table table(std::move(header));
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    const double x = lo * std::pow(hi / lo, t);
+    std::vector<std::string> row = {util::formatSeconds(x)};
+    for (const auto& cdf : cdfs) {
+      row.push_back(util::Table::num(cdf.fractionAtOrBelow(x), 3));
+    }
+    table.addRow(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+void header(const std::string& figure, const std::string& expectation) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("Paper expectation: %s\n", expectation.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace aalo::bench

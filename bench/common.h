@@ -1,0 +1,64 @@
+// Shared harness for the paper-reproduction benches (one binary per table
+// or figure; see DESIGN.md section 4 for the experiment index).
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/compare.h"
+#include "coflow/spec.h"
+#include "sched/clas.h"
+#include "sched/dclas.h"
+#include "sched/fair.h"
+#include "sched/fifo.h"
+#include "sched/fifo_lm.h"
+#include "sched/las.h"
+#include "sched/offline_opt.h"
+#include "sched/uncoordinated.h"
+#include "sched/varys.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/facebook.h"
+
+namespace aalo::bench {
+
+/// The workload Figures 5-9 benches replay: Facebook-like mix (Tables 2
+/// and 3) on a 40-port, 1 Gbps fabric.
+coflow::Workload standardWorkload(std::size_t jobs = 250, int ports = 40,
+                                  std::uint64_t seed = 42);
+
+fabric::FabricConfig standardFabric(int ports = 40);
+
+/// 80th percentile of coflow total size — FIFO-LM's heavy threshold, as
+/// the paper selected for Baraat (§7.2.1).
+util::Bytes heavyThreshold(const coflow::Workload& workload, double percentile = 80);
+
+// Paper-default scheduler factories (Δ, quanta scaled to trace seconds).
+std::unique_ptr<sim::Scheduler> makeAalo(util::Seconds sync_interval = 0);
+std::unique_ptr<sim::Scheduler> makeAaloWith(sched::DClasConfig config);
+std::unique_ptr<sim::Scheduler> makeFair();
+std::unique_ptr<sim::Scheduler> makeVarys();
+std::unique_ptr<sim::Scheduler> makeUncoordinated();
+std::unique_ptr<sim::Scheduler> makeFifoLm(util::Bytes heavy_threshold);
+std::unique_ptr<sim::Scheduler> makeFifo();
+
+/// Runs and reports wall time to stderr so long benches show progress.
+sim::SimResult run(const coflow::Workload& workload, fabric::FabricConfig fabric,
+                   sim::Scheduler& scheduler, const std::string& label);
+
+/// Prints the paper's standard table: normalized completion time w.r.t.
+/// Aalo for each Table 3 bin and overall, average and 95th percentile.
+void printNormalizedByBin(const std::vector<sim::SimResult>& compared,
+                          const sim::SimResult& aalo);
+
+/// Prints a CDF table (log-spaced CCT points) for several runs.
+void printCctCdfs(const std::vector<sim::SimResult>& runs, std::size_t points = 12);
+
+/// Banner with the paper's expectation for this experiment.
+void header(const std::string& figure, const std::string& expectation);
+
+}  // namespace aalo::bench

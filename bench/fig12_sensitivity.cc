@@ -1,0 +1,120 @@
+// Figure 12: Aalo's sensitivity to its queue structure, measured as the
+// improvement over per-flow fairness (higher is better for Aalo).
+//  (a) number of queues K            (b) first threshold Q1^hi
+//  (c) (K, E, Q1^hi) combinations    (d) equal-sized (linear) queues
+#include "bench/common.h"
+
+using namespace aalo;
+
+namespace {
+
+double improvementOverFair(const coflow::Workload& wl, fabric::FabricConfig fc,
+                           const sim::SimResult& fair_result,
+                           sched::DClasConfig cfg, const std::string& label) {
+  auto aalo = bench::makeAaloWith(cfg);
+  const auto result = bench::run(wl, fc, *aalo, label);
+  return analysis::normalizedCct(fair_result, result).avg;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Figure 12: sensitivity to the queue structure",
+      "(a) biggest jump going K=1 -> 2 (HOL blocking avoided), flat after; "
+      "(b) steady for Q1 up to ~100MB, degrades beyond; (c) stable across "
+      "(K,E,Q1) for K>2; (d) equal-sized queues need orders of magnitude "
+      "more queues than exponential spacing");
+
+  const auto wl = bench::standardWorkload(250, 40, 33);
+  const auto fc = bench::standardFabric();
+  auto fair = bench::makeFair();
+  const auto fair_result = bench::run(wl, fc, *fair, "per-flow fair");
+
+  // (a) Number of queues.
+  {
+    std::printf("\nFigure 12a — number of queues K (E=10, Q1=10MB):\n");
+    util::Table table({"K", "improvement over fair (avg CCT)"});
+    for (const int k : {1, 2, 5, 10, 15}) {
+      sched::DClasConfig cfg;
+      cfg.num_queues = k;
+      table.addRow({std::to_string(k),
+                    util::Table::num(improvementOverFair(wl, fc, fair_result, cfg,
+                                                         "K=" + std::to_string(k)),
+                                     2) +
+                        "x"});
+    }
+    table.print(std::cout);
+  }
+
+  // (b) First queue threshold.
+  {
+    std::printf("\nFigure 12b — Q1 upper limit (K=10, E=10):\n");
+    util::Table table({"Q1^hi", "improvement over fair (avg CCT)"});
+    for (const double q1 : {1e6, 1e7, 1e8, 1e9, 1e10}) {
+      sched::DClasConfig cfg;
+      cfg.first_threshold = q1;
+      table.addRow({util::formatBytes(q1),
+                    util::Table::num(improvementOverFair(wl, fc, fair_result, cfg,
+                                                         "Q1=" + util::formatBytes(q1)),
+                                     2) +
+                        "x"});
+    }
+    table.print(std::cout);
+  }
+
+  // (c) Combinations.
+  {
+    std::printf("\nFigure 12c — (K, E, Q1) combinations:\n");
+    util::Table table({"K", "E", "Q1^hi", "improvement over fair"});
+    struct Combo {
+      int k;
+      double e;
+      double q1;
+    };
+    const Combo combos[] = {{2, 10, 1e7},  {5, 10, 1e7},  {10, 10, 1e7},
+                            {10, 4, 1e7},  {10, 32, 1e7}, {5, 10, 1e8},
+                            {10, 10, 1e6}, {15, 4, 1e6},  {10, 32, 1e8}};
+    for (const auto& combo : combos) {
+      sched::DClasConfig cfg;
+      cfg.num_queues = combo.k;
+      cfg.exp_factor = combo.e;
+      cfg.first_threshold = combo.q1;
+      table.addRow({std::to_string(combo.k), util::Table::num(combo.e, 0),
+                    util::formatBytes(combo.q1),
+                    util::Table::num(improvementOverFair(wl, fc, fair_result, cfg,
+                                                         "combo"),
+                                     2) +
+                        "x"});
+    }
+    table.print(std::cout);
+  }
+
+  // (d) Equal-sized queues: linear thresholds over the max coflow size.
+  {
+    std::printf("\nFigure 12d — equal-sized queues (linear thresholds):\n");
+    util::Bytes max_size = 0;
+    for (const auto& job : wl.jobs) {
+      for (const auto& c : job.coflows) max_size = std::max(max_size, c.totalBytes());
+    }
+    util::Table table({"num queues", "improvement over fair"});
+    for (const int k : {2, 10, 100, 1000}) {
+      sched::DClasConfig cfg;
+      cfg.explicit_thresholds.clear();
+      for (int q = 1; q < k; ++q) {
+        cfg.explicit_thresholds.push_back(max_size * static_cast<double>(q) /
+                                          static_cast<double>(k));
+      }
+      if (cfg.explicit_thresholds.empty()) cfg.num_queues = 1;
+      table.addRow({std::to_string(k),
+                    util::Table::num(improvementOverFair(wl, fc, fair_result, cfg,
+                                                         "linear K=" + std::to_string(k)),
+                                     2) +
+                        "x"});
+    }
+    table.print(std::cout);
+    std::printf("(max coflow size in this trace: %s)\n",
+                util::formatBytes(max_size).c_str());
+  }
+  return 0;
+}

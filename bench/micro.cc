@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark): hot paths of the library —
+// water-filling allocation, one D-CLAS reschedule, wire codec, and the
+// end-to-end simulator event rate.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "net/protocol.h"
+
+using namespace aalo;
+
+namespace {
+
+void BM_MaxMinAllocate(benchmark::State& state) {
+  const int ports = static_cast<int>(state.range(0));
+  const int flows = static_cast<int>(state.range(1));
+  fabric::Fabric fabric(fabric::FabricConfig{ports, util::kGbps});
+  util::Rng rng(7);
+  std::vector<fabric::Demand> demands;
+  for (int i = 0; i < flows; ++i) {
+    demands.push_back(fabric::Demand{
+        static_cast<coflow::PortId>(rng.uniformInt(0, ports - 1)),
+        static_cast<coflow::PortId>(rng.uniformInt(0, ports - 1)), 1.0,
+        fabric::kUncapped});
+  }
+  for (auto _ : state) {
+    fabric::ResidualCapacity residual(fabric);
+    benchmark::DoNotOptimize(fabric::maxMinAllocate(demands, residual));
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_MaxMinAllocate)->Args({40, 100})->Args({40, 1000})->Args({150, 1000});
+
+// One full D-CLAS allocation round over a standing mix of active coflows.
+void BM_DClasReschedule(benchmark::State& state) {
+  const auto num_coflows = static_cast<std::size_t>(state.range(0));
+  const int ports = 40;
+
+  // Hand-build a frozen mid-simulation view.
+  std::vector<sim::CoflowState> coflows;
+  std::vector<sim::FlowState> flows;
+  std::vector<std::size_t> active;
+  util::Rng rng(13);
+  for (std::size_t c = 0; c < num_coflows; ++c) {
+    sim::CoflowState cs;
+    cs.id = {static_cast<coflow::JobId>(c), 0};
+    cs.released = true;
+    cs.sent = rng.uniform(0, 1e9);
+    const int width = static_cast<int>(rng.uniformInt(1, 20));
+    for (int f = 0; f < width; ++f) {
+      sim::FlowState fs;
+      fs.id = static_cast<coflow::FlowId>(flows.size());
+      fs.coflow_index = c;
+      fs.src = static_cast<coflow::PortId>(rng.uniformInt(0, ports - 1));
+      fs.dst = static_cast<coflow::PortId>(rng.uniformInt(0, ports - 1));
+      fs.size = 1e9;
+      fs.sent = rng.uniform(0, 5e8);
+      fs.started = true;
+      cs.flow_indices.push_back(flows.size());
+      active.push_back(flows.size());
+      flows.push_back(fs);
+    }
+    coflows.push_back(std::move(cs));
+  }
+  fabric::Fabric fabric(fabric::FabricConfig{ports, util::kGbps});
+  sim::SimView view;
+  view.now = 1.0;
+  view.fabric = &fabric;
+  view.coflows = &coflows;
+  view.flows = &flows;
+  view.active_flows = &active;
+
+  sched::DClasScheduler dclas{sched::DClasConfig{}};
+  dclas.reset(fabric);
+  std::vector<util::Rate> rates(flows.size(), 0.0);
+  for (auto _ : state) {
+    std::fill(rates.begin(), rates.end(), 0.0);
+    dclas.allocate(view, rates);
+    benchmark::DoNotOptimize(rates.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(active.size()));
+}
+BENCHMARK(BM_DClasReschedule)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_ProtocolEncodeDecode(benchmark::State& state) {
+  net::Message update;
+  update.type = net::MessageType::kScheduleUpdate;
+  update.epoch = 42;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    update.schedule.push_back(net::ScheduleEntry{{i, 0}, 1e6 * i, i % 10});
+  }
+  for (auto _ : state) {
+    net::Buffer buffer;
+    net::encodeMessage(update, buffer);
+    benchmark::DoNotOptimize(net::decodeMessage(buffer));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProtocolEncodeDecode)->Arg(100)->Arg(1000);
+
+void BM_SimulatorEndToEnd(benchmark::State& state) {
+  const auto wl = bench::standardWorkload(static_cast<std::size_t>(state.range(0)),
+                                          40, 99);
+  for (auto _ : state) {
+    auto aalo = bench::makeAalo();
+    const auto result =
+        sim::runSimulation(wl, bench::standardFabric(), *aalo);
+    benchmark::DoNotOptimize(result.makespan);
+    state.counters["rounds"] = static_cast<double>(result.allocation_rounds);
+  }
+}
+BENCHMARK(BM_SimulatorEndToEnd)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

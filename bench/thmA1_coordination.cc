@@ -1,0 +1,105 @@
+// Theorem A.1: any coflow scheduling algorithm in which schedulers do not
+// coordinate has a worst-case approximation ratio of Omega(sqrt(n)) for n
+// concurrent coflows.
+//
+// Adversarial family (the proof's structure, instantiated so local
+// knowledge actively misleads): on an m-port fabric,
+//   * w "wide" coflows arrive first, each with one flow of size
+//     0.9*Q1 on every port pair (i -> m-i-1). Locally each piece stays
+//     below the first queue threshold forever, so an uncoordinated
+//     scheduler keeps every wide coflow in its top local queue and serves
+//     them FIFO ahead of everything else — even though each wide coflow's
+//     *global* size is m times larger.
+//   * m "thin" coflows follow, one per port pair, of size 0.95*Q1 —
+//     genuinely small, globally and locally.
+// Coordination reveals the wide coflows' global sizes and demotes them
+// immediately; without it, every thin coflow waits for the whole wide
+// convoy. With m = w^2 ports (n = w^2 + w coflows) the sum-CCT ratio
+// grows as Theta(w) = Theta(sqrt(n)).
+#include <cmath>
+
+#include "bench/common.h"
+
+using namespace aalo;
+
+namespace {
+
+constexpr double kQ1 = 10.0;  // First queue threshold (bytes; rate 1 B/s).
+
+coflow::Workload adversarialInstance(int wides, int ports) {
+  coflow::Workload wl;
+  wl.num_ports = ports;
+  coflow::JobId next = 0;
+  for (int k = 0; k < wides; ++k) {
+    coflow::JobSpec job;
+    job.id = next++;
+    job.arrival = 0;
+    coflow::CoflowSpec spec;
+    spec.id = {job.id, 0};
+    for (int i = 0; i < ports; ++i) {
+      spec.flows.push_back({static_cast<coflow::PortId>(i),
+                            static_cast<coflow::PortId>(ports - i - 1), 0.9 * kQ1, 0});
+    }
+    job.coflows.push_back(std::move(spec));
+    wl.jobs.push_back(std::move(job));
+  }
+  for (int i = 0; i < ports; ++i) {
+    coflow::JobSpec job;
+    job.id = next++;
+    job.arrival = 0;
+    coflow::CoflowSpec spec;
+    spec.id = {job.id, 0};
+    spec.flows.push_back({static_cast<coflow::PortId>(i),
+                          static_cast<coflow::PortId>(ports - i - 1), 0.95 * kQ1, 0});
+    job.coflows.push_back(std::move(spec));
+    wl.jobs.push_back(std::move(job));
+  }
+  return wl;
+}
+
+double sumCct(const sim::SimResult& r) {
+  double total = 0;
+  for (const auto& rec : r.coflows) total += rec.cct();
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Theorem A.1: the cost of no coordination",
+      "the uncoordinated/coordinated sum-CCT ratio grows ~ sqrt(n) on the "
+      "adversarial family; §7.2.1 measured a 15.8x average loss on the "
+      "Facebook trace");
+
+  util::Table table({"n coflows", "ports", "coordinated sum CCT",
+                     "uncoordinated sum CCT", "ratio", "sqrt(n)"});
+  for (const int w : {2, 3, 4, 5, 6}) {
+    const int m = w * w;
+    const int n = m + w;
+    const auto wl = adversarialInstance(w, m);
+    const fabric::FabricConfig fc{m, 1.0};
+
+    sched::DClasConfig cfg;
+    cfg.first_threshold = kQ1;
+    cfg.exp_factor = 10.0;
+    cfg.num_queues = 4;
+    sched::DClasScheduler coordinated(cfg);
+    sched::UncoordinatedDClasScheduler uncoordinated(cfg, /*quantum=*/0.2);
+
+    const auto coord = sim::runSimulation(wl, fc, coordinated);
+    const auto local = sim::runSimulation(wl, fc, uncoordinated);
+    const double c = sumCct(coord);
+    const double u = sumCct(local);
+    table.addRow({std::to_string(n), std::to_string(m), util::Table::num(c, 1),
+                  util::Table::num(u, 1), util::Table::num(u / c, 2) + "x",
+                  util::Table::num(std::sqrt(n), 2)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe ratio tracks sqrt(n): locally every wide coflow looks tiny\n"
+      "(0.9*Q1 per port), so uncoordinated D-CLAS convoys them ahead of the\n"
+      "truly-small thin coflows; the coordinator sees their global sizes\n"
+      "and demotes them within one threshold crossing.\n");
+  return 0;
+}

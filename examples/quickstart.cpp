@@ -1,0 +1,74 @@
+// Quickstart: build a tiny workload in code, run it under Aalo (D-CLAS)
+// and per-flow fairness, and compare coflow completion times.
+//
+//   $ ./quickstart
+//
+// This is the 60-second tour of the library: Workload -> Scheduler ->
+// Simulator -> records.
+#include <cstdio>
+#include <iostream>
+
+#include "coflow/spec.h"
+#include "sched/dclas.h"
+#include "sched/fair.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace aalo;
+
+int main() {
+  // A 4-port fabric (4 machines), 1 Gbps per port.
+  const fabric::FabricConfig fabric_config{4, util::kGbps};
+
+  // Two shuffles racing for the same uplinks: a 4 MB aggregation and a
+  // 400 MB join. Aalo needs no sizes up front — it discovers them as the
+  // coflows send.
+  coflow::Workload workload;
+  workload.num_ports = 4;
+  {
+    coflow::JobSpec job;
+    job.id = 0;
+    job.arrival = 0.0;
+    coflow::CoflowSpec big;
+    big.id = {0, 0};
+    for (coflow::PortId src = 0; src < 2; ++src) {
+      for (coflow::PortId dst = 2; dst < 4; ++dst) {
+        big.flows.push_back({src, dst, 100 * util::kMB, 0});
+      }
+    }
+    job.coflows.push_back(big);
+    workload.jobs.push_back(job);
+  }
+  {
+    coflow::JobSpec job;
+    job.id = 1;
+    job.arrival = 0.2;  // Arrives while the big shuffle is in flight.
+    coflow::CoflowSpec small;
+    small.id = {1, 0};
+    small.flows.push_back({0, 2, 2 * util::kMB, 0});
+    small.flows.push_back({1, 3, 2 * util::kMB, 0});
+    job.coflows.push_back(small);
+    workload.jobs.push_back(job);
+  }
+
+  // Aalo's D-CLAS with the paper's defaults (K=10, E=10, Q1=10MB).
+  sched::DClasScheduler aalo_sched{sched::DClasConfig{}};
+  sched::PerFlowFairScheduler fair_sched;
+
+  const auto aalo_result = sim::runSimulation(workload, fabric_config, aalo_sched);
+  const auto fair_result = sim::runSimulation(workload, fabric_config, fair_sched);
+
+  util::Table table({"coflow", "bytes", "CCT (Aalo)", "CCT (per-flow fair)"});
+  for (std::size_t i = 0; i < aalo_result.coflows.size(); ++i) {
+    const auto& a = aalo_result.coflows[i];
+    const auto& f = fair_result.coflows[i];
+    table.addRow({a.id.toString(), util::formatBytes(a.bytes),
+                  util::formatSeconds(a.cct()), util::formatSeconds(f.cct())});
+  }
+  std::printf("Two coflows, 4x1Gbps fabric. Aalo demotes the 400 MB shuffle\n"
+              "once it crosses the 10 MB queue threshold, so the 4 MB coflow\n"
+              "sails through; fair sharing makes it wait.\n\n");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "analysis/compare.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "workload/facebook.h"
+
+namespace aalo::analysis {
+
+namespace {
+
+/// Pairs records by coflow id; throws on population mismatch.
+std::vector<std::pair<const sim::CoflowRecord*, const sim::CoflowRecord*>> joinCoflows(
+    const sim::SimResult& compared, const sim::SimResult& baseline) {
+  std::unordered_map<coflow::CoflowId, const sim::CoflowRecord*> base;
+  for (const sim::CoflowRecord& r : baseline.coflows) base[r.id] = &r;
+  std::vector<std::pair<const sim::CoflowRecord*, const sim::CoflowRecord*>> joined;
+  joined.reserve(compared.coflows.size());
+  for (const sim::CoflowRecord& r : compared.coflows) {
+    const auto it = base.find(r.id);
+    if (it == base.end()) {
+      throw std::invalid_argument("normalizedCct: coflow " + r.id.toString() +
+                                  " missing from baseline run");
+    }
+    joined.emplace_back(&r, it->second);
+  }
+  return joined;
+}
+
+NormalizedTimes ratiosFromSamples(const util::Summary& compared,
+                                  const util::Summary& baseline) {
+  NormalizedTimes out;
+  out.count = compared.count();
+  if (compared.empty() || baseline.empty()) return out;
+  out.avg = util::safeRatio(compared.mean(), baseline.mean());
+  out.p95 = util::safeRatio(compared.percentile(95), baseline.percentile(95));
+  return out;
+}
+
+}  // namespace
+
+int coflowBin(const sim::CoflowRecord& record) {
+  return static_cast<int>(
+      workload::classifyCoflow(record.max_flow_bytes, record.width));
+}
+
+int commBand(double comm_fraction) {
+  if (comm_fraction < 0.25) return 0;
+  if (comm_fraction < 0.50) return 1;
+  if (comm_fraction < 0.75) return 2;
+  return 3;
+}
+
+NormalizedTimes normalizedCct(const sim::SimResult& compared,
+                              const sim::SimResult& baseline) {
+  return normalizedCctForBin(compared, baseline, 0);
+}
+
+NormalizedTimes normalizedCctForBin(const sim::SimResult& compared,
+                                    const sim::SimResult& baseline, int bin) {
+  util::Summary cmp;
+  util::Summary base;
+  for (const auto& [c, b] : joinCoflows(compared, baseline)) {
+    if (bin != 0 && coflowBin(*c) != bin) continue;
+    cmp.add(c->cct());
+    base.add(b->cct());
+  }
+  return ratiosFromSamples(cmp, base);
+}
+
+JobComparison normalizedJobTimes(const sim::SimResult& compared,
+                                 const sim::SimResult& baseline,
+                                 const sim::SimResult& binning_run, int band) {
+  std::unordered_map<coflow::JobId, const sim::JobRecord*> base;
+  for (const sim::JobRecord& r : baseline.jobs) base[r.id] = &r;
+  std::unordered_map<coflow::JobId, int> band_of;
+  for (const sim::JobRecord& r : binning_run.jobs) {
+    band_of[r.id] = commBand(r.commFraction());
+  }
+
+  util::Summary cmp_jct;
+  util::Summary base_jct;
+  util::Summary cmp_comm;
+  util::Summary base_comm;
+  for (const sim::JobRecord& r : compared.jobs) {
+    const auto bit = base.find(r.id);
+    const auto band_it = band_of.find(r.id);
+    if (bit == base.end() || band_it == band_of.end()) {
+      throw std::invalid_argument("normalizedJobTimes: job population mismatch");
+    }
+    if (band != 4 && band_it->second != band) continue;
+    cmp_jct.add(r.jct());
+    base_jct.add(bit->second->jct());
+    cmp_comm.add(r.commTime());
+    base_comm.add(bit->second->commTime());
+  }
+  JobComparison out;
+  out.jct = ratiosFromSamples(cmp_jct, base_jct);
+  out.comm = ratiosFromSamples(cmp_comm, base_comm);
+  return out;
+}
+
+std::vector<double> cctSamples(const sim::SimResult& result, int bin) {
+  std::vector<double> samples;
+  for (const sim::CoflowRecord& r : result.coflows) {
+    if (bin != 0 && coflowBin(r) != bin) continue;
+    samples.push_back(r.cct());
+  }
+  return samples;
+}
+
+std::map<int, double> byteShareByBin(const sim::SimResult& result) {
+  std::map<int, double> share = {{1, 0.0}, {2, 0.0}, {3, 0.0}, {4, 0.0}};
+  double total = 0;
+  for (const sim::CoflowRecord& r : result.coflows) {
+    share[coflowBin(r)] += r.bytes;
+    total += r.bytes;
+  }
+  if (total > 0) {
+    for (auto& [bin, bytes] : share) bytes /= total;
+  }
+  return share;
+}
+
+}  // namespace aalo::analysis

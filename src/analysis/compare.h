@@ -1,0 +1,59 @@
+// Experiment metrics: the paper's "Normalized Completion Time" —
+// a compared scheme's duration divided by Aalo's (>1 means Aalo is
+// faster) — computed overall, per coflow bin (Table 3), and per job
+// communication bin (Table 2).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/records.h"
+#include "util/stats.h"
+
+namespace aalo::analysis {
+
+/// Average and 95th-percentile normalized completion time of `compared`
+/// w.r.t. `baseline` (the paper normalizes against Aalo, so pass Aalo's
+/// result as `baseline`). Ratios are of the bin's aggregate statistics,
+/// matching the paper's methodology.
+struct NormalizedTimes {
+  double avg = 0;
+  double p95 = 0;
+  std::size_t count = 0;
+};
+
+/// Coflow records joined across runs by CoflowId; throws if the two runs
+/// simulated different coflow populations.
+NormalizedTimes normalizedCct(const sim::SimResult& compared,
+                              const sim::SimResult& baseline);
+
+/// Same, restricted to coflows in the given Table 3 bin (1..4).
+NormalizedTimes normalizedCctForBin(const sim::SimResult& compared,
+                                    const sim::SimResult& baseline, int bin);
+
+/// Normalized job completion / communication times per Table 2 band.
+/// Band index 0..3 = <25 %, 25-49 %, 50-74 %, >=75 %; 4 = all jobs.
+/// Jobs are binned by their communication fraction under `binning_run`
+/// (the workload's "status quo" execution; the paper bins by the trace).
+struct JobComparison {
+  NormalizedTimes jct;
+  NormalizedTimes comm;
+};
+JobComparison normalizedJobTimes(const sim::SimResult& compared,
+                                 const sim::SimResult& baseline,
+                                 const sim::SimResult& binning_run, int band);
+
+/// Table 3 bin (1..4) of a coflow record.
+int coflowBin(const sim::CoflowRecord& record);
+
+/// Table 2 band (0..3) from a communication fraction.
+int commBand(double comm_fraction);
+
+/// CCT samples (seconds) of a run, optionally bin-filtered (0 = all).
+std::vector<double> cctSamples(const sim::SimResult& result, int bin = 0);
+
+/// Fraction of total bytes carried by each Table 3 bin.
+std::map<int, double> byteShareByBin(const sim::SimResult& result);
+
+}  // namespace aalo::analysis

@@ -1,0 +1,27 @@
+#include "coflow/id_generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aalo::coflow {
+
+CoflowId CoflowIdGenerator::newRootId() {
+  return CoflowId{.external = next_external_++, .internal = 0};
+}
+
+CoflowId CoflowIdGenerator::newChildId(std::span<const CoflowId> parents) const {
+  if (parents.empty()) {
+    throw std::invalid_argument("newChildId: dependent coflow needs >=1 parent");
+  }
+  const std::int64_t external = parents.front().external;
+  std::int32_t max_internal = 0;
+  for (const CoflowId& p : parents) {
+    if (p.external != external) {
+      throw std::invalid_argument("newChildId: parents belong to different DAGs");
+    }
+    max_internal = std::max(max_internal, p.internal);
+  }
+  return CoflowId{.external = external, .internal = max_internal + 1};
+}
+
+}  // namespace aalo::coflow

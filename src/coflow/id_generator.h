@@ -1,0 +1,32 @@
+// CoflowId generation (paper Pseudocode 2).
+//
+// Root coflows (no parents) get a fresh external id with internal part 0.
+// A dependent coflow inherits its parents' external id and takes an
+// internal id one larger than the maximum among its parents, which encodes
+// the Finishes-Before partial order into a FIFO-comparable total order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "coflow/ids.h"
+
+namespace aalo::coflow {
+
+class CoflowIdGenerator {
+ public:
+  /// NEWCOFLOWID(nil, {}): fresh DAG; returns newId.0.
+  CoflowId newRootId();
+
+  /// NEWCOFLOWID(pId, P): child of `parents` (all in one DAG).
+  /// Throws std::invalid_argument if parents is empty or parents span
+  /// multiple DAGs (different external ids).
+  CoflowId newChildId(std::span<const CoflowId> parents) const;
+
+  std::int64_t nextExternal() const { return next_external_; }
+
+ private:
+  std::int64_t next_external_ = 0;
+};
+
+}  // namespace aalo::coflow

@@ -1,0 +1,57 @@
+// Identifiers for ports, flows, jobs, and coflows.
+//
+// CoflowId follows the paper's Pseudocode 2: an *external* component that
+// uniquely identifies the DAG (job) a coflow belongs to, and an *internal*
+// component that orders coflows within the same DAG so that dependent
+// coflows are deprioritized during contention (§5.1).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace aalo::coflow {
+
+/// Index of a machine uplink (ingress) or downlink (egress) on the fabric.
+/// Ingress and egress ports are separate namespaces: both run 0..P-1.
+using PortId = std::int32_t;
+
+/// Dense per-simulation flow index.
+using FlowId = std::int64_t;
+
+/// Identifier of a job (one data-parallel DAG).
+using JobId = std::int64_t;
+
+/// Hierarchical coflow identifier, printed "external.internal" (e.g. 42.1).
+struct CoflowId {
+  std::int64_t external = 0;  ///< DAG identifier, FIFO-ordered by arrival.
+  std::int32_t internal = 0;  ///< Dependency depth within the DAG; 0 = root.
+
+  friend auto operator<=>(const CoflowId&, const CoflowId&) = default;
+
+  std::string toString() const {
+    return std::to_string(external) + "." + std::to_string(internal);
+  }
+};
+
+/// FIFO comparison used within a D-CLAS queue: order by external id (job
+/// arrival order) and break ties with the internal id so parents run
+/// before their dependents (line 4 of Pseudocode 1).
+struct CoflowIdFifoLess {
+  bool operator()(const CoflowId& a, const CoflowId& b) const {
+    if (a.external != b.external) return a.external < b.external;
+    return a.internal < b.internal;
+  }
+};
+
+}  // namespace aalo::coflow
+
+template <>
+struct std::hash<aalo::coflow::CoflowId> {
+  std::size_t operator()(const aalo::coflow::CoflowId& id) const noexcept {
+    const std::size_t h1 = std::hash<std::int64_t>{}(id.external);
+    const std::size_t h2 = std::hash<std::int32_t>{}(id.internal);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

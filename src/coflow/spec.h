@@ -1,0 +1,72 @@
+// Immutable workload descriptions: flows, coflows, jobs.
+//
+// A *spec* describes what a workload will do; the simulator owns the
+// mutable runtime state. A coflow is a collection of parallel flows with
+// distributed endpoints that completes only when all its flows complete.
+// Jobs group coflows into a DAG with Starts-After (barrier) and
+// Finishes-Before (pipelined) dependencies (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coflow/ids.h"
+#include "util/units.h"
+
+namespace aalo::coflow {
+
+/// One point-to-point transfer inside a coflow.
+struct FlowSpec {
+  PortId src = 0;  ///< Ingress port (sender machine uplink).
+  PortId dst = 0;  ///< Egress port (receiver machine downlink).
+  util::Bytes bytes = 0;
+  /// Delay, relative to the coflow's start, before this flow exists at all.
+  /// Wave w of a multi-wave stage gives its flows offset w * waveGap; task
+  /// restarts and speculative copies appear the same way (§5.2).
+  util::Seconds start_offset = 0;
+};
+
+struct CoflowSpec {
+  CoflowId id;
+  /// Earliest time the coflow may start, relative to its job's arrival.
+  util::Seconds arrival_offset = 0;
+  std::vector<FlowSpec> flows;
+  /// Barrier parents: this coflow cannot *start* before they finish.
+  std::vector<CoflowId> starts_after;
+  /// Pipelined parents: this coflow may run concurrently with them but
+  /// cannot *finish* before they do.
+  std::vector<CoflowId> finishes_before;
+
+  util::Bytes totalBytes() const;
+  /// Length = size of the largest flow; width = number of flows (§7.1).
+  util::Bytes maxFlowBytes() const;
+  std::size_t width() const { return flows.size(); }
+  /// Number of distinct start offsets, i.e. waves (Table 4).
+  int waveCount() const;
+};
+
+struct JobSpec {
+  JobId id = 0;
+  util::Seconds arrival = 0;
+  std::vector<CoflowSpec> coflows;
+  /// Time the job spends outside communication (task compute). Used only
+  /// for job-completion-time accounting (Table 2 bins, Fig 5), modeled as
+  /// a serial compute phase alongside the communication phases.
+  util::Seconds compute_time = 0;
+
+  util::Bytes totalBytes() const;
+};
+
+/// A full experiment input: the fabric width plus all jobs.
+struct Workload {
+  int num_ports = 0;  ///< Fabric has num_ports ingress and egress ports.
+  std::vector<JobSpec> jobs;
+
+  std::size_t coflowCount() const;
+  util::Bytes totalBytes() const;
+  /// Throws std::invalid_argument if any flow references a port outside
+  /// [0, num_ports) or has non-positive size, or ids repeat.
+  void validate() const;
+};
+
+}  // namespace aalo::coflow

@@ -1,0 +1,107 @@
+#include "fabric/fabric.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aalo::fabric {
+
+Fabric::Fabric(const FabricConfig& config) : num_ports_(config.num_ports) {
+  if (config.num_ports <= 0) {
+    throw std::invalid_argument("Fabric: num_ports must be positive");
+  }
+  if (config.port_capacity <= 0) {
+    throw std::invalid_argument("Fabric: port_capacity must be positive");
+  }
+  ingress_.assign(static_cast<std::size_t>(num_ports_), config.port_capacity);
+  egress_.assign(static_cast<std::size_t>(num_ports_), config.port_capacity);
+
+  if (config.rack.ports_per_rack > 0) {
+    if (num_ports_ % config.rack.ports_per_rack != 0) {
+      throw std::invalid_argument("Fabric: num_ports must be a multiple of ports_per_rack");
+    }
+    if (config.rack.oversubscription <= 0) {
+      throw std::invalid_argument("Fabric: oversubscription must be positive");
+    }
+    ports_per_rack_ = config.rack.ports_per_rack;
+    num_racks_ = num_ports_ / ports_per_rack_;
+    const util::Rate rack_cap = static_cast<double>(ports_per_rack_) *
+                                config.port_capacity / config.rack.oversubscription;
+    rack_up_.assign(static_cast<std::size_t>(num_racks_), rack_cap);
+    rack_down_.assign(static_cast<std::size_t>(num_racks_), rack_cap);
+  }
+}
+
+std::size_t Fabric::checked(coflow::PortId p) const {
+  if (p < 0 || p >= num_ports_) throw std::out_of_range("Fabric: port id out of range");
+  return static_cast<std::size_t>(p);
+}
+
+std::size_t Fabric::checkedRack(int rack) const {
+  if (rack < 0 || rack >= num_racks_) {
+    throw std::out_of_range("Fabric: rack id out of range");
+  }
+  return static_cast<std::size_t>(rack);
+}
+
+ResidualCapacity::ResidualCapacity(const Fabric& fabric, double scale)
+    : fabric_(fabric.hasRacks() ? &fabric : nullptr),
+      ingress_(fabric.ingressCapacities()),
+      egress_(fabric.egressCapacities()),
+      rack_up_(fabric.rackUplinkCapacities()),
+      rack_down_(fabric.rackDownlinkCapacities()) {
+  if (scale != 1.0) {
+    for (auto& c : ingress_) c *= scale;
+    for (auto& c : egress_) c *= scale;
+    for (auto& c : rack_up_) c *= scale;
+    for (auto& c : rack_down_) c *= scale;
+  }
+}
+
+ResidualCapacity::ResidualCapacity(std::vector<util::Rate> ingress,
+                                   std::vector<util::Rate> egress)
+    : ingress_(std::move(ingress)), egress_(std::move(egress)) {
+  if (ingress_.size() != egress_.size()) {
+    throw std::invalid_argument("ResidualCapacity: ingress/egress size mismatch");
+  }
+}
+
+util::Rate ResidualCapacity::available(coflow::PortId src, coflow::PortId dst) const {
+  util::Rate limit = std::min(ingress_[static_cast<std::size_t>(src)],
+                              egress_[static_cast<std::size_t>(dst)]);
+  if (fabric_ != nullptr && fabric_->crossRack(src, dst)) {
+    limit = std::min({limit, rack_up_[static_cast<std::size_t>(fabric_->rackOf(src))],
+                      rack_down_[static_cast<std::size_t>(fabric_->rackOf(dst))]});
+  }
+  return limit;
+}
+
+void ResidualCapacity::consume(coflow::PortId src, coflow::PortId dst, util::Rate rate) {
+  auto& in = ingress_[static_cast<std::size_t>(src)];
+  auto& out = egress_[static_cast<std::size_t>(dst)];
+  in = std::max(0.0, in - rate);
+  out = std::max(0.0, out - rate);
+  if (fabric_ != nullptr && fabric_->crossRack(src, dst)) {
+    auto& up = rack_up_[static_cast<std::size_t>(fabric_->rackOf(src))];
+    auto& down = rack_down_[static_cast<std::size_t>(fabric_->rackOf(dst))];
+    up = std::max(0.0, up - rate);
+    down = std::max(0.0, down - rate);
+  }
+}
+
+void ResidualCapacity::release(coflow::PortId src, coflow::PortId dst, util::Rate rate) {
+  ingress_[static_cast<std::size_t>(src)] += rate;
+  egress_[static_cast<std::size_t>(dst)] += rate;
+  if (fabric_ != nullptr && fabric_->crossRack(src, dst)) {
+    rack_up_[static_cast<std::size_t>(fabric_->rackOf(src))] += rate;
+    rack_down_[static_cast<std::size_t>(fabric_->rackOf(dst))] += rate;
+  }
+}
+
+bool ResidualCapacity::exhausted() const {
+  for (std::size_t p = 0; p < ingress_.size(); ++p) {
+    if (ingress_[p] > util::kEps || egress_[p] > util::kEps) return false;
+  }
+  return true;
+}
+
+}  // namespace aalo::fabric

@@ -1,0 +1,136 @@
+// Datacenter fabric model (§2.1, Figure 1a; §8 "In-Network Bottlenecks").
+//
+// By default the whole fabric is abstracted as one big non-blocking
+// switch: machine uplinks (ingress ports) and downlinks (egress ports)
+// are the only points of contention. A rate allocation is feasible iff,
+// at every ingress port, the rates of flows originating there sum to at
+// most the port capacity, and symmetrically at every egress port.
+//
+// The paper's discussion (§8) notes that when bottleneck locations are
+// known — e.g. oversubscribed rack-to-core links — Aalo can allocate
+// rack-to-core bandwidth instead of NIC bandwidth. Setting
+// FabricConfig::rack enables that: ports are grouped into racks, and a
+// cross-rack flow additionally consumes its source rack's uplink and its
+// destination rack's downlink, each with capacity
+//   ports_per_rack * port_capacity / oversubscription.
+#pragma once
+
+#include <vector>
+
+#include "coflow/ids.h"
+#include "util/units.h"
+
+namespace aalo::fabric {
+
+struct RackConfig {
+  /// 0 disables rack modeling (pure non-blocking switch).
+  int ports_per_rack = 0;
+  /// Core oversubscription ratio; the Facebook cluster in §7.1 ran 10:1.
+  double oversubscription = 1.0;
+};
+
+struct FabricConfig {
+  constexpr FabricConfig() = default;
+  constexpr FabricConfig(int ports, util::Rate capacity)
+      : num_ports(ports), port_capacity(capacity) {}
+
+  int num_ports = 0;
+  /// Uniform port capacity (bytes/s) for both uplinks and downlinks.
+  util::Rate port_capacity = util::kGbps;
+  RackConfig rack;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const FabricConfig& config);
+
+  int numPorts() const { return num_ports_; }
+  util::Rate ingressCapacity(coflow::PortId p) const { return ingress_[checked(p)]; }
+  util::Rate egressCapacity(coflow::PortId p) const { return egress_[checked(p)]; }
+
+  /// Heterogeneous capacities (e.g. modeling slower stragglers).
+  void setIngressCapacity(coflow::PortId p, util::Rate cap) { ingress_[checked(p)] = cap; }
+  void setEgressCapacity(coflow::PortId p, util::Rate cap) { egress_[checked(p)] = cap; }
+
+  const std::vector<util::Rate>& ingressCapacities() const { return ingress_; }
+  const std::vector<util::Rate>& egressCapacities() const { return egress_; }
+
+  // --- rack topology (§8) -------------------------------------------------
+  bool hasRacks() const { return num_racks_ > 0; }
+  int numRacks() const { return num_racks_; }
+  int rackOf(coflow::PortId p) const {
+    return static_cast<int>(checked(p)) / ports_per_rack_;
+  }
+  bool crossRack(coflow::PortId src, coflow::PortId dst) const {
+    return hasRacks() && rackOf(src) != rackOf(dst);
+  }
+  util::Rate rackUplinkCapacity(int rack) const { return rack_up_[checkedRack(rack)]; }
+  util::Rate rackDownlinkCapacity(int rack) const {
+    return rack_down_[checkedRack(rack)];
+  }
+  const std::vector<util::Rate>& rackUplinkCapacities() const { return rack_up_; }
+  const std::vector<util::Rate>& rackDownlinkCapacities() const { return rack_down_; }
+
+ private:
+  std::size_t checked(coflow::PortId p) const;
+  std::size_t checkedRack(int rack) const;
+
+  int num_ports_;
+  int ports_per_rack_ = 1;
+  int num_racks_ = 0;
+  std::vector<util::Rate> ingress_;
+  std::vector<util::Rate> egress_;
+  std::vector<util::Rate> rack_up_;
+  std::vector<util::Rate> rack_down_;
+};
+
+/// Mutable residual capacity tracker used by greedy scheduler passes:
+/// start from a fabric (or a scaled share of it), hand out rate to flows,
+/// and query what is left. Tracks rack up/down links when the fabric has
+/// racks.
+class ResidualCapacity {
+ public:
+  explicit ResidualCapacity(const Fabric& fabric, double scale = 1.0);
+  ResidualCapacity(std::vector<util::Rate> ingress, std::vector<util::Rate> egress);
+
+  int numPorts() const { return static_cast<int>(ingress_.size()); }
+  util::Rate ingress(coflow::PortId p) const { return ingress_[static_cast<std::size_t>(p)]; }
+  util::Rate egress(coflow::PortId p) const { return egress_[static_cast<std::size_t>(p)]; }
+
+  bool hasRacks() const { return fabric_ != nullptr && fabric_->hasRacks(); }
+  const Fabric* fabric() const { return fabric_; }
+  util::Rate rackUplink(int rack) const {
+    return rack_up_[static_cast<std::size_t>(rack)];
+  }
+  util::Rate rackDownlink(int rack) const {
+    return rack_down_[static_cast<std::size_t>(rack)];
+  }
+
+  /// Largest rate a single src->dst flow could still get (includes rack
+  /// links for cross-rack flows).
+  util::Rate available(coflow::PortId src, coflow::PortId dst) const;
+
+  /// Removes `rate` from every resource the flow crosses. Clamps at zero
+  /// (tiny negative residuals arise from floating-point water-filling).
+  void consume(coflow::PortId src, coflow::PortId dst, util::Rate rate);
+
+  /// Adds `rate` back (used when transplanting allocations between passes).
+  void release(coflow::PortId src, coflow::PortId dst, util::Rate rate);
+
+  /// True when every port has (numerically) zero residual on both sides.
+  bool exhausted() const;
+
+  std::vector<util::Rate>& ingressAll() { return ingress_; }
+  std::vector<util::Rate>& egressAll() { return egress_; }
+  std::vector<util::Rate>& rackUplinkAll() { return rack_up_; }
+  std::vector<util::Rate>& rackDownlinkAll() { return rack_down_; }
+
+ private:
+  const Fabric* fabric_ = nullptr;  // For rack lookups; null if rack-free.
+  std::vector<util::Rate> ingress_;
+  std::vector<util::Rate> egress_;
+  std::vector<util::Rate> rack_up_;
+  std::vector<util::Rate> rack_down_;
+};
+
+}  // namespace aalo::fabric

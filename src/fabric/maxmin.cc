@@ -1,0 +1,119 @@
+#include "fabric/maxmin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aalo::fabric {
+
+namespace {
+
+constexpr double kLevelSlack = 1e-9;
+
+}  // namespace
+
+std::vector<util::Rate> maxMinAllocate(const std::vector<Demand>& demands,
+                                       ResidualCapacity& residual) {
+  const std::size_t n = demands.size();
+  std::vector<util::Rate> rates(n, 0.0);
+  if (n == 0) return rates;
+
+  const auto ports = static_cast<std::size_t>(residual.numPorts());
+  const Fabric* fabric = residual.fabric();  // Non-null only with racks.
+  for (const Demand& d : demands) {
+    if (d.src < 0 || static_cast<std::size_t>(d.src) >= ports || d.dst < 0 ||
+        static_cast<std::size_t>(d.dst) >= ports) {
+      throw std::out_of_range("maxMinAllocate: demand port out of range");
+    }
+    if (d.rate_cap < 0) throw std::invalid_argument("maxMinAllocate: negative rate cap");
+  }
+
+  std::vector<bool> frozen(n, false);
+  std::vector<double> wsum_in(ports, 0.0);
+  std::vector<double> wsum_out(ports, 0.0);
+  const std::size_t racks =
+      fabric != nullptr ? static_cast<std::size_t>(fabric->numRacks()) : 0;
+  std::vector<double> wsum_up(racks, 0.0);
+  std::vector<double> wsum_down(racks, 0.0);
+  std::size_t unfrozen = 0;
+
+  auto crossRack = [&](const Demand& d) {
+    return fabric != nullptr && fabric->crossRack(d.src, d.dst);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Demand& d = demands[i];
+    if (d.weight <= 0.0 || d.rate_cap <= 0.0) {
+      frozen[i] = true;  // Rate stays 0; consumes nothing.
+      continue;
+    }
+    wsum_in[static_cast<std::size_t>(d.src)] += d.weight;
+    wsum_out[static_cast<std::size_t>(d.dst)] += d.weight;
+    if (crossRack(d)) {
+      wsum_up[static_cast<std::size_t>(fabric->rackOf(d.src))] += d.weight;
+      wsum_down[static_cast<std::size_t>(fabric->rackOf(d.dst))] += d.weight;
+    }
+    ++unfrozen;
+  }
+
+  // The water level a given unfrozen demand could rise to right now.
+  auto levelOf = [&](const Demand& d) {
+    const auto sp = static_cast<std::size_t>(d.src);
+    const auto dp = static_cast<std::size_t>(d.dst);
+    double level = std::min(residual.ingress(d.src) / wsum_in[sp],
+                            residual.egress(d.dst) / wsum_out[dp]);
+    level = std::min(level, d.rate_cap / d.weight);
+    if (crossRack(d)) {
+      const auto ur = static_cast<std::size_t>(fabric->rackOf(d.src));
+      const auto dr = static_cast<std::size_t>(fabric->rackOf(d.dst));
+      level = std::min({level, residual.rackUplink(fabric->rackOf(d.src)) / wsum_up[ur],
+                        residual.rackDownlink(fabric->rackOf(d.dst)) / wsum_down[dr]});
+    }
+    return level;
+  };
+
+  // Each iteration freezes at least one flow, so this terminates in <= n
+  // iterations; the guard catches logic regressions rather than input.
+  std::size_t guard = n + 2 * ports + 2 * racks + 4;
+  while (unfrozen > 0) {
+    if (guard-- == 0) throw std::logic_error("maxMinAllocate: failed to converge");
+
+    double min_level = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!frozen[i]) min_level = std::min(min_level, levelOf(demands[i]));
+    }
+    if (!std::isfinite(min_level)) min_level = 0.0;
+    min_level = std::max(min_level, 0.0);
+
+    // Freeze every flow constrained at (numerically) the minimum level.
+    const double cutoff = min_level * (1.0 + kLevelSlack) + 1e-15;
+    bool froze_any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      const Demand& d = demands[i];
+      if (levelOf(d) > cutoff) continue;
+      const util::Rate rate = std::min(d.weight * min_level, d.rate_cap);
+      rates[i] = rate;
+      frozen[i] = true;
+      froze_any = true;
+      --unfrozen;
+      residual.consume(d.src, d.dst, rate);
+      wsum_in[static_cast<std::size_t>(d.src)] -= d.weight;
+      wsum_out[static_cast<std::size_t>(d.dst)] -= d.weight;
+      if (crossRack(d)) {
+        wsum_up[static_cast<std::size_t>(fabric->rackOf(d.src))] -= d.weight;
+        wsum_down[static_cast<std::size_t>(fabric->rackOf(d.dst))] -= d.weight;
+      }
+    }
+    if (!froze_any) throw std::logic_error("maxMinAllocate: no progress");
+  }
+  return rates;
+}
+
+std::vector<util::Rate> maxMinAllocate(const std::vector<Demand>& demands,
+                                       const Fabric& fabric) {
+  ResidualCapacity residual(fabric);
+  return maxMinAllocate(demands, residual);
+}
+
+}  // namespace aalo::fabric

@@ -1,0 +1,49 @@
+// Weighted max-min fair rate allocation via progressive water-filling.
+//
+// Used in three places: per-flow fairness across the whole fabric (the TCP
+// baseline), max-min among flows *within* a coflow (line 6 of Pseudocode 1
+// — no flow-size information, so this is the only sensible discipline),
+// and excess redistribution between D-CLAS queues (line 14).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "coflow/ids.h"
+#include "fabric/fabric.h"
+#include "util/units.h"
+
+namespace aalo::fabric {
+
+inline constexpr util::Rate kUncapped = std::numeric_limits<util::Rate>::infinity();
+
+/// One flow's demand entry for the water-filling pass.
+struct Demand {
+  coflow::PortId src = 0;
+  coflow::PortId dst = 0;
+  /// Weighted fairness: a flow with weight 2 gets twice the share of a
+  /// weight-1 flow at every shared bottleneck.
+  double weight = 1.0;
+  /// Upper bound on this flow's rate (e.g. remaining/eps for nearly-done
+  /// flows, or a scheduler-imposed limit). kUncapped for none.
+  util::Rate rate_cap = kUncapped;
+};
+
+/// Computes weighted max-min fair rates for `demands` against `residual`,
+/// consuming the capacity it hands out. Returns rates aligned with
+/// `demands`. Weight <= 0 yields rate 0.
+///
+/// Algorithm: repeatedly find the tightest constraint — either a port
+/// whose residual divided by the total weight of unfrozen flows crossing
+/// it is minimal, or an individual flow's rate cap — freeze the affected
+/// flows at the implied water level, subtract, and continue. O(iterations
+/// x flows) with at most (2 x ports + flows) iterations.
+std::vector<util::Rate> maxMinAllocate(const std::vector<Demand>& demands,
+                                       ResidualCapacity& residual);
+
+/// Convenience overload: allocate against a fresh copy of the fabric's
+/// full capacity.
+std::vector<util::Rate> maxMinAllocate(const std::vector<Demand>& demands,
+                                       const Fabric& fabric);
+
+}  // namespace aalo::fabric

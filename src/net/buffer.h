@@ -1,0 +1,62 @@
+// Growable byte buffer with separate read/write cursors, used for socket
+// I/O staging and message (de)serialization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aalo::net {
+
+class Buffer {
+ public:
+  std::size_t readableBytes() const { return write_pos_ - read_pos_; }
+  bool empty() const { return readableBytes() == 0; }
+
+  const std::uint8_t* peek() const { return data_.data() + read_pos_; }
+  std::span<const std::uint8_t> readable() const {
+    return {peek(), readableBytes()};
+  }
+
+  void append(const void* data, std::size_t len);
+  void append(std::span<const std::uint8_t> bytes) {
+    append(bytes.data(), bytes.size());
+  }
+
+  /// Marks `len` bytes as consumed; throws std::out_of_range on overrun.
+  void consume(std::size_t len);
+
+  /// Ensures `len` writable bytes and returns the write pointer; commit
+  /// with commitWrite(). Used for readv-style direct socket reads.
+  std::uint8_t* writableArea(std::size_t len);
+  void commitWrite(std::size_t len) { write_pos_ += len; }
+
+  void clear();
+
+  // --- primitive little-endian codec -------------------------------------
+  void putU8(std::uint8_t v) { append(&v, 1); }
+  void putU32(std::uint32_t v);
+  void putU64(std::uint64_t v);
+  void putI64(std::int64_t v) { putU64(static_cast<std::uint64_t>(v)); }
+  void putDouble(double v);
+  void putString(const std::string& s);
+
+  /// Reads throw std::out_of_range when not enough bytes are available.
+  std::uint8_t getU8();
+  std::uint32_t getU32();
+  std::uint64_t getU64();
+  std::int64_t getI64() { return static_cast<std::int64_t>(getU64()); }
+  double getDouble();
+  std::string getString();
+
+ private:
+  void compact();
+
+  std::vector<std::uint8_t> data_;
+  std::size_t read_pos_ = 0;
+  std::size_t write_pos_ = 0;
+};
+
+}  // namespace aalo::net

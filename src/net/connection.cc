@@ -1,0 +1,115 @@
+#include "net/connection.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+
+namespace aalo::net {
+
+Connection::Connection(EventLoop& loop, Fd fd, FrameHandler on_frame,
+                       CloseHandler on_close)
+    : loop_(loop),
+      fd_(std::move(fd)),
+      on_frame_(std::move(on_frame)),
+      on_close_(std::move(on_close)) {
+  loop_.add(fd_.get(), EPOLLIN,
+            [this](std::uint32_t events) { onEvents(events); });
+}
+
+Connection::~Connection() {
+  if (!closed_ && fd_.valid()) loop_.remove(fd_.get());
+}
+
+void Connection::sendFrame(const Buffer& payload) {
+  sendFrame(payload.readable());
+}
+
+void Connection::sendFrame(std::span<const std::uint8_t> payload) {
+  if (closed_) return;
+  outgoing_.putU32(static_cast<std::uint32_t>(payload.size()));
+  outgoing_.append(payload);
+  flush();
+}
+
+void Connection::onEvents(std::uint32_t events) {
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close();
+    return;
+  }
+  if (events & EPOLLIN) handleReadable();
+  if (!closed_ && (events & EPOLLOUT)) flush();
+}
+
+void Connection::handleReadable() {
+  for (;;) {
+    std::uint8_t* area = incoming_.writableArea(64 * 1024);
+    const ssize_t n = ::read(fd_.get(), area, 64 * 1024);
+    if (n > 0) {
+      incoming_.commitWrite(static_cast<std::size_t>(n));
+      if (n < 64 * 1024) break;  // Drained.
+      continue;
+    }
+    if (n == 0) {
+      close();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close();
+    return;
+  }
+
+  // Deliver every complete frame.
+  while (!closed_ && incoming_.readableBytes() >= 4) {
+    const std::uint8_t* p = incoming_.peek();
+    const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                              (static_cast<std::uint32_t>(p[1]) << 8) |
+                              (static_cast<std::uint32_t>(p[2]) << 16) |
+                              (static_cast<std::uint32_t>(p[3]) << 24);
+    if (len > kMaxFrameBytes) {
+      close();  // Corrupt stream.
+      return;
+    }
+    if (incoming_.readableBytes() < 4 + static_cast<std::size_t>(len)) break;
+    incoming_.consume(4);
+    Buffer payload;
+    payload.append(incoming_.peek(), len);
+    incoming_.consume(len);
+    on_frame_(payload);
+  }
+}
+
+void Connection::flush() {
+  while (!outgoing_.empty()) {
+    const ssize_t n =
+        ::write(fd_.get(), outgoing_.peek(), outgoing_.readableBytes());
+    if (n > 0) {
+      outgoing_.consume(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close();
+    return;
+  }
+  updateInterest();
+}
+
+void Connection::updateInterest() {
+  const bool want_write = !outgoing_.empty();
+  if (want_write == want_write_ || closed_) return;
+  want_write_ = want_write;
+  loop_.modify(fd_.get(), EPOLLIN | (want_write ? EPOLLOUT : 0u));
+}
+
+void Connection::close() {
+  if (closed_) return;
+  closed_ = true;
+  loop_.remove(fd_.get());
+  fd_.reset();
+  if (on_close_) on_close_();
+}
+
+}  // namespace aalo::net

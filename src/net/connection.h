@@ -1,0 +1,60 @@
+// Framed, non-blocking TCP connection bound to an EventLoop.
+//
+// Wire format: every message is a frame of [u32 length][payload]. The
+// connection delivers complete payloads to its frame handler and flushes
+// queued writes as the socket drains (EPOLLOUT is armed only while data
+// is pending, so idle connections cost nothing).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/buffer.h"
+#include "net/event_loop.h"
+#include "net/socket.h"
+
+namespace aalo::net {
+
+/// Hard upper bound on a frame payload; anything larger indicates stream
+/// corruption and closes the connection.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+class Connection {
+ public:
+  using FrameHandler = std::function<void(Buffer& payload)>;
+  using CloseHandler = std::function<void()>;
+
+  /// Takes ownership of `fd` (already non-blocking) and registers with
+  /// the loop. Handlers run on the loop thread.
+  Connection(EventLoop& loop, Fd fd, FrameHandler on_frame, CloseHandler on_close);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Queues one frame (length prefix added here) and flushes what the
+  /// socket accepts immediately.
+  void sendFrame(const Buffer& payload);
+  void sendFrame(std::span<const std::uint8_t> payload);
+
+  bool closed() const { return closed_; }
+  int fd() const { return fd_.get(); }
+  std::size_t pendingBytes() const { return outgoing_.readableBytes(); }
+
+ private:
+  void onEvents(std::uint32_t events);
+  void handleReadable();
+  void flush();
+  void close();
+  void updateInterest();
+
+  EventLoop& loop_;
+  Fd fd_;
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+  Buffer incoming_;
+  Buffer outgoing_;
+  bool want_write_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace aalo::net

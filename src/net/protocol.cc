@@ -1,0 +1,121 @@
+#include "net/protocol.h"
+
+#include <stdexcept>
+
+namespace aalo::net {
+
+namespace {
+
+void putCoflowId(Buffer& out, const coflow::CoflowId& id) {
+  out.putI64(id.external);
+  out.putU32(static_cast<std::uint32_t>(id.internal));
+}
+
+coflow::CoflowId getCoflowId(Buffer& in) {
+  coflow::CoflowId id;
+  id.external = in.getI64();
+  id.internal = static_cast<std::int32_t>(in.getU32());
+  return id;
+}
+
+}  // namespace
+
+void encodeMessage(const Message& message, Buffer& out) {
+  out.putU8(static_cast<std::uint8_t>(message.type));
+  switch (message.type) {
+    case MessageType::kHello:
+      out.putU64(message.daemon_id);
+      break;
+    case MessageType::kRegisterCoflow:
+      out.putU64(message.request_id);
+      out.putU32(static_cast<std::uint32_t>(message.parents.size()));
+      for (const auto& p : message.parents) putCoflowId(out, p);
+      break;
+    case MessageType::kRegisterReply:
+      out.putU64(message.request_id);
+      putCoflowId(out, message.coflow);
+      break;
+    case MessageType::kUnregisterCoflow:
+      putCoflowId(out, message.coflow);
+      break;
+    case MessageType::kSizeReport:
+      out.putU64(message.daemon_id);
+      out.putU32(static_cast<std::uint32_t>(message.sizes.size()));
+      for (const auto& s : message.sizes) {
+        putCoflowId(out, s.id);
+        out.putDouble(s.bytes);
+      }
+      break;
+    case MessageType::kScheduleUpdate:
+      out.putU64(message.epoch);
+      out.putU32(static_cast<std::uint32_t>(message.schedule.size()));
+      for (const auto& e : message.schedule) {
+        putCoflowId(out, e.id);
+        out.putDouble(e.global_bytes);
+        out.putU32(static_cast<std::uint32_t>(e.queue));
+        out.putU8(e.on ? 1 : 0);
+      }
+      break;
+  }
+}
+
+Message decodeMessage(Buffer& in) {
+  Message message;
+  const std::uint8_t raw_type = in.getU8();
+  if (raw_type < 1 || raw_type > 6) {
+    throw std::runtime_error("decodeMessage: unknown message type " +
+                             std::to_string(raw_type));
+  }
+  message.type = static_cast<MessageType>(raw_type);
+  switch (message.type) {
+    case MessageType::kHello:
+      message.daemon_id = in.getU64();
+      break;
+    case MessageType::kRegisterCoflow: {
+      message.request_id = in.getU64();
+      const std::uint32_t n = in.getU32();
+      message.parents.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) message.parents.push_back(getCoflowId(in));
+      break;
+    }
+    case MessageType::kRegisterReply:
+      message.request_id = in.getU64();
+      message.coflow = getCoflowId(in);
+      break;
+    case MessageType::kUnregisterCoflow:
+      message.coflow = getCoflowId(in);
+      break;
+    case MessageType::kSizeReport: {
+      message.daemon_id = in.getU64();
+      const std::uint32_t n = in.getU32();
+      message.sizes.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        CoflowSize s;
+        s.id = getCoflowId(in);
+        s.bytes = in.getDouble();
+        message.sizes.push_back(s);
+      }
+      break;
+    }
+    case MessageType::kScheduleUpdate: {
+      message.epoch = in.getU64();
+      const std::uint32_t n = in.getU32();
+      message.schedule.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        ScheduleEntry e;
+        e.id = getCoflowId(in);
+        e.global_bytes = in.getDouble();
+        e.queue = static_cast<std::int32_t>(in.getU32());
+        e.on = in.getU8() != 0;
+        message.schedule.push_back(e);
+      }
+      break;
+    }
+  }
+  if (!in.empty()) {
+    throw std::runtime_error("decodeMessage: trailing bytes in frame");
+  }
+  return message;
+}
+
+}  // namespace aalo::net

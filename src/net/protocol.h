@@ -1,0 +1,67 @@
+// Aalo control-plane wire protocol (§6.2).
+//
+// Daemons report locally observed coflow sizes to the coordinator every Δ
+// interval; the coordinator replies with the globally coordinated coflow
+// order (queue per coflow + FIFO position implied by CoflowId). Clients
+// register/unregister coflows through the same protocol.
+//
+// Encoding: little-endian primitives via net::Buffer, one message per
+// frame (see net/connection.h for framing).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coflow/ids.h"
+#include "net/buffer.h"
+
+namespace aalo::net {
+
+enum class MessageType : std::uint8_t {
+  kHello = 1,             ///< daemon -> coordinator: announce daemon_id.
+  kRegisterCoflow = 2,    ///< client -> coordinator: new coflow (with parents).
+  kRegisterReply = 3,     ///< coordinator -> client: assigned CoflowId.
+  kUnregisterCoflow = 4,  ///< client -> coordinator: coflow completed.
+  kSizeReport = 5,        ///< daemon -> coordinator: local attained bytes.
+  kScheduleUpdate = 6,    ///< coordinator -> daemons: global order.
+};
+
+struct CoflowSize {
+  coflow::CoflowId id;
+  double bytes = 0;
+
+  friend bool operator==(const CoflowSize&, const CoflowSize&) = default;
+};
+
+struct ScheduleEntry {
+  coflow::CoflowId id;
+  double global_bytes = 0;
+  std::int32_t queue = 0;
+  /// Explicit ON/OFF signal (§6.2): the coordinator switches coflows off
+  /// beyond its concurrency budget to avoid receiver-side contention and
+  /// speed sender/receiver rate convergence.
+  bool on = true;
+
+  friend bool operator==(const ScheduleEntry&, const ScheduleEntry&) = default;
+};
+
+/// One decoded control message. Which fields are meaningful depends on
+/// `type`; unused fields stay default-initialized.
+struct Message {
+  MessageType type = MessageType::kHello;
+  std::uint64_t daemon_id = 0;    ///< kHello.
+  std::uint64_t request_id = 0;   ///< kRegisterCoflow / kRegisterReply.
+  std::uint64_t epoch = 0;        ///< kScheduleUpdate: coordination round.
+  coflow::CoflowId coflow;        ///< kRegisterReply / kUnregisterCoflow.
+  std::vector<coflow::CoflowId> parents;   ///< kRegisterCoflow.
+  std::vector<CoflowSize> sizes;           ///< kSizeReport.
+  std::vector<ScheduleEntry> schedule;     ///< kScheduleUpdate.
+};
+
+void encodeMessage(const Message& message, Buffer& out);
+
+/// Decodes one message from `in` (a full frame payload); throws
+/// std::out_of_range / std::runtime_error on malformed input.
+Message decodeMessage(Buffer& in);
+
+}  // namespace aalo::net

@@ -1,0 +1,95 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace aalo::net {
+
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throwErrno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void setNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    throwErrno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+std::pair<Fd, std::uint16_t> listenTcp(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throwErrno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    throwErrno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throwErrno("bind");
+  }
+  if (::listen(fd.get(), backlog) < 0) throwErrno("listen");
+  setNonBlocking(fd.get());
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throwErrno("getsockname");
+  }
+  return {std::move(fd), ntohs(addr.sin_port)};
+}
+
+Fd connectTcp(std::uint16_t port, bool non_blocking) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throwErrno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throwErrno("connect");
+  }
+  setNoDelay(fd.get());
+  if (non_blocking) setNonBlocking(fd.get());
+  return fd;
+}
+
+Fd acceptTcp(int listener_fd) {
+  const int fd = ::accept4(listener_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Fd();
+    throwErrno("accept4");
+  }
+  Fd out(fd);
+  setNoDelay(fd);
+  return out;
+}
+
+}  // namespace aalo::net

@@ -1,0 +1,53 @@
+// RAII socket primitives for the Aalo runtime (loopback TCP).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace aalo::net {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Throws std::system_error on failure for all of the below.
+
+/// Creates a non-blocking listening socket bound to 127.0.0.1:`port`
+/// (port 0 = ephemeral). Returns the socket and the actual port.
+std::pair<Fd, std::uint16_t> listenTcp(std::uint16_t port, int backlog = 1024);
+
+/// Connects to 127.0.0.1:`port`. Blocking connect, then switched to
+/// non-blocking if requested.
+Fd connectTcp(std::uint16_t port, bool non_blocking = true);
+
+/// Accepts one connection (non-blocking listener); invalid Fd if none
+/// pending.
+Fd acceptTcp(int listener_fd);
+
+void setNonBlocking(int fd);
+void setNoDelay(int fd);
+
+}  // namespace aalo::net

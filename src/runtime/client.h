@@ -1,0 +1,66 @@
+// Client library (§6.1): coflow registration RPCs and the throttled
+// output stream that applications wrap their sockets with.
+//
+//   AaloClient client(coordinator_port);
+//   auto sid = client.registerCoflow();           // val sId = register()
+//   ThrottledWriter out(sock_fd, sid, daemon);    // new AaloOutputStream(..)
+//   out.write(buf, n);                            // throttled + accounted
+//   client.unregisterCoflow(sid);                 // unregister(sId)
+//
+// The writer is non-blocking in the coflow sense: there is no barrier —
+// senders start sending immediately, Aalo observes sizes as bytes flow
+// and throttles when required. If the daemon loses its coordinator, the
+// writer degrades to unthrottled TCP (fault tolerance, §3.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "coflow/ids.h"
+#include "net/socket.h"
+#include "runtime/daemon.h"
+
+namespace aalo::runtime {
+
+/// Synchronous control-plane client. One TCP connection per client; safe
+/// for use from a single thread.
+class AaloClient {
+ public:
+  explicit AaloClient(std::uint16_t coordinator_port);
+
+  /// register(): obtains a fresh CoflowId; with parents, an id ordered
+  /// after them inside the same DAG (register({bId})).
+  coflow::CoflowId registerCoflow(std::span<const coflow::CoflowId> parents = {});
+
+  /// unregister(sId): the coflow is complete.
+  void unregisterCoflow(coflow::CoflowId id);
+
+ private:
+  net::Fd fd_;
+  std::uint64_t next_request_ = 1;
+};
+
+/// AaloOutputStream equivalent: throttles writes on `fd` to the rate the
+/// local daemon assigns this coflow and reports every byte it sends.
+class ThrottledWriter {
+ public:
+  ThrottledWriter(int fd, coflow::CoflowId id, Daemon& daemon);
+  ~ThrottledWriter();
+  ThrottledWriter(const ThrottledWriter&) = delete;
+  ThrottledWriter& operator=(const ThrottledWriter&) = delete;
+
+  /// Writes all of `data`, sleeping as needed to honor the daemon's rate.
+  /// Throws std::system_error on socket errors.
+  void writeAll(std::span<const std::uint8_t> data);
+  void writeAll(const void* data, std::size_t len);
+
+  util::Bytes bytesWritten() const { return bytes_written_; }
+
+ private:
+  int fd_;
+  coflow::CoflowId id_;
+  Daemon& daemon_;
+  util::Bytes bytes_written_ = 0;
+};
+
+}  // namespace aalo::runtime

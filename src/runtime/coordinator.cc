@@ -1,0 +1,202 @@
+#include "runtime/coordinator.h"
+
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "net/protocol.h"
+#include "util/log.h"
+
+namespace aalo::runtime {
+
+namespace {
+
+std::chrono::nanoseconds toNanos(util::Seconds s) {
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(s * 1e9));
+}
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorConfig config) : config_(std::move(config)) {
+  thresholds_ = config_.dclas.thresholds();
+}
+
+Coordinator::~Coordinator() { stop(); }
+
+void Coordinator::start() {
+  if (running_.exchange(true)) return;
+  auto [fd, port] = net::listenTcp(config_.port);
+  listener_ = std::move(fd);
+  port_ = port;
+  loop_.add(listener_.get(), EPOLLIN, [this](std::uint32_t) { onAcceptable(); });
+  scheduleTick();
+  thread_ = std::thread([this] { loop_.run(); });
+  AALO_LOG_INFO << "coordinator listening on 127.0.0.1:" << port_;
+}
+
+void Coordinator::stop() {
+  if (!running_.exchange(false)) return;
+  loop_.stop();
+  if (thread_.joinable()) thread_.join();
+  loop_.post([this] {
+    peers_.clear();  // Destroy connections on (stopped) loop context.
+  });
+  if (listener_.valid()) loop_.remove(listener_.get());
+  listener_.reset();
+}
+
+void Coordinator::scheduleTick() {
+  loop_.callAfter(toNanos(config_.sync_interval), [this] {
+    broadcastSchedule();
+    if (running_.load(std::memory_order_relaxed)) scheduleTick();
+  });
+}
+
+void Coordinator::onAcceptable() {
+  for (;;) {
+    net::Fd fd = net::acceptTcp(listener_.get());
+    if (!fd.valid()) break;
+    const std::uint64_t key = next_peer_key_++;
+    Peer peer;
+    peer.connection = std::make_unique<net::Connection>(
+        loop_, std::move(fd),
+        [this, key](net::Buffer& payload) { onMessage(key, payload); },
+        [this, key] {
+          const auto it = peers_.find(key);
+          if (it != peers_.end()) {
+            if (it->second.is_daemon) {
+              reported_sizes_.erase(it->second.daemon_id);
+              daemon_count_.fetch_sub(1, std::memory_order_relaxed);
+            }
+            // Defer destruction: we may be inside this connection's own
+            // callback chain.
+            auto doomed = std::move(it->second.connection);
+            peers_.erase(it);
+            loop_.post([conn = std::shared_ptr<net::Connection>(
+                            std::move(doomed))] {});
+          }
+        });
+    peers_.emplace(key, std::move(peer));
+  }
+}
+
+void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
+  const auto it = peers_.find(peer_key);
+  if (it == peers_.end()) return;
+  Peer& peer = *&it->second;
+
+  net::Message message;
+  try {
+    message = net::decodeMessage(payload);
+  } catch (const std::exception& e) {
+    AALO_LOG_WARN << "coordinator: dropping malformed frame: " << e.what();
+    return;
+  }
+
+  switch (message.type) {
+    case net::MessageType::kHello:
+      peer.is_daemon = true;
+      peer.daemon_id = message.daemon_id;
+      daemon_count_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case net::MessageType::kSizeReport:
+      if (peer.is_daemon) {
+        auto& sizes = reported_sizes_[peer.daemon_id];
+        for (const auto& s : message.sizes) sizes[s.id] = s.bytes;
+      }
+      break;
+    case net::MessageType::kRegisterCoflow: {
+      coflow::CoflowId id;
+      if (message.parents.empty()) {
+        id = id_generator_.newRootId();
+      } else {
+        try {
+          id = id_generator_.newChildId(message.parents);
+        } catch (const std::invalid_argument&) {
+          id = id_generator_.newRootId();  // Malformed parents: fresh DAG.
+        }
+      }
+      registered_[id] = true;
+      registered_count_.store(registered_.size(), std::memory_order_relaxed);
+      net::Message reply;
+      reply.type = net::MessageType::kRegisterReply;
+      reply.request_id = message.request_id;
+      reply.coflow = id;
+      net::Buffer out;
+      net::encodeMessage(reply, out);
+      peer.connection->sendFrame(out);
+      break;
+    }
+    case net::MessageType::kUnregisterCoflow:
+      registered_.erase(message.coflow);
+      unregistered_.insert(message.coflow);
+      registered_count_.store(registered_.size(), std::memory_order_relaxed);
+      for (auto& [daemon, sizes] : reported_sizes_) sizes.erase(message.coflow);
+      break;
+    default:
+      AALO_LOG_WARN << "coordinator: unexpected message type";
+  }
+}
+
+void Coordinator::broadcastSchedule() {
+  // Aggregate: global size = sum of local observations (attained service
+  // only grows, so last-writer-wins per daemon is exact).
+  std::unordered_map<coflow::CoflowId, double> global;
+  for (const auto& [coflow_id, active] : registered_) {
+    if (active) global[coflow_id] = 0;
+  }
+  for (const auto& [daemon, sizes] : reported_sizes_) {
+    for (const auto& [coflow_id, bytes] : sizes) {
+      // Two cases for a reported coflow we did not register ourselves:
+      // (a) it was explicitly unregistered — tombstoned, drop it; (b) we
+      // restarted and lost registration state (§3.2) — the daemons'
+      // reports re-establish it.
+      if (unregistered_.contains(coflow_id)) continue;
+      global[coflow_id] += bytes;
+    }
+  }
+
+  net::Message update;
+  update.type = net::MessageType::kScheduleUpdate;
+  update.epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  update.schedule.reserve(global.size());
+  for (const auto& [coflow_id, bytes] : global) {
+    std::int32_t queue = 0;
+    while (queue < static_cast<std::int32_t>(thresholds_.size()) &&
+           bytes >= thresholds_[static_cast<std::size_t>(queue)]) {
+      ++queue;
+    }
+    update.schedule.push_back(net::ScheduleEntry{coflow_id, bytes, queue});
+  }
+  std::sort(update.schedule.begin(), update.schedule.end(),
+            [](const net::ScheduleEntry& a, const net::ScheduleEntry& b) {
+              if (a.queue != b.queue) return a.queue < b.queue;
+              return coflow::CoflowIdFifoLess{}(a.id, b.id);
+            });
+  // §6.2 explicit ON/OFF: gate everything past the concurrency budget.
+  if (config_.max_on_coflows > 0) {
+    for (std::size_t i = config_.max_on_coflows; i < update.schedule.size(); ++i) {
+      update.schedule[i].on = false;
+    }
+  }
+
+  net::Buffer out;
+  net::encodeMessage(update, out);
+  // Snapshot the peer keys: a failing send may close a connection, whose
+  // close handler erases it from peers_ — mutating the map mid-iteration.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(peers_.size());
+  for (const auto& [key, peer] : peers_) {
+    if (peer.is_daemon) keys.push_back(key);
+  }
+  for (const std::uint64_t key : keys) {
+    const auto it = peers_.find(key);
+    if (it == peers_.end()) continue;
+    if (it->second.connection && !it->second.connection->closed()) {
+      it->second.connection->sendFrame(out);
+    }
+  }
+}
+
+}  // namespace aalo::runtime

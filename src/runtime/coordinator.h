@@ -1,0 +1,99 @@
+// Aalo coordinator (Figure 2): aggregates locally observed coflow sizes
+// from daemons every Δ interval, assigns D-CLAS queues from the global
+// sizes, and broadcasts the coordinated schedule to every daemon.
+//
+// The number of coordination messages is linear in the number of daemons
+// and independent of the number of coflows (§3.2): one report in and one
+// broadcast out per daemon per round.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "coflow/id_generator.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "sched/dclas.h"
+
+namespace aalo::runtime {
+
+struct CoordinatorConfig {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port.
+  std::uint16_t port = 0;
+  /// Coordination interval Δ (the paper suggests O(10) ms).
+  util::Seconds sync_interval = 0.010;
+  /// Queue structure used to discretize global sizes.
+  sched::DClasConfig dclas;
+  /// §6.2 ON/OFF signals: at most this many coflows are switched ON per
+  /// schedule (in global priority order); the rest are gated to avoid
+  /// receiver-side contention. 0 = everything ON.
+  std::size_t max_on_coflows = 0;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorConfig config);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Binds, starts the loop thread, begins Δ ticks.
+  void start();
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+  /// Number of completed coordination rounds (broadcasts).
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  /// Daemons currently connected (said Hello).
+  std::size_t daemonCount() const {
+    return daemon_count_.load(std::memory_order_relaxed);
+  }
+  /// Coflows currently registered.
+  std::size_t registeredCoflows() const {
+    return registered_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Peer {
+    std::unique_ptr<net::Connection> connection;
+    std::uint64_t daemon_id = 0;
+    bool is_daemon = false;
+  };
+
+  void onAcceptable();
+  void onMessage(std::uint64_t peer_key, net::Buffer& payload);
+  void broadcastSchedule();
+  void scheduleTick();
+
+  CoordinatorConfig config_;
+  net::EventLoop loop_;
+  net::Fd listener_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+
+  // Loop-thread-only state.
+  std::unordered_map<std::uint64_t, Peer> peers_;
+  std::uint64_t next_peer_key_ = 1;
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<coflow::CoflowId, double>>
+      reported_sizes_;  // daemon_id -> coflow -> local bytes.
+  std::unordered_map<coflow::CoflowId, bool> registered_;
+  /// Tombstones for explicit unregisters: daemons keep reporting absolute
+  /// local sizes for completed coflows, and those must not resurface in
+  /// schedules. (Unbounded in a very long-lived coordinator; acceptable
+  /// at ~24 bytes per completed coflow for this implementation.)
+  std::unordered_set<coflow::CoflowId> unregistered_;
+  coflow::CoflowIdGenerator id_generator_;
+  std::vector<util::Bytes> thresholds_;
+
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::size_t> daemon_count_{0};
+  std::atomic<std::size_t> registered_count_{0};
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace aalo::runtime

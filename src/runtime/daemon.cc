@@ -1,0 +1,210 @@
+#include "runtime/daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cerrno>
+#include <system_error>
+
+#include "util/log.h"
+
+namespace aalo::runtime {
+
+namespace {
+
+std::chrono::nanoseconds toNanos(util::Seconds s) {
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(s * 1e9));
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {}
+
+Daemon::~Daemon() { stop(); }
+
+bool Daemon::tryConnect() {
+  net::Fd fd;
+  try {
+    fd = net::connectTcp(config_.coordinator_port);
+  } catch (const std::system_error&) {
+    return false;  // Coordinator not (yet) back; retry later.
+  }
+  connection_ = std::make_unique<net::Connection>(
+      loop_, std::move(fd), [this](net::Buffer& payload) { onMessage(payload); },
+      [this] {
+        connected_.store(false, std::memory_order_relaxed);
+        AALO_LOG_WARN << "daemon " << config_.daemon_id
+                      << ": lost coordinator; data path falls back to fair sharing";
+        scheduleReconnect();
+      });
+  connected_.store(true, std::memory_order_relaxed);
+  sendHello();
+  return true;
+}
+
+void Daemon::scheduleReconnect() {
+  if (config_.reconnect_interval <= 0 ||
+      !running_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  loop_.callAfter(toNanos(config_.reconnect_interval), [this] {
+    if (!running_.load(std::memory_order_relaxed)) return;
+    if (connected_.load(std::memory_order_relaxed)) return;
+    // Drop the dead connection on the loop thread, then retry. Local
+    // sizes are intentionally kept: the coordinator re-learns everything
+    // from the next size report (§3.2).
+    connection_.reset();
+    if (!tryConnect()) scheduleReconnect();
+  });
+}
+
+void Daemon::start() {
+  if (running_.exchange(true)) return;
+  if (!tryConnect()) {
+    throw std::system_error(ECONNREFUSED, std::generic_category(),
+                            "Daemon: cannot reach coordinator");
+  }
+  scheduleTick();
+  thread_ = std::thread([this] { loop_.run(); });
+}
+
+void Daemon::stop() {
+  if (!running_.exchange(false)) return;
+  loop_.stop();
+  if (thread_.joinable()) thread_.join();
+  connection_.reset();
+  connected_.store(false, std::memory_order_relaxed);
+}
+
+void Daemon::sendHello() {
+  net::Message hello;
+  hello.type = net::MessageType::kHello;
+  hello.daemon_id = config_.daemon_id;
+  net::Buffer out;
+  net::encodeMessage(hello, out);
+  connection_->sendFrame(out);
+}
+
+void Daemon::scheduleTick() {
+  loop_.callAfter(toNanos(config_.sync_interval), [this] {
+    sendSizeReport();
+    if (running_.load(std::memory_order_relaxed)) scheduleTick();
+  });
+}
+
+void Daemon::sendSizeReport() {
+  if (!connection_ || connection_->closed()) return;
+  net::Message report;
+  report.type = net::MessageType::kSizeReport;
+  report.daemon_id = config_.daemon_id;
+  {
+    std::lock_guard lock(mutex_);
+    report.sizes.reserve(local_sent_.size());
+    for (const auto& [id, bytes] : local_sent_) {
+      report.sizes.push_back(net::CoflowSize{id, bytes});
+    }
+  }
+  net::Buffer out;
+  net::encodeMessage(report, out);
+  connection_->sendFrame(out);
+}
+
+void Daemon::onMessage(net::Buffer& payload) {
+  net::Message message;
+  try {
+    message = net::decodeMessage(payload);
+  } catch (const std::exception& e) {
+    AALO_LOG_WARN << "daemon " << config_.daemon_id << ": bad frame: " << e.what();
+    return;
+  }
+  if (message.type != net::MessageType::kScheduleUpdate) return;
+  {
+    std::lock_guard lock(mutex_);
+    schedule_ = message.schedule;
+    queue_of_.clear();
+    on_.clear();
+    for (const auto& e : schedule_) {
+      queue_of_[e.id] = e.queue;
+      on_[e.id] = e.on;
+    }
+  }
+  last_epoch_.store(message.epoch, std::memory_order_relaxed);
+}
+
+void Daemon::reportBytes(coflow::CoflowId id, util::Bytes delta) {
+  std::lock_guard lock(mutex_);
+  local_sent_[id] += delta;
+}
+
+void Daemon::writerActive(coflow::CoflowId id, bool active) {
+  std::lock_guard lock(mutex_);
+  int& count = active_writers_[id];
+  count += active ? 1 : -1;
+  if (count <= 0) active_writers_.erase(id);
+}
+
+int Daemon::queueOf(coflow::CoflowId id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = queue_of_.find(id);
+  return it == queue_of_.end() ? 0 : static_cast<int>(it->second);
+}
+
+bool Daemon::isOn(coflow::CoflowId id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = on_.find(id);
+  return it == on_.end() ? true : it->second;
+}
+
+util::Rate Daemon::rateFor(coflow::CoflowId id) const {
+  // Fault tolerance (§3.2): without a coordinator the client library
+  // falls back to plain TCP sharing — no throttling.
+  if (!connected_.load(std::memory_order_relaxed)) {
+    return std::numeric_limits<util::Rate>::infinity();
+  }
+
+  std::lock_guard lock(mutex_);
+  if (!active_writers_.contains(id)) return 0;
+  // §6.2: coflows the coordinator switched OFF must not send at all, and
+  // must not absorb any queue share either.
+  {
+    const auto it = on_.find(id);
+    if (it != on_.end() && !it->second) return 0;
+  }
+
+  // Collect this machine's active (and ON) coflows per queue.
+  const int k = std::max(config_.num_queues, 1);
+  std::vector<std::vector<coflow::CoflowId>> queues(static_cast<std::size_t>(k));
+  for (const auto& [coflow_id, writers] : active_writers_) {
+    const auto on_it = on_.find(coflow_id);
+    if (on_it != on_.end() && !on_it->second) continue;
+    const auto it = queue_of_.find(coflow_id);
+    const int q = std::clamp(
+        it == queue_of_.end() ? 0 : static_cast<int>(it->second), 0, k - 1);
+    queues[static_cast<std::size_t>(q)].push_back(coflow_id);
+  }
+
+  double total_weight = 0;
+  for (int q = 0; q < k; ++q) {
+    if (!queues[static_cast<std::size_t>(q)].empty()) total_weight += k - q;
+  }
+  if (total_weight <= 0) return 0;
+
+  // Within each queue, the FIFO head takes (nearly) the queue's whole
+  // share. Unlike the simulator, the runtime cannot instantly re-assign
+  // rates when the head stalls, so non-head coflows keep a 10 % trickle —
+  // a local starvation-freedom guarantee on top of the queue weights.
+  const coflow::CoflowIdFifoLess fifo_less;
+  for (int q = 0; q < k; ++q) {
+    auto& members = queues[static_cast<std::size_t>(q)];
+    const auto member = std::find(members.begin(), members.end(), id);
+    if (member == members.end()) continue;
+    const util::Rate queue_share =
+        config_.uplink_capacity * static_cast<double>(k - q) / total_weight;
+    if (members.size() == 1) return queue_share;
+    const auto head = *std::min_element(members.begin(), members.end(), fifo_less);
+    if (head == id) return queue_share * 0.9;
+    return queue_share * 0.1 / static_cast<double>(members.size() - 1);
+  }
+  return 0;
+}
+
+}  // namespace aalo::runtime

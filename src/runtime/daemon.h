@@ -1,0 +1,100 @@
+// Aalo daemon: the per-machine agent (Figure 2).
+//
+// The data path (ThrottledWriter) reports bytes here; every Δ the daemon
+// forwards its local observations to the coordinator and receives the
+// global schedule. Between updates it makes local decisions: coflows it
+// has never seen in a schedule are treated as highest priority (new ==
+// likely small, §3.2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coflow/ids.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/protocol.h"
+#include "util/units.h"
+
+namespace aalo::runtime {
+
+struct DaemonConfig {
+  std::uint16_t coordinator_port = 0;
+  std::uint64_t daemon_id = 0;
+  util::Seconds sync_interval = 0.010;
+  /// Queue weight for 0-based queue q given K queues (K - q, as in §7.1).
+  int num_queues = 10;
+  /// Local uplink capacity divided among this machine's coflows.
+  util::Rate uplink_capacity = util::kGbps;
+  /// §3.2 fault tolerance: after losing the coordinator, retry connecting
+  /// this often (locally observed sizes are kept across the outage).
+  /// 0 disables reconnection.
+  util::Seconds reconnect_interval = 0.2;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  void start();
+  void stop();
+
+  /// Thread-safe, called by the data path: `delta` more bytes of `id`
+  /// left this machine.
+  void reportBytes(coflow::CoflowId id, util::Bytes delta);
+
+  /// Thread-safe: a writer for `id` became active/inactive on this
+  /// machine (used for local rate assignment).
+  void writerActive(coflow::CoflowId id, bool active);
+
+  /// Queue of a coflow per the last global schedule; never-scheduled
+  /// coflows sit in the highest-priority queue (0).
+  int queueOf(coflow::CoflowId id) const;
+
+  /// §6.2 ON/OFF signal from the last schedule; unknown coflows are ON
+  /// (new == likely small, scheduled locally).
+  bool isOn(coflow::CoflowId id) const;
+
+  /// D-CLAS rate (bytes/s) the local uplink grants `id` right now:
+  /// weighted share across queues, FIFO within the queue among this
+  /// machine's active coflows.
+  util::Rate rateFor(coflow::CoflowId id) const;
+
+  std::uint64_t lastEpoch() const { return last_epoch_.load(std::memory_order_relaxed); }
+  bool connected() const { return connected_.load(std::memory_order_relaxed); }
+
+ private:
+  void sendHello();
+  void sendSizeReport();
+  void scheduleTick();
+  void scheduleReconnect();
+  bool tryConnect();
+  void onMessage(net::Buffer& payload);
+
+  DaemonConfig config_;
+  net::EventLoop loop_;
+  std::unique_ptr<net::Connection> connection_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<std::uint64_t> last_epoch_{0};
+
+  mutable std::mutex mutex_;
+  std::unordered_map<coflow::CoflowId, util::Bytes> local_sent_;
+  std::unordered_map<coflow::CoflowId, int> active_writers_;
+  std::unordered_map<coflow::CoflowId, std::int32_t> queue_of_;
+  std::unordered_map<coflow::CoflowId, bool> on_;
+  std::vector<net::ScheduleEntry> schedule_;
+};
+
+}  // namespace aalo::runtime

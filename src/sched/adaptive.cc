@@ -1,0 +1,80 @@
+#include "sched/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace aalo::sched {
+
+AdaptiveDClasScheduler::AdaptiveDClasScheduler(AdaptiveConfig config)
+    : config_(std::move(config)), inner_(config_.dclas) {
+  if (config_.keep_fraction <= 0 || config_.keep_fraction >= 1) {
+    throw std::invalid_argument("AdaptiveConfig: keep_fraction must be in (0, 1)");
+  }
+  if (config_.window == 0 || config_.refit_interval == 0) {
+    throw std::invalid_argument("AdaptiveConfig: window/refit_interval must be > 0");
+  }
+}
+
+void AdaptiveDClasScheduler::reset(const fabric::Fabric& fabric) {
+  inner_.reset(fabric);
+  inner_.setThresholds(config_.dclas.thresholds());
+  completed_sizes_.clear();
+  since_refit_ = 0;
+  refits_ = 0;
+}
+
+void AdaptiveDClasScheduler::onCoflowFinished(const sim::SimView& view,
+                                              std::size_t coflow_index) {
+  // A completed coflow's attained service IS its size — the one moment a
+  // non-clairvoyant scheduler knows it exactly.
+  completed_sizes_.push_back(view.coflow(coflow_index).sent);
+  while (completed_sizes_.size() > config_.window) completed_sizes_.pop_front();
+  ++since_refit_;
+  maybeRefit();
+  inner_.onCoflowFinished(view, coflow_index);
+}
+
+void AdaptiveDClasScheduler::maybeRefit() {
+  if (completed_sizes_.size() < config_.min_samples) return;
+  if (since_refit_ < config_.refit_interval) return;
+  since_refit_ = 0;
+
+  std::vector<util::Bytes> sorted(completed_sizes_.begin(), completed_sizes_.end());
+  std::sort(sorted.begin(), sorted.end());
+  auto quantile = [&](double q) {
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+
+  const int k = config_.dclas.num_queues;
+  std::vector<util::Bytes> thresholds;
+  double keep = config_.keep_fraction;
+  util::Bytes last = 0;
+  for (int i = 0; i + 1 < k; ++i) {
+    util::Bytes t = quantile(1.0 - keep);
+    // Enforce strictly ascending, strictly positive thresholds even when
+    // the empirical distribution has point masses.
+    t = std::max(t, std::max(last * 1.5, 1.0));
+    thresholds.push_back(t);
+    last = t;
+    keep *= config_.keep_fraction;
+  }
+  inner_.setThresholds(std::move(thresholds));
+  ++refits_;
+}
+
+void AdaptiveDClasScheduler::allocate(const sim::SimView& view,
+                                      std::vector<util::Rate>& rates) {
+  inner_.allocate(view, rates);
+}
+
+util::Seconds AdaptiveDClasScheduler::nextWakeup(const sim::SimView& view) {
+  return inner_.nextWakeup(view);
+}
+
+}  // namespace aalo::sched

@@ -1,0 +1,63 @@
+// Adaptive queue thresholds — the §8 "Determining Optimal Queue
+// Thresholds" future-work direction, implemented as online quantile
+// tracking.
+//
+// D-CLAS's fixed exponential thresholds (10 MB x 10^i) are tuned for the
+// Facebook-like heavy tail. When the workload's size scale shifts (say,
+// every coflow is 100x larger), a fixed Q1^hi = 10 MB puts *everything*
+// past the first queue almost immediately, wasting the FIFO fast path.
+// This scheduler re-derives its thresholds from the empirical
+// distribution of completed coflow sizes: after every `refit_interval`
+// completions, threshold i becomes the (1 - keep_fraction^i)-quantile of
+// the last `window` observed sizes — an exponentially spaced ladder in
+// *probability* space, which adapts to any size scale while preserving
+// D-CLAS's "few queues, exponentially bigger" structure.
+#pragma once
+
+#include <deque>
+
+#include "sched/dclas.h"
+
+namespace aalo::sched {
+
+struct AdaptiveConfig {
+  /// Underlying D-CLAS structure; its thresholds serve until enough
+  /// completions have been observed.
+  DClasConfig dclas;
+  /// Sliding window of completed-coflow sizes used for quantiles.
+  std::size_t window = 200;
+  /// Refit thresholds after this many new completions.
+  std::size_t refit_interval = 25;
+  /// Minimum completions before the first refit.
+  std::size_t min_samples = 30;
+  /// Fraction of coflows intended to *outgrow* each successive queue:
+  /// threshold i sits at the (1 - keep_fraction^(i+1))-quantile.
+  double keep_fraction = 0.4;
+};
+
+class AdaptiveDClasScheduler final : public sim::Scheduler {
+ public:
+  explicit AdaptiveDClasScheduler(AdaptiveConfig config = {});
+
+  std::string name() const override { return "aalo-adaptive"; }
+
+  void reset(const fabric::Fabric& fabric) override;
+  void onCoflowFinished(const sim::SimView& view, std::size_t coflow_index) override;
+  void allocate(const sim::SimView& view, std::vector<util::Rate>& rates) override;
+  util::Seconds nextWakeup(const sim::SimView& view) override;
+
+  /// Current thresholds (exposed for tests).
+  const std::vector<util::Bytes>& thresholds() const { return inner_.thresholds(); }
+  std::size_t refits() const { return refits_; }
+
+ private:
+  void maybeRefit();
+
+  AdaptiveConfig config_;
+  DClasScheduler inner_;
+  std::deque<util::Bytes> completed_sizes_;
+  std::size_t since_refit_ = 0;
+  std::size_t refits_ = 0;
+};
+
+}  // namespace aalo::sched

@@ -1,0 +1,71 @@
+#include "sched/clas.h"
+
+#include <algorithm>
+
+namespace aalo::sched {
+
+ContinuousClasScheduler::ContinuousClasScheduler(ClasConfig config) : config_(config) {}
+
+void ContinuousClasScheduler::allocate(const sim::SimView& view,
+                                       std::vector<util::Rate>& rates) {
+  std::vector<ActiveCoflow> groups = groupActiveByCoflow(view);
+  std::sort(groups.begin(), groups.end(), [&](const ActiveCoflow& a, const ActiveCoflow& b) {
+    const util::Bytes sa = view.coflow(a.coflow_index).sent;
+    const util::Bytes sb = view.coflow(b.coflow_index).sent;
+    if (sa != sb) return sa < sb;
+    return view.coflow(a.coflow_index).id < view.coflow(b.coflow_index).id;
+  });
+
+  fabric::ResidualCapacity residual(*view.fabric);
+  // Walk tie groups in least-attained order; tied coflows share the
+  // residual jointly with per-coflow (not per-flow) fairness.
+  std::size_t i = 0;
+  while (i < groups.size()) {
+    std::size_t j = i + 1;
+    const util::Bytes base = view.coflow(groups[i].coflow_index).sent;
+    while (j < groups.size() &&
+           view.coflow(groups[j].coflow_index).sent - base <= config_.tie_window) {
+      ++j;
+    }
+    std::vector<fabric::Demand> demands;
+    std::vector<std::size_t> flat;
+    for (std::size_t g = i; g < j; ++g) {
+      const double per_flow_weight =
+          1.0 / static_cast<double>(groups[g].flow_indices.size());
+      for (const std::size_t fi : groups[g].flow_indices) {
+        const sim::FlowState& f = view.flow(fi);
+        demands.push_back(fabric::Demand{f.src, f.dst, per_flow_weight, fabric::kUncapped});
+        flat.push_back(fi);
+      }
+    }
+    const std::vector<util::Rate> shares = fabric::maxMinAllocate(demands, residual);
+    for (std::size_t k = 0; k < flat.size(); ++k) rates[flat[k]] += shares[k];
+    i = j;
+  }
+}
+
+util::Seconds ContinuousClasScheduler::nextWakeup(const sim::SimView& view) {
+  // Re-run when a served coflow is about to catch up with the attained
+  // service of a (currently less-served, hence higher-priority) peer.
+  std::vector<const sim::CoflowState*> active;
+  std::vector<util::Rate> agg_rate;
+  const std::vector<ActiveCoflow> groups = groupActiveByCoflow(view);
+  for (const ActiveCoflow& g : groups) {
+    active.push_back(&view.coflow(g.coflow_index));
+    agg_rate.push_back(coflowAggregateRate(view, g));
+  }
+  util::Seconds earliest = view.now + config_.quantum;
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    for (std::size_t b = 0; b < active.size(); ++b) {
+      if (a == b) continue;
+      const util::Bytes gap = active[b]->sent - active[a]->sent;
+      const util::Rate closing = agg_rate[a] - agg_rate[b];
+      if (gap > config_.tie_window && closing > util::kEps) {
+        earliest = std::min(earliest, view.now + gap / closing);
+      }
+    }
+  }
+  return earliest;
+}
+
+}  // namespace aalo::sched

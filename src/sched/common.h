@@ -1,0 +1,53 @@
+// Building blocks shared by the coflow schedulers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "fabric/maxmin.h"
+#include "sim/scheduler.h"
+#include "util/units.h"
+
+namespace aalo::sched {
+
+/// A coflow together with its currently active (started, unfinished) flows.
+struct ActiveCoflow {
+  std::size_t coflow_index = 0;
+  std::vector<std::size_t> flow_indices;
+};
+
+/// Groups view.active_flows by coflow. Order of the result follows first
+/// appearance in active_flows; callers sort by their own discipline.
+std::vector<ActiveCoflow> groupActiveByCoflow(const sim::SimView& view);
+
+/// Gives `group`'s flows a max-min fair allocation of `residual` (equal
+/// weights — line 6 of Pseudocode 1: no flow-size information), *adding*
+/// to whatever `rates` already holds and consuming the residual.
+void allocateCoflowMaxMin(const sim::SimView& view, const ActiveCoflow& group,
+                          fabric::ResidualCapacity& residual,
+                          std::vector<util::Rate>& rates);
+
+/// Clairvoyant MADD (Varys): every active flow of `group` gets
+/// remaining / Gamma where Gamma is the coflow's effective bottleneck
+/// completion time against `residual` — all flows finish together, using
+/// no more than necessary. No-op if the group has no remaining bytes.
+void allocateCoflowMadd(const sim::SimView& view, const ActiveCoflow& group,
+                        fabric::ResidualCapacity& residual,
+                        std::vector<util::Rate>& rates);
+
+/// Work conservation: distributes whatever `residual` still holds among
+/// all of `flow_indices` max-min (equal weights), adding to `rates`.
+void backfillMaxMin(const sim::SimView& view,
+                    const std::vector<std::size_t>& flow_indices,
+                    fabric::ResidualCapacity& residual,
+                    std::vector<util::Rate>& rates);
+
+/// Remaining bytes of a coflow's *started* flows (clairvoyant helper).
+util::Bytes remainingReleasedBytes(const sim::SimView& view, std::size_t coflow_index);
+
+/// Aggregate current rate of a coflow's active flows (valid right after an
+/// allocation round; used for wake-up prediction).
+util::Rate coflowAggregateRate(const sim::SimView& view, const ActiveCoflow& group);
+
+}  // namespace aalo::sched

@@ -1,0 +1,235 @@
+#include "sched/dclas.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "coflow/ids.h"
+
+namespace aalo::sched {
+
+double DClasConfig::queueWeight(int q) const {
+  const int k = explicit_thresholds.empty()
+                    ? num_queues
+                    : static_cast<int>(explicit_thresholds.size()) + 1;
+  return static_cast<double>(k - q);
+}
+
+std::vector<util::Bytes> DClasConfig::thresholds() const {
+  if (!explicit_thresholds.empty()) {
+    for (std::size_t i = 1; i < explicit_thresholds.size(); ++i) {
+      if (explicit_thresholds[i] <= explicit_thresholds[i - 1]) {
+        throw std::invalid_argument("DClasConfig: thresholds must be ascending");
+      }
+    }
+    return explicit_thresholds;
+  }
+  if (num_queues < 1) throw std::invalid_argument("DClasConfig: num_queues must be >= 1");
+  if (num_queues > 1 && exp_factor <= 1.0) {
+    throw std::invalid_argument("DClasConfig: exp_factor must exceed 1");
+  }
+  if (num_queues > 1 && first_threshold <= 0) {
+    throw std::invalid_argument("DClasConfig: first_threshold must be positive");
+  }
+  std::vector<util::Bytes> t;
+  util::Bytes hi = first_threshold;
+  for (int q = 0; q + 1 < num_queues; ++q) {
+    t.push_back(hi);
+    hi *= exp_factor;
+  }
+  return t;
+}
+
+DClasScheduler::DClasScheduler(DClasConfig config) : config_(std::move(config)) {
+  thresholds_ = config_.thresholds();
+  if (config_.sync_interval < 0) {
+    throw std::invalid_argument("DClasScheduler: negative sync interval");
+  }
+}
+
+std::string DClasScheduler::name() const {
+  std::string n = "aalo-dclas";
+  if (config_.policy == DClasConfig::QueuePolicy::kStrictPriority) n += "-strict";
+  if (config_.sync_interval > 0) {
+    n += "-d" + util::formatSeconds(config_.sync_interval);
+  }
+  return n;
+}
+
+void DClasScheduler::reset(const fabric::Fabric& fabric) {
+  (void)fabric;
+  known_sent_.clear();
+  last_sync_boundary_ = -1;
+}
+
+void DClasScheduler::onCoflowFinished(const sim::SimView& view,
+                                      std::size_t coflow_index) {
+  (void)view;
+  known_sent_.erase(coflow_index);
+}
+
+void DClasScheduler::setThresholds(std::vector<util::Bytes> thresholds) {
+  for (std::size_t i = 1; i < thresholds.size(); ++i) {
+    if (thresholds[i] <= thresholds[i - 1]) {
+      throw std::invalid_argument("setThresholds: thresholds must be ascending");
+    }
+  }
+  if (!thresholds.empty() && thresholds.front() <= 0) {
+    throw std::invalid_argument("setThresholds: thresholds must be positive");
+  }
+  thresholds_ = std::move(thresholds);
+}
+
+int DClasScheduler::queueOf(util::Bytes known_size) const {
+  int q = 0;
+  while (q < static_cast<int>(thresholds_.size()) && known_size >= thresholds_[q]) {
+    ++q;
+  }
+  return q;
+}
+
+util::Bytes DClasScheduler::knownSize(std::size_t coflow_index) const {
+  const auto it = known_sent_.find(coflow_index);
+  return it == known_sent_.end() ? 0.0 : it->second;
+}
+
+void DClasScheduler::maybeSync(const sim::SimView& view) {
+  if (config_.sync_interval <= 0) {
+    // Instant coordination: the coordinator always knows the true global
+    // attained service. Note: only `sent` is read, never remaining sizes.
+    for (const std::size_t fi : *view.active_flows) {
+      const std::size_t ci = view.flow(fi).coflow_index;
+      known_sent_[ci] = view.coflow(ci).sent;
+    }
+    return;
+  }
+  const auto boundary = static_cast<std::int64_t>(
+      std::floor((view.now + util::kEps) / config_.sync_interval));
+  if (boundary <= last_sync_boundary_) return;
+  last_sync_boundary_ = boundary;
+  // The coordinator learned sizes at the boundary, not at view.now. Rates
+  // have been constant since the previous allocation round (the engine
+  // reallocates on every event), so back-date each coflow's attained
+  // service: sent(boundary) = sent(now) - rate * (now - boundary).
+  const util::Seconds boundary_time =
+      static_cast<double>(boundary) * config_.sync_interval;
+  std::unordered_map<std::size_t, util::Rate> agg_rate;
+  for (const std::size_t fi : *view.active_flows) {
+    const sim::FlowState& f = view.flow(fi);
+    agg_rate[f.coflow_index] += f.rate;  // Previous round's rates.
+  }
+  for (const auto& [ci, rate] : agg_rate) {
+    const util::Bytes at_boundary =
+        view.coflow(ci).sent - rate * std::max(0.0, view.now - boundary_time);
+    util::Bytes& known = known_sent_[ci];
+    known = std::max(known, std::max(0.0, at_boundary));
+  }
+}
+
+void DClasScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>& rates) {
+  maybeSync(view);
+
+  // Partition active coflows into queues; FIFO order within each queue.
+  std::vector<ActiveCoflow> groups = groupActiveByCoflow(view);
+  const int k = static_cast<int>(thresholds_.size()) + 1;
+  std::vector<std::vector<std::size_t>> queue_members(static_cast<std::size_t>(k));
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    queue_members[static_cast<std::size_t>(queueOf(knownSize(groups[g].coflow_index)))]
+        .push_back(g);
+  }
+  const coflow::CoflowIdFifoLess fifo_less;
+  for (auto& members : queue_members) {
+    std::sort(members.begin(), members.end(), [&](std::size_t a, std::size_t b) {
+      return fifo_less(view.coflow(groups[a].coflow_index).id,
+                       view.coflow(groups[b].coflow_index).id);
+    });
+  }
+
+  if (config_.policy == DClasConfig::QueuePolicy::kStrictPriority) {
+    // Priority-ordered greedy: inherently work conserving.
+    fabric::ResidualCapacity residual(*view.fabric);
+    for (const auto& members : queue_members) {
+      for (const std::size_t g : members) {
+        allocateCoflowMaxMin(view, groups[g], residual, rates);
+      }
+    }
+    return;
+  }
+
+  // Weighted fair sharing between (non-empty) queues: queue q receives a
+  // weight-proportional slice of every port, then excess is redistributed
+  // in priority order (lines 10-14 of Pseudocode 1).
+  double total_weight = 0;
+  for (int q = 0; q < k; ++q) {
+    if (!queue_members[static_cast<std::size_t>(q)].empty()) {
+      total_weight += config_.queueWeight(q);
+    }
+  }
+  if (total_weight <= 0) return;  // No active coflows.
+
+  fabric::ResidualCapacity leftover(*view.fabric, 0.0);
+  for (int q = 0; q < k; ++q) {
+    const auto& members = queue_members[static_cast<std::size_t>(q)];
+    if (members.empty()) continue;
+    const double share = config_.queueWeight(q) / total_weight;
+    fabric::ResidualCapacity queue_residual(*view.fabric, share);
+    for (const std::size_t g : members) {
+      allocateCoflowMaxMin(view, groups[g], queue_residual, rates);
+    }
+    // Pool this queue's unused slice for the excess pass.
+    for (int p = 0; p < view.fabric->numPorts(); ++p) {
+      const auto pid = static_cast<coflow::PortId>(p);
+      leftover.ingressAll()[static_cast<std::size_t>(p)] += queue_residual.ingress(pid);
+      leftover.egressAll()[static_cast<std::size_t>(p)] += queue_residual.egress(pid);
+    }
+    if (view.fabric->hasRacks()) {
+      for (int r = 0; r < view.fabric->numRacks(); ++r) {
+        leftover.rackUplinkAll()[static_cast<std::size_t>(r)] +=
+            queue_residual.rackUplink(r);
+        leftover.rackDownlinkAll()[static_cast<std::size_t>(r)] +=
+            queue_residual.rackDownlink(r);
+      }
+    }
+  }
+
+  // Excess policy: hand unused capacity out again, highest priority first.
+  for (const auto& members : queue_members) {
+    for (const std::size_t g : members) {
+      allocateCoflowMaxMin(view, groups[g], leftover, rates);
+    }
+  }
+}
+
+util::Seconds DClasScheduler::nextWakeup(const sim::SimView& view) {
+  // The schedule only changes between events when a coflow's known size
+  // crosses a queue threshold (demotion). Predict the earliest such time
+  // from the just-installed rates; with Δ > 0 the demotion lands on the
+  // first sync boundary after the true crossing.
+  util::Seconds earliest = sim::kInfTime;
+  const std::vector<ActiveCoflow> groups = groupActiveByCoflow(view);
+  for (const ActiveCoflow& group : groups) {
+    const int q = queueOf(knownSize(group.coflow_index));
+    if (q >= static_cast<int>(thresholds_.size())) continue;  // Lowest queue.
+    const util::Bytes threshold = thresholds_[static_cast<std::size_t>(q)];
+    const util::Bytes true_sent = view.coflow(group.coflow_index).sent;
+    util::Seconds cross;
+    if (true_sent >= threshold) {
+      cross = view.now;  // Already crossed; demote at the next boundary.
+    } else {
+      const util::Rate rate = coflowAggregateRate(view, group);
+      if (rate <= util::kEps) continue;
+      cross = view.now + (threshold - true_sent) / rate;
+    }
+    if (config_.sync_interval > 0) {
+      const double k_boundary = std::ceil((cross - util::kEps) / config_.sync_interval);
+      util::Seconds boundary = k_boundary * config_.sync_interval;
+      if (boundary <= view.now + util::kEps) boundary += config_.sync_interval;
+      earliest = std::min(earliest, boundary);
+    } else {
+      if (cross > view.now + util::kEps) earliest = std::min(earliest, cross);
+    }
+  }
+  return earliest;
+}
+
+}  // namespace aalo::sched

@@ -1,0 +1,89 @@
+// Discretized Coflow-Aware Least-Attained Service — the paper's core
+// contribution (§4), as deployed in Aalo.
+//
+// Coflows live in K priority queues. Queue i holds coflows whose
+// *coordinator-known* attained service lies in [Q_i^lo, Q_i^hi) with
+// exponentially spaced thresholds Q_{i+1}^hi = E * Q_i^hi. Across queues:
+// weighted fair sharing (weights decrease with priority) for starvation
+// freedom; within a queue: FIFO by CoflowId; within a coflow: max-min fair
+// flows. Unused capacity is redistributed in priority order (the paper's
+// excess policy).
+//
+// Coordination (§6.2): with sync_interval Δ > 0 the scheduler only learns
+// global attained sizes at multiples of Δ, so queue demotions take effect
+// at the first sync boundary after the coflow's true size crosses a
+// threshold — exactly how the Aalo coordinator behaves. Newly arrived
+// coflows are placed in the highest-priority queue immediately (local
+// decision, no coordination needed). Δ = 0 models instant coordination.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/common.h"
+
+namespace aalo::sched {
+
+struct DClasConfig {
+  /// Number of priority queues K (>= 1). Ignored when explicit_thresholds
+  /// is non-empty.
+  int num_queues = 10;
+  /// Multiplicative threshold spacing E (> 1).
+  double exp_factor = 10.0;
+  /// Q1^hi — coflows below this never need coordination.
+  util::Bytes first_threshold = 10 * util::kMB;
+  /// Coordination interval Δ. 0 = instant (idealized) coordination.
+  util::Seconds sync_interval = 0;
+  /// Across-queue discipline. The paper uses weighted sharing to avoid
+  /// starvation; strict priority is the ablation variant.
+  enum class QueuePolicy { kWeightedFair, kStrictPriority };
+  QueuePolicy policy = QueuePolicy::kWeightedFair;
+  /// Explicit queue upper thresholds (ascending, last queue implicit at
+  /// infinity). Overrides num_queues/exp_factor/first_threshold — used by
+  /// the equal-sized-queue sensitivity experiment (Fig 12d).
+  std::vector<util::Bytes> explicit_thresholds;
+
+  /// Queue weight for 0-based queue q: the paper evaluates
+  /// Q_i.weight = K - i + 1 (§7.1).
+  double queueWeight(int q) const;
+  /// Upper threshold of 0-based queue q (infinity for the last queue).
+  std::vector<util::Bytes> thresholds() const;
+};
+
+class DClasScheduler final : public sim::Scheduler {
+ public:
+  explicit DClasScheduler(DClasConfig config = {});
+
+  std::string name() const override;
+
+  void reset(const fabric::Fabric& fabric) override;
+  void onCoflowFinished(const sim::SimView& view, std::size_t coflow_index) override;
+  void allocate(const sim::SimView& view, std::vector<util::Rate>& rates) override;
+  util::Seconds nextWakeup(const sim::SimView& view) override;
+
+  /// Queue a coflow with the given known size would occupy (0-based).
+  int queueOf(util::Bytes known_size) const;
+
+  const DClasConfig& config() const { return config_; }
+
+  /// Replaces the queue thresholds at runtime (ascending, one fewer than
+  /// the number of queues). Used by the adaptive-threshold extension
+  /// (§8); coflows are re-binned on the next allocation round.
+  void setThresholds(std::vector<util::Bytes> thresholds);
+  const std::vector<util::Bytes>& thresholds() const { return thresholds_; }
+
+ private:
+  /// Coordinator-known attained size of a coflow (0 for never-synced).
+  util::Bytes knownSize(std::size_t coflow_index) const;
+  void maybeSync(const sim::SimView& view);
+
+  DClasConfig config_;
+  std::vector<util::Bytes> thresholds_;  ///< Size num_queues - 1.
+  /// Attained sizes as of the last coordination round.
+  std::unordered_map<std::size_t, util::Bytes> known_sent_;
+  /// Last applied sync boundary index (floor(now / Δ)); -1 before any.
+  std::int64_t last_sync_boundary_ = -1;
+};
+
+}  // namespace aalo::sched

@@ -1,0 +1,11 @@
+#include "sched/fair.h"
+
+namespace aalo::sched {
+
+void PerFlowFairScheduler::allocate(const sim::SimView& view,
+                                    std::vector<util::Rate>& rates) {
+  fabric::ResidualCapacity residual(*view.fabric);
+  backfillMaxMin(view, *view.active_flows, residual, rates);
+}
+
+}  // namespace aalo::sched

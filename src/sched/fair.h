@@ -1,0 +1,18 @@
+// Per-flow max-min fairness — the "TCP fair sharing" baseline (§7).
+//
+// Every active flow gets an equal-weight max-min fair share of the fabric,
+// ignoring coflow boundaries entirely (Figure 1c).
+#pragma once
+
+#include "sched/common.h"
+
+namespace aalo::sched {
+
+class PerFlowFairScheduler final : public sim::Scheduler {
+ public:
+  std::string name() const override { return "per-flow-fair"; }
+
+  void allocate(const sim::SimView& view, std::vector<util::Rate>& rates) override;
+};
+
+}  // namespace aalo::sched

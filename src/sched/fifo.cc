@@ -1,0 +1,26 @@
+#include "sched/fifo.h"
+
+#include <algorithm>
+
+#include "coflow/ids.h"
+
+namespace aalo::sched {
+
+void FifoScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>& rates) {
+  std::vector<ActiveCoflow> groups = groupActiveByCoflow(view);
+  const coflow::CoflowIdFifoLess fifo_less;
+  std::sort(groups.begin(), groups.end(), [&](const ActiveCoflow& a, const ActiveCoflow& b) {
+    const sim::CoflowState& ca = view.coflow(a.coflow_index);
+    const sim::CoflowState& cb = view.coflow(b.coflow_index);
+    if (ca.release_time != cb.release_time) return ca.release_time < cb.release_time;
+    return fifo_less(ca.id, cb.id);
+  });
+
+  fabric::ResidualCapacity residual(*view.fabric);
+  for (const ActiveCoflow& group : groups) {
+    allocateCoflowMaxMin(view, group, residual, rates);
+    if (!config_.work_conserving_spillover) break;  // Head only.
+  }
+}
+
+}  // namespace aalo::sched

@@ -1,0 +1,39 @@
+// FIFO with Limited Multiplexing — the Baraat baseline (Dogar et al.,
+// SIGCOMM'14), simulated as in §7.2.1 of the Aalo paper.
+//
+// Fully decentralized: each ingress port schedules coflows ("tasks" in
+// Baraat) in arrival (CoflowId) order. The head coflow gets the port
+// exclusively while it is light; once a coflow's locally observed size
+// crosses the heavy threshold it is considered heavy and multiplexed
+// fairly with the coflows behind it. Decisions are locally correct but
+// globally inconsistent — the pathology Figure 8 quantifies.
+#pragma once
+
+#include "sched/common.h"
+
+namespace aalo::sched {
+
+struct FifoLmConfig {
+  /// A coflow whose locally attained service at a port exceeds this is
+  /// heavy there. The paper sets it to the 80th percentile of the coflow
+  /// size distribution (per-port share thereof).
+  util::Bytes heavy_threshold = 100 * util::kMB;
+  /// Decision quantum for heaviness drift.
+  util::Seconds quantum = 1.0;
+  bool work_conserving = true;
+};
+
+class FifoLmScheduler final : public sim::Scheduler {
+ public:
+  explicit FifoLmScheduler(FifoLmConfig config = {});
+
+  std::string name() const override { return "fifo-lm-baraat"; }
+
+  void allocate(const sim::SimView& view, std::vector<util::Rate>& rates) override;
+  util::Seconds nextWakeup(const sim::SimView& view) override;
+
+ private:
+  FifoLmConfig config_;
+};
+
+}  // namespace aalo::sched

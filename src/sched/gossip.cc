@@ -1,0 +1,173 @@
+#include "sched/gossip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "coflow/ids.h"
+
+namespace aalo::sched {
+
+GossipDClasScheduler::GossipDClasScheduler(GossipConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  thresholds_ = config_.dclas.thresholds();
+  if (config_.round_interval <= 0) {
+    throw std::invalid_argument("GossipConfig: round_interval must be positive");
+  }
+  if (config_.exchanges_per_round < 1) {
+    throw std::invalid_argument("GossipConfig: exchanges_per_round must be >= 1");
+  }
+}
+
+void GossipDClasScheduler::reset(const fabric::Fabric& fabric) {
+  num_ports_ = fabric.numPorts();
+  mass_.assign(static_cast<std::size_t>(num_ports_), {});
+  credited_.clear();
+  last_gossip_ = 0;
+  rng_ = util::Rng(config_.seed);
+}
+
+void GossipDClasScheduler::onCoflowFinished(const sim::SimView& view,
+                                            std::size_t coflow_index) {
+  (void)view;
+  for (auto& port_mass : mass_) port_mass.erase(coflow_index);
+  // credited_ entries of its flows are dead weight but harmless; they are
+  // cleared on reset. (Flow indices are unique per run.)
+  (void)coflow_index;
+}
+
+void GossipDClasScheduler::creditLocalBytes(const sim::SimView& view) {
+  // Add newly sent bytes into the sending port's mass so the global
+  // invariant sum_p mass_[p][c] == attained(c) holds.
+  for (std::size_t ci = 0; ci < view.coflows->size(); ++ci) {
+    const sim::CoflowState& c = view.coflow(ci);
+    if (!c.released || c.done) continue;
+    for (const std::size_t fi : c.flow_indices) {
+      const sim::FlowState& f = view.flow(fi);
+      if (!f.started || f.sent <= 0) continue;
+      util::Bytes& seen = credited_[fi];
+      if (f.sent > seen) {
+        mass_[static_cast<std::size_t>(f.src)][ci] += f.sent - seen;
+        seen = f.sent;
+      }
+    }
+  }
+}
+
+void GossipDClasScheduler::runGossipRounds(util::Seconds now) {
+  while (last_gossip_ + config_.round_interval <= now + util::kEps) {
+    last_gossip_ += config_.round_interval;
+    for (int e = 0; e < config_.exchanges_per_round; ++e) {
+      // Random perfect matching of ports; each pair averages its masses.
+      std::vector<std::size_t> ports(static_cast<std::size_t>(num_ports_));
+      for (std::size_t p = 0; p < ports.size(); ++p) ports[p] = p;
+      rng_.shuffle(ports);
+      for (std::size_t i = 0; i + 1 < ports.size(); i += 2) {
+        auto& a = mass_[ports[i]];
+        auto& b = mass_[ports[i + 1]];
+        // Union of keys, then average.
+        for (auto& [ci, bytes] : a) {
+          const auto it = b.find(ci);
+          const util::Bytes other = it == b.end() ? 0.0 : it->second;
+          const util::Bytes avg = (bytes + other) / 2;
+          bytes = avg;
+          b[ci] = avg;
+        }
+        for (auto& [ci, bytes] : b) {
+          if (!a.contains(ci)) {
+            const util::Bytes avg = bytes / 2;
+            bytes = avg;
+            a[ci] = avg;
+          }
+        }
+      }
+    }
+  }
+}
+
+util::Bytes GossipDClasScheduler::estimate(int port, std::size_t coflow_index) const {
+  const auto& port_mass = mass_[static_cast<std::size_t>(port)];
+  const auto it = port_mass.find(coflow_index);
+  return it == port_mass.end()
+             ? 0.0
+             : it->second * static_cast<double>(num_ports_);
+}
+
+void GossipDClasScheduler::allocate(const sim::SimView& view,
+                                    std::vector<util::Rate>& rates) {
+  creditLocalBytes(view);
+  runGossipRounds(view.now);
+
+  // Per-port D-CLAS on the gossip estimates (mirrors the uncoordinated
+  // scheduler, but with converging size knowledge).
+  const auto ports = static_cast<std::size_t>(view.fabric->numPorts());
+  const int k = static_cast<int>(thresholds_.size()) + 1;
+  struct PortCoflow {
+    std::size_t coflow_index;
+    std::vector<std::size_t> flow_indices;
+  };
+  std::vector<std::vector<PortCoflow>> per_port(ports);
+  std::vector<std::unordered_map<std::size_t, std::size_t>> slot(ports);
+  for (const std::size_t fi : *view.active_flows) {
+    const sim::FlowState& f = view.flow(fi);
+    const auto p = static_cast<std::size_t>(f.src);
+    auto [it, inserted] = slot[p].try_emplace(f.coflow_index, per_port[p].size());
+    if (inserted) per_port[p].push_back(PortCoflow{f.coflow_index, {}});
+    per_port[p][it->second].flow_indices.push_back(fi);
+  }
+
+  const coflow::CoflowIdFifoLess fifo_less;
+  std::vector<fabric::Demand> demands;
+  std::vector<std::size_t> chosen;
+  for (std::size_t p = 0; p < ports; ++p) {
+    auto& members = per_port[p];
+    if (members.empty()) continue;
+    std::vector<std::vector<const PortCoflow*>> queues(static_cast<std::size_t>(k));
+    for (const PortCoflow& pc : members) {
+      const util::Bytes est = estimate(static_cast<int>(p), pc.coflow_index);
+      int q = 0;
+      while (q < static_cast<int>(thresholds_.size()) &&
+             est >= thresholds_[static_cast<std::size_t>(q)]) {
+        ++q;
+      }
+      queues[static_cast<std::size_t>(q)].push_back(&pc);
+    }
+    double total_weight = 0;
+    for (int q = 0; q < k; ++q) {
+      if (!queues[static_cast<std::size_t>(q)].empty()) {
+        total_weight += config_.dclas.queueWeight(q);
+      }
+    }
+    for (int q = 0; q < k; ++q) {
+      auto& qmembers = queues[static_cast<std::size_t>(q)];
+      if (qmembers.empty()) continue;
+      const PortCoflow* head = *std::min_element(
+          qmembers.begin(), qmembers.end(),
+          [&](const PortCoflow* a, const PortCoflow* b) {
+            return fifo_less(view.coflow(a->coflow_index).id,
+                             view.coflow(b->coflow_index).id);
+          });
+      const double share = config_.dclas.queueWeight(q) / total_weight;
+      const double flow_weight =
+          share / static_cast<double>(head->flow_indices.size());
+      for (const std::size_t fi : head->flow_indices) {
+        const sim::FlowState& f = view.flow(fi);
+        demands.push_back(fabric::Demand{f.src, f.dst, flow_weight, fabric::kUncapped});
+        chosen.push_back(fi);
+      }
+    }
+  }
+
+  fabric::ResidualCapacity residual(*view.fabric);
+  const std::vector<util::Rate> shares = fabric::maxMinAllocate(demands, residual);
+  for (std::size_t i = 0; i < chosen.size(); ++i) rates[chosen[i]] += shares[i];
+  backfillMaxMin(view, *view.active_flows, residual, rates);
+}
+
+util::Seconds GossipDClasScheduler::nextWakeup(const sim::SimView& view) {
+  return last_gossip_ + config_.round_interval > view.now + util::kEps
+             ? last_gossip_ + config_.round_interval
+             : view.now + config_.round_interval;
+}
+
+}  // namespace aalo::sched

@@ -1,0 +1,94 @@
+#include "sched/varys.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace aalo::sched {
+
+util::Seconds VarysScheduler::effectiveBottleneck(const sim::SimView& view,
+                                                  const ActiveCoflow& group) {
+  const auto ports = static_cast<std::size_t>(view.fabric->numPorts());
+  const bool racks = view.fabric->hasRacks();
+  const std::size_t num_racks =
+      racks ? static_cast<std::size_t>(view.fabric->numRacks()) : 0;
+  std::vector<util::Bytes> rem_in(ports, 0.0);
+  std::vector<util::Bytes> rem_out(ports, 0.0);
+  std::vector<util::Bytes> rem_up(num_racks, 0.0);
+  std::vector<util::Bytes> rem_down(num_racks, 0.0);
+  for (const std::size_t fi : group.flow_indices) {
+    const sim::FlowState& f = view.flow(fi);
+    const util::Bytes rem = std::max(0.0, f.size - f.sent);
+    rem_in[static_cast<std::size_t>(f.src)] += rem;
+    rem_out[static_cast<std::size_t>(f.dst)] += rem;
+    if (racks && view.fabric->crossRack(f.src, f.dst)) {
+      rem_up[static_cast<std::size_t>(view.fabric->rackOf(f.src))] += rem;
+      rem_down[static_cast<std::size_t>(view.fabric->rackOf(f.dst))] += rem;
+    }
+  }
+  util::Seconds gamma = 0;
+  for (std::size_t p = 0; p < ports; ++p) {
+    const auto pid = static_cast<coflow::PortId>(p);
+    gamma = std::max(gamma, rem_in[p] / view.fabric->ingressCapacity(pid));
+    gamma = std::max(gamma, rem_out[p] / view.fabric->egressCapacity(pid));
+  }
+  for (std::size_t r = 0; r < num_racks; ++r) {
+    const int rack = static_cast<int>(r);
+    gamma = std::max(gamma, rem_up[r] / view.fabric->rackUplinkCapacity(rack));
+    gamma = std::max(gamma, rem_down[r] / view.fabric->rackDownlinkCapacity(rack));
+  }
+  return gamma;
+}
+
+bool VarysScheduler::admitted(const sim::SimView& view,
+                              std::size_t coflow_index) const {
+  return view.coflow(coflow_index).release_time + config_.admission_delay <=
+         view.now + util::kEps;
+}
+
+util::Seconds VarysScheduler::nextWakeup(const sim::SimView& view) {
+  if (config_.admission_delay <= 0) return sim::kInfTime;
+  util::Seconds earliest = sim::kInfTime;
+  for (const ActiveCoflow& group : groupActiveByCoflow(view)) {
+    if (!admitted(view, group.coflow_index)) {
+      earliest = std::min(earliest, view.coflow(group.coflow_index).release_time +
+                                        config_.admission_delay);
+    }
+  }
+  return earliest;
+}
+
+void VarysScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>& rates) {
+  std::vector<ActiveCoflow> groups = groupActiveByCoflow(view);
+  // Unadmitted coflows (still inside the centralized scheduling delay)
+  // may not send at all.
+  std::erase_if(groups, [&](const ActiveCoflow& g) {
+    return !admitted(view, g.coflow_index);
+  });
+
+  // SEBF: smallest effective bottleneck first (ties by id for stability).
+  std::vector<util::Seconds> gamma(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    gamma[g] = effectiveBottleneck(view, groups[g]);
+  }
+  std::vector<std::size_t> order(groups.size());
+  for (std::size_t g = 0; g < order.size(); ++g) order[g] = g;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (gamma[a] != gamma[b]) return gamma[a] < gamma[b];
+    return view.coflow(groups[a].coflow_index).id < view.coflow(groups[b].coflow_index).id;
+  });
+
+  fabric::ResidualCapacity residual(*view.fabric);
+  for (const std::size_t g : order) {
+    allocateCoflowMadd(view, groups[g], residual, rates);
+  }
+  // Work conservation: MADD intentionally under-allocates; backfill
+  // across all *admitted* flows.
+  std::vector<std::size_t> admitted_flows;
+  for (const ActiveCoflow& group : groups) {
+    admitted_flows.insert(admitted_flows.end(), group.flow_indices.begin(),
+                          group.flow_indices.end());
+  }
+  backfillMaxMin(view, admitted_flows, residual, rates);
+}
+
+}  // namespace aalo::sched

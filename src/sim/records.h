@@ -1,0 +1,56 @@
+// Per-coflow and per-job results of one simulation run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coflow/ids.h"
+#include "util/units.h"
+
+namespace aalo::sim {
+
+struct CoflowRecord {
+  coflow::CoflowId id;
+  coflow::JobId job = 0;
+  util::Seconds spec_arrival = 0;  ///< When the coflow wanted to start.
+  util::Seconds release = 0;       ///< When Starts-After parents allowed it.
+  util::Seconds finish_own = 0;    ///< Last own flow completion.
+  util::Seconds finish = 0;        ///< After Finishes-Before adjustment.
+  util::Bytes bytes = 0;
+  util::Bytes max_flow_bytes = 0;  ///< Coflow length (§7.1).
+  std::size_t width = 0;           ///< Number of flows.
+
+  /// Completion time as the paper measures it: from when the coflow could
+  /// first send (its release) until all of its flows are done and every
+  /// pipelined parent has finished.
+  util::Seconds cct() const { return finish - release; }
+};
+
+struct JobRecord {
+  coflow::JobId id = 0;
+  util::Seconds arrival = 0;
+  util::Seconds comm_finish = 0;   ///< Last coflow (adjusted) finish.
+  util::Seconds compute_time = 0;  ///< Modeled non-communication time.
+
+  /// End-to-end job completion time: communication critical path plus the
+  /// job's serial compute time.
+  util::Seconds jct() const { return (comm_finish - arrival) + compute_time; }
+  /// Time attributable to communication alone.
+  util::Seconds commTime() const { return comm_finish - arrival; }
+  /// Fraction of the job spent in communication (Table 2 binning).
+  double commFraction() const {
+    const util::Seconds total = jct();
+    return total > 0 ? commTime() / total : 0.0;
+  }
+};
+
+struct SimResult {
+  std::string scheduler;
+  std::vector<CoflowRecord> coflows;
+  std::vector<JobRecord> jobs;
+  util::Seconds makespan = 0;
+  /// Engine statistics (useful for perf sanity checks).
+  std::size_t allocation_rounds = 0;
+};
+
+}  // namespace aalo::sim

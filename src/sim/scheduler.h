@@ -1,0 +1,65 @@
+// Scheduler interface for the flow-level simulator.
+//
+// On every allocation round the engine presents the current SimView and a
+// rate vector (indexed by flow index); the scheduler fills in rates for
+// active flows. Rates of inactive flows are ignored. A scheduler may also
+// request wake-ups (sync ticks, queue-threshold crossings, decision
+// quanta) via nextWakeup().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "sim/state.h"
+#include "util/units.h"
+
+namespace aalo::sim {
+
+/// Read-only snapshot handed to schedulers on every allocation round.
+struct SimView {
+  util::Seconds now = 0;
+  const fabric::Fabric* fabric = nullptr;
+  const std::vector<CoflowState>* coflows = nullptr;
+  const std::vector<FlowState>* flows = nullptr;
+  /// Indices (into *flows) of started, unfinished flows.
+  const std::vector<std::size_t>* active_flows = nullptr;
+
+  const CoflowState& coflow(std::size_t i) const { return (*coflows)[i]; }
+  const FlowState& flow(std::size_t i) const { return (*flows)[i]; }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before a run; schedulers reset any cross-run state.
+  virtual void reset(const fabric::Fabric& fabric) { (void)fabric; }
+
+  /// Lifecycle notifications (optional).
+  virtual void onCoflowReleased(const SimView& view, std::size_t coflow_index) {
+    (void)view;
+    (void)coflow_index;
+  }
+  virtual void onCoflowFinished(const SimView& view, std::size_t coflow_index) {
+    (void)view;
+    (void)coflow_index;
+  }
+
+  /// Fills `rates[f]` (bytes/s) for every f in *view.active_flows. The
+  /// engine pre-zeroes active entries. The allocation must respect port
+  /// capacities; the engine verifies this in debug builds.
+  virtual void allocate(const SimView& view, std::vector<util::Rate>& rates) = 0;
+
+  /// Next time strictly after view.now at which this scheduler wants to
+  /// re-run even if no arrival/completion occurs (coordination tick,
+  /// queue-threshold crossing, LAS decision quantum). kInfTime if none.
+  virtual util::Seconds nextWakeup(const SimView& view) {
+    (void)view;
+    return kInfTime;
+  }
+};
+
+}  // namespace aalo::sim

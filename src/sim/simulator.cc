@@ -1,0 +1,402 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.h"
+
+namespace aalo::sim {
+
+namespace {
+
+// Bytes closer to completion than this snap to done (fluid-rate rounding).
+constexpr util::Bytes kCompletionSlackBytes = 1e-3;
+
+struct TimelineEvent {
+  util::Seconds time = 0;
+  enum class Kind { kCoflowRelease, kFlowRelease } kind = Kind::kCoflowRelease;
+  std::size_t index = 0;  ///< Coflow or flow index depending on kind.
+  std::uint64_t seq = 0;  ///< FIFO tie-break for equal times.
+};
+
+struct EventLater {
+  bool operator()(const TimelineEvent& a, const TimelineEvent& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// All mutable state of one run, torn down when run() returns.
+class Run {
+ public:
+  Run(const fabric::FabricConfig& fabric_config, Scheduler& scheduler,
+      const SimOptions& options, const coflow::Workload& workload)
+      : fabric_(fabric_config),
+        scheduler_(scheduler),
+        options_(options),
+        workload_(workload) {
+    buildState();
+  }
+
+  SimResult execute();
+
+ private:
+  void buildState();
+  void pushEvent(util::Seconds time, TimelineEvent::Kind kind, std::size_t index);
+  void processDueEvents();
+  void releaseCoflow(std::size_t ci);
+  void releaseFlow(std::size_t fi);
+  void finishCoflow(std::size_t ci);
+  SimView makeView() const;
+  void verifyAllocation() const;
+  SimResult buildResult();
+
+  fabric::Fabric fabric_;
+  Scheduler& scheduler_;
+  const SimOptions& options_;
+  const coflow::Workload& workload_;
+
+  std::vector<CoflowState> coflows_;
+  std::vector<FlowState> flows_;
+  std::vector<std::size_t> active_flows_;
+  std::vector<util::Rate> rates_;
+
+  // Spec back-references and dependency bookkeeping, parallel to coflows_.
+  std::vector<const coflow::CoflowSpec*> specs_;
+  std::vector<int> barrier_parents_left_;
+  std::vector<std::vector<std::size_t>> barrier_children_;
+  std::vector<std::vector<std::size_t>> fb_parents_;  // finishes-before
+  std::unordered_map<coflow::CoflowId, std::size_t> index_of_;
+
+  std::priority_queue<TimelineEvent, std::vector<TimelineEvent>, EventLater> timeline_;
+  std::uint64_t event_seq_ = 0;
+  util::Seconds now_ = 0;
+  std::size_t coflows_done_ = 0;
+  std::size_t rounds_ = 0;
+};
+
+void Run::buildState() {
+  workload_.validate();
+  if (workload_.num_ports != fabric_.numPorts()) {
+    throw std::invalid_argument("Simulator: workload/fabric port count mismatch");
+  }
+
+  for (const coflow::JobSpec& job : workload_.jobs) {
+    for (const coflow::CoflowSpec& spec : job.coflows) {
+      const std::size_t ci = coflows_.size();
+      index_of_[spec.id] = ci;
+      specs_.push_back(&spec);
+      CoflowState cs;
+      cs.id = spec.id;
+      cs.job = job.id;
+      cs.spec_arrival = job.arrival + spec.arrival_offset;
+      for (const coflow::FlowSpec& fs : spec.flows) {
+        const std::size_t fi = flows_.size();
+        FlowState f;
+        f.id = static_cast<coflow::FlowId>(fi);
+        f.coflow_index = ci;
+        f.src = fs.src;
+        f.dst = fs.dst;
+        f.size = fs.bytes;
+        flows_.push_back(f);
+        cs.flow_indices.push_back(fi);
+      }
+      coflows_.push_back(std::move(cs));
+    }
+  }
+
+  barrier_parents_left_.assign(coflows_.size(), 0);
+  barrier_children_.assign(coflows_.size(), {});
+  fb_parents_.assign(coflows_.size(), {});
+  std::size_t ci = 0;
+  for (const coflow::JobSpec& job : workload_.jobs) {
+    for (const coflow::CoflowSpec& spec : job.coflows) {
+      for (const coflow::CoflowId& pid : spec.starts_after) {
+        const std::size_t pi = index_of_.at(pid);
+        barrier_children_[pi].push_back(ci);
+        ++barrier_parents_left_[ci];
+      }
+      for (const coflow::CoflowId& pid : spec.finishes_before) {
+        fb_parents_[ci].push_back(index_of_.at(pid));
+      }
+      ++ci;
+    }
+  }
+
+  rates_.assign(flows_.size(), 0.0);
+  for (std::size_t i = 0; i < coflows_.size(); ++i) {
+    if (barrier_parents_left_[i] == 0) {
+      pushEvent(coflows_[i].spec_arrival, TimelineEvent::Kind::kCoflowRelease, i);
+    }
+  }
+}
+
+void Run::pushEvent(util::Seconds time, TimelineEvent::Kind kind, std::size_t index) {
+  timeline_.push(TimelineEvent{time, kind, index, event_seq_++});
+}
+
+SimView Run::makeView() const {
+  SimView view;
+  view.now = now_;
+  view.fabric = &fabric_;
+  view.coflows = &coflows_;
+  view.flows = &flows_;
+  view.active_flows = &active_flows_;
+  return view;
+}
+
+void Run::releaseCoflow(std::size_t ci) {
+  CoflowState& c = coflows_[ci];
+  c.released = true;
+  c.release_time = now_;
+  const coflow::CoflowSpec& spec = *specs_[ci];
+  for (std::size_t k = 0; k < spec.flows.size(); ++k) {
+    const std::size_t fi = c.flow_indices[k];
+    const util::Seconds offset = spec.flows[k].start_offset;
+    if (offset <= 0) {
+      releaseFlow(fi);
+    } else {
+      pushEvent(now_ + offset, TimelineEvent::Kind::kFlowRelease, fi);
+    }
+  }
+  scheduler_.onCoflowReleased(makeView(), ci);
+}
+
+void Run::releaseFlow(std::size_t fi) {
+  FlowState& f = flows_[fi];
+  f.started = true;
+  f.release_time = now_;
+  active_flows_.push_back(fi);
+  coflows_[f.coflow_index].size_released += f.size;
+}
+
+void Run::finishCoflow(std::size_t ci) {
+  CoflowState& c = coflows_[ci];
+  c.done = true;
+  c.finish_time = now_;
+  ++coflows_done_;
+  scheduler_.onCoflowFinished(makeView(), ci);
+  for (const std::size_t child : barrier_children_[ci]) {
+    if (--barrier_parents_left_[child] == 0) {
+      pushEvent(std::max(now_, coflows_[child].spec_arrival),
+                TimelineEvent::Kind::kCoflowRelease, child);
+    }
+  }
+}
+
+void Run::processDueEvents() {
+  while (!timeline_.empty() && timeline_.top().time <= now_ + util::kEps) {
+    const TimelineEvent ev = timeline_.top();
+    timeline_.pop();
+    switch (ev.kind) {
+      case TimelineEvent::Kind::kCoflowRelease:
+        releaseCoflow(ev.index);
+        break;
+      case TimelineEvent::Kind::kFlowRelease:
+        releaseFlow(ev.index);
+        break;
+    }
+  }
+}
+
+void Run::verifyAllocation() const {
+  std::vector<util::Rate> in(static_cast<std::size_t>(fabric_.numPorts()), 0.0);
+  std::vector<util::Rate> out(in.size(), 0.0);
+  const std::size_t racks =
+      fabric_.hasRacks() ? static_cast<std::size_t>(fabric_.numRacks()) : 0;
+  std::vector<util::Rate> up(racks, 0.0);
+  std::vector<util::Rate> down(racks, 0.0);
+  for (const std::size_t fi : active_flows_) {
+    const FlowState& f = flows_[fi];
+    if (f.rate < 0) throw std::logic_error("Simulator: negative rate from scheduler");
+    in[static_cast<std::size_t>(f.src)] += f.rate;
+    out[static_cast<std::size_t>(f.dst)] += f.rate;
+    if (racks > 0 && fabric_.crossRack(f.src, f.dst)) {
+      up[static_cast<std::size_t>(fabric_.rackOf(f.src))] += f.rate;
+      down[static_cast<std::size_t>(fabric_.rackOf(f.dst))] += f.rate;
+    }
+  }
+  const double tol = 1e-6;
+  for (std::size_t p = 0; p < in.size(); ++p) {
+    const auto pid = static_cast<coflow::PortId>(p);
+    if (in[p] > fabric_.ingressCapacity(pid) * (1.0 + tol) + util::kEps ||
+        out[p] > fabric_.egressCapacity(pid) * (1.0 + tol) + util::kEps) {
+      throw std::logic_error("Simulator: allocation exceeds port capacity (" +
+                             scheduler_.name() + ")");
+    }
+  }
+  for (std::size_t r = 0; r < racks; ++r) {
+    const int rack = static_cast<int>(r);
+    if (up[r] > fabric_.rackUplinkCapacity(rack) * (1.0 + tol) + util::kEps ||
+        down[r] > fabric_.rackDownlinkCapacity(rack) * (1.0 + tol) + util::kEps) {
+      throw std::logic_error("Simulator: allocation exceeds rack capacity (" +
+                             scheduler_.name() + ")");
+    }
+  }
+}
+
+SimResult Run::execute() {
+  scheduler_.reset(fabric_);
+  processDueEvents();  // Releases everything due at t = 0.
+
+  while (true) {
+    if (active_flows_.empty()) {
+      if (timeline_.empty()) break;  // All done.
+      now_ = timeline_.top().time;
+      processDueEvents();
+      continue;
+    }
+
+    if (++rounds_ > options_.max_rounds) {
+      throw std::runtime_error("Simulator: exceeded max rounds (" + scheduler_.name() +
+                               ")");
+    }
+
+    for (const std::size_t fi : active_flows_) rates_[fi] = 0.0;
+    const SimView view = makeView();
+    scheduler_.allocate(view, rates_);
+    for (const std::size_t fi : active_flows_) {
+      flows_[fi].rate = std::max(0.0, rates_[fi]);
+    }
+    if (options_.verify_allocations) verifyAllocation();
+
+    // Earliest next state change.
+    util::Seconds t_next = timeline_.empty() ? kInfTime : timeline_.top().time;
+    for (const std::size_t fi : active_flows_) {
+      const FlowState& f = flows_[fi];
+      if (f.rate > util::kEps) {
+        t_next = std::min(t_next, now_ + (f.size - f.sent) / f.rate);
+      }
+    }
+    const util::Seconds wake = scheduler_.nextWakeup(view);
+    if (wake > now_) t_next = std::min(t_next, wake);
+
+    if (!std::isfinite(t_next)) {
+      throw std::runtime_error("Simulator: starvation deadlock under scheduler " +
+                               scheduler_.name());
+    }
+    t_next = std::max(t_next, now_);  // Guard against wake-ups in the past.
+
+    // Integrate.
+    const util::Seconds dt = t_next - now_;
+    if (dt > 0) {
+      for (const std::size_t fi : active_flows_) {
+        FlowState& f = flows_[fi];
+        if (f.rate <= 0) continue;
+        const util::Bytes delta = std::min(f.rate * dt, f.size - f.sent);
+        f.sent += delta;
+        coflows_[f.coflow_index].sent += delta;
+      }
+    }
+    now_ = t_next;
+
+    // Flow completions (snap near-complete flows).
+    for (std::size_t k = 0; k < active_flows_.size();) {
+      const std::size_t fi = active_flows_[k];
+      FlowState& f = flows_[fi];
+      const util::Bytes remaining = f.size - f.sent;
+      if (remaining <= std::max(kCompletionSlackBytes, 1e-9 * f.size)) {
+        coflows_[f.coflow_index].sent += remaining;  // Account the snap.
+        f.sent = f.size;
+        f.done = true;
+        f.rate = 0;
+        active_flows_[k] = active_flows_.back();
+        active_flows_.pop_back();
+        CoflowState& c = coflows_[f.coflow_index];
+        if (++c.flows_done == c.flow_indices.size()) {
+          finishCoflow(f.coflow_index);
+        }
+      } else {
+        ++k;
+      }
+    }
+
+    processDueEvents();
+  }
+
+  if (coflows_done_ != coflows_.size()) {
+    throw std::runtime_error("Simulator: run ended with unfinished coflows");
+  }
+  return buildResult();
+}
+
+SimResult Run::buildResult() {
+  SimResult result;
+  result.scheduler = scheduler_.name();
+  result.allocation_rounds = rounds_;
+  result.makespan = now_;
+
+  // Finishes-Before adjustment: a coflow's effective finish is the max of
+  // its own finish and its pipelined parents' effective finishes.
+  std::vector<util::Seconds> adjusted(coflows_.size(), -1.0);
+  std::vector<int> visiting(coflows_.size(), 0);
+  auto dfs = [&](auto&& self, std::size_t ci) -> util::Seconds {
+    if (adjusted[ci] >= 0) return adjusted[ci];
+    if (visiting[ci]) {
+      throw std::runtime_error("Simulator: cycle in finishes_before dependencies");
+    }
+    visiting[ci] = 1;
+    util::Seconds t = coflows_[ci].finish_time;
+    for (const std::size_t pi : fb_parents_[ci]) t = std::max(t, self(self, pi));
+    visiting[ci] = 0;
+    adjusted[ci] = t;
+    return t;
+  };
+
+  std::unordered_map<coflow::JobId, JobRecord> job_records;
+  for (const coflow::JobSpec& job : workload_.jobs) {
+    JobRecord jr;
+    jr.id = job.id;
+    jr.arrival = job.arrival;
+    jr.compute_time = job.compute_time;
+    jr.comm_finish = job.arrival;
+    job_records[job.id] = jr;
+  }
+
+  for (std::size_t ci = 0; ci < coflows_.size(); ++ci) {
+    const CoflowState& c = coflows_[ci];
+    const coflow::CoflowSpec& spec = *specs_[ci];
+    CoflowRecord rec;
+    rec.id = c.id;
+    rec.job = c.job;
+    rec.spec_arrival = c.spec_arrival;
+    rec.release = c.release_time;
+    rec.finish_own = c.finish_time;
+    rec.finish = dfs(dfs, ci);
+    rec.bytes = spec.totalBytes();
+    rec.max_flow_bytes = spec.maxFlowBytes();
+    rec.width = spec.width();
+    result.coflows.push_back(rec);
+    JobRecord& jr = job_records.at(c.job);
+    jr.comm_finish = std::max(jr.comm_finish, rec.finish);
+  }
+
+  for (const coflow::JobSpec& job : workload_.jobs) {
+    result.jobs.push_back(job_records.at(job.id));
+  }
+  return result;
+}
+
+}  // namespace
+
+Simulator::Simulator(fabric::FabricConfig fabric_config, Scheduler& scheduler,
+                     SimOptions options)
+    : fabric_config_(fabric_config), scheduler_(scheduler), options_(options) {}
+
+SimResult Simulator::run(const coflow::Workload& workload) {
+  Run run(fabric_config_, scheduler_, options_, workload);
+  return run.execute();
+}
+
+SimResult runSimulation(const coflow::Workload& workload,
+                        fabric::FabricConfig fabric_config, Scheduler& scheduler,
+                        SimOptions options) {
+  Simulator sim(fabric_config, scheduler, options);
+  return sim.run(workload);
+}
+
+}  // namespace aalo::sim

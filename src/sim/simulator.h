@@ -1,0 +1,50 @@
+// Event-driven flow-level ("fluid") simulator.
+//
+// Rates are piecewise constant: the engine asks the scheduler for an
+// allocation, computes the earliest next event (flow completion, coflow or
+// wave arrival, Starts-After release, scheduler wake-up), integrates sent
+// bytes up to it, and repeats. There is no fixed time step, so simulations
+// are exact for schedulers whose decisions only change at events.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "coflow/spec.h"
+#include "fabric/fabric.h"
+#include "sim/records.h"
+#include "sim/scheduler.h"
+
+namespace aalo::sim {
+
+struct SimOptions {
+  /// Verify on every round that the allocation respects port capacities
+  /// and is non-negative (throws std::logic_error on violation).
+  bool verify_allocations = false;
+  /// Abort (throw std::runtime_error) after this many allocation rounds —
+  /// a backstop against schedulers that starve flows or spin.
+  std::size_t max_rounds = 20'000'000;
+};
+
+class Simulator {
+ public:
+  Simulator(fabric::FabricConfig fabric_config, Scheduler& scheduler,
+            SimOptions options = {});
+
+  /// Runs the workload to completion and returns per-coflow/per-job
+  /// records. The workload is validated first. May be called repeatedly;
+  /// every run is independent (the scheduler is reset).
+  SimResult run(const coflow::Workload& workload);
+
+ private:
+  fabric::FabricConfig fabric_config_;
+  Scheduler& scheduler_;
+  SimOptions options_;
+};
+
+/// One-shot convenience wrapper.
+SimResult runSimulation(const coflow::Workload& workload,
+                        fabric::FabricConfig fabric_config, Scheduler& scheduler,
+                        SimOptions options = {});
+
+}  // namespace aalo::sim

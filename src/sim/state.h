@@ -1,0 +1,58 @@
+// Runtime state of a flow-level simulation.
+//
+// Ground truth lives here. Schedulers receive a read-only SimView of it;
+// *non-clairvoyant* schedulers must not read FlowState::size,
+// CoflowState::size_released or any other forward-looking field — only
+// attained service (`sent`). This discipline is checked behaviourally in
+// tests (a non-clairvoyant scheduler's allocation must be invariant to
+// remaining sizes).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "coflow/ids.h"
+#include "coflow/spec.h"
+#include "util/units.h"
+
+namespace aalo::sim {
+
+inline constexpr util::Seconds kInfTime = std::numeric_limits<util::Seconds>::infinity();
+
+struct FlowState {
+  coflow::FlowId id = 0;
+  std::size_t coflow_index = 0;  ///< Index into SimView::coflows.
+  coflow::PortId src = 0;
+  coflow::PortId dst = 0;
+  util::Bytes size = 0;  ///< Ground truth; clairvoyant schedulers only.
+  util::Bytes sent = 0;
+  util::Seconds release_time = kInfTime;  ///< Absolute time the flow appears.
+  bool started = false;
+  bool done = false;
+  util::Rate rate = 0;  ///< Current allocation (engine-owned).
+};
+
+struct CoflowState {
+  coflow::CoflowId id;
+  coflow::JobId job = 0;
+  /// Requested start: job arrival + coflow arrival offset.
+  util::Seconds spec_arrival = 0;
+  /// Actual start once Starts-After parents finished; kInfTime until then.
+  util::Seconds release_time = kInfTime;
+  bool released = false;
+  bool done = false;
+  util::Seconds finish_time = -1;  ///< Own flows all done; -1 while running.
+
+  std::vector<std::size_t> flow_indices;  ///< All flows (incl. future waves).
+  std::size_t flows_done = 0;
+
+  /// Ground-truth attained service across the whole fabric. This is the
+  /// one quantity CLAS/D-CLAS is allowed to know (via coordination).
+  util::Bytes sent = 0;
+  /// Ground-truth total of *started* flows. Clairvoyant-only.
+  util::Bytes size_released = 0;
+
+  bool finished() const { return done; }
+};
+
+}  // namespace aalo::sim

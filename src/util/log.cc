@@ -1,0 +1,39 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace aalo::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void logMessage(LogLevel level, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::string line = "[";
+  line += levelName(level);
+  line += "] ";
+  line += message;
+  line += "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace aalo::util

@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// The runtime (coordinator/daemon) logs through this; the simulator stays
+// silent by default so benches produce clean tables. Thread-safe: each
+// message is formatted into one buffer and written with a single call.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace aalo::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Writes one formatted line to stderr if `level` passes the threshold.
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define AALO_LOG_DEBUG ::aalo::util::detail::LogLine(::aalo::util::LogLevel::kDebug)
+#define AALO_LOG_INFO ::aalo::util::detail::LogLine(::aalo::util::LogLevel::kInfo)
+#define AALO_LOG_WARN ::aalo::util::detail::LogLine(::aalo::util::LogLevel::kWarn)
+#define AALO_LOG_ERROR ::aalo::util::detail::LogLine(::aalo::util::LogLevel::kError)
+
+}  // namespace aalo::util

@@ -1,0 +1,70 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace aalo::util {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform(0.0, 1.0) < p;
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  assert(xm > 0.0 && alpha > 0.0);
+  // Inverse-CDF sampling; clamp u away from 0 to bound the tail.
+  const double u = std::max(uniform(0.0, 1.0), 1e-12);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::logNormal(double mu, double sigma) {
+  std::lognormal_distribution<double> dist(mu, sigma);
+  return dist(engine_);
+}
+
+std::size_t Rng::weightedIndex(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("weightedIndex: empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument("weightedIndex: non-positive total weight");
+  double pick = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack lands on the last bucket.
+}
+
+std::vector<std::size_t> Rng::sampleWithoutReplacement(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("sampleWithoutReplacement: k > n");
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  // Partial Fisher-Yates: the first k slots end up uniformly sampled.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniformInt(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace aalo::util

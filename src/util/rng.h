@@ -1,0 +1,60 @@
+// Deterministic random-number generation for workload synthesis.
+//
+// All stochastic choices in the repository flow through Rng so that every
+// experiment is reproducible from a single seed printed in its header.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace aalo::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Exponential variate with the given mean (mean = 1/lambda).
+  double exponential(double mean);
+
+  /// Pareto variate with scale xm > 0 and shape alpha > 0 (heavy-tailed).
+  double pareto(double xm, double alpha);
+
+  /// Log-normal variate parameterized by the underlying normal's mu/sigma.
+  double logNormal(double mu, double sigma);
+
+  /// Index sampled proportionally to the given non-negative weights.
+  std::size_t weightedIndex(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples k distinct values from [0, n) without replacement.
+  std::vector<std::size_t> sampleWithoutReplacement(std::size_t n, std::size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace aalo::util

@@ -1,0 +1,102 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace aalo::util {
+
+void Summary::addAll(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+double Summary::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) throw std::logic_error("Summary::mean on empty set");
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  if (samples_.empty()) throw std::logic_error("Summary::min on empty set");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) throw std::logic_error("Summary::max on empty set");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Summary::ensureSorted() const {
+  if (sorted_) return;
+  sorted_samples_ = samples_;
+  std::sort(sorted_samples_.begin(), sorted_samples_.end());
+  sorted_ = true;
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("Summary::percentile on empty set");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  ensureSorted();
+  const double rank = p / 100.0 * static_cast<double>(sorted_samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_samples_[lo] * (1.0 - frac) + sorted_samples_[hi] * frac;
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::fractionAtOrBelow(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+  if (sorted_.empty()) throw std::logic_error("Cdf::quantile on empty set");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile out of range");
+  const double rank = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> Cdf::logSpacedSteps(std::size_t points) const {
+  std::vector<std::pair<double, double>> steps;
+  if (sorted_.empty() || points == 0) return steps;
+  const double lo = std::max(sorted_.front(), 1e-12);
+  const double hi = std::max(sorted_.back(), lo * (1.0 + 1e-9));
+  const double logLo = std::log10(lo);
+  const double logHi = std::log10(hi);
+  steps.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = points == 1 ? 1.0
+                                 : static_cast<double>(i) / static_cast<double>(points - 1);
+    const double x = std::pow(10.0, logLo + t * (logHi - logLo));
+    steps.emplace_back(x, fractionAtOrBelow(x));
+  }
+  return steps;
+}
+
+double safeRatio(double numerator, double denominator) {
+  if (std::fabs(denominator) < 1e-12) return 0.0;
+  return numerator / denominator;
+}
+
+}  // namespace aalo::util

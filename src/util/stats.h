@@ -1,0 +1,64 @@
+// Summary statistics and empirical CDFs for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aalo::util {
+
+/// Accumulates samples and answers mean / percentile / extrema queries.
+/// Percentiles use linear interpolation between order statistics.
+class Summary {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void addAll(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// p in [0, 100]; e.g. percentile(95) is the 95th percentile.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double stddev() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Empirical CDF: evaluate fractions at chosen points, or export steps.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x.
+  double fractionAtOrBelow(double x) const;
+
+  /// Value below which fraction q of samples fall (inverse CDF), q in [0,1].
+  double quantile(double q) const;
+
+  std::size_t count() const { return sorted_.size(); }
+
+  /// (value, cumulative fraction) pairs at `points` log-spaced probe values
+  /// between min and max — handy for printing paper-style CDF tables.
+  std::vector<std::pair<double, double>> logSpacedSteps(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Ratio of two means guarded against division by ~zero.
+double safeRatio(double numerator, double denominator);
+
+}  // namespace aalo::util

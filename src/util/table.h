@@ -1,0 +1,34 @@
+// Plain-text table rendering for benchmark/report output.
+//
+// Benches print paper-style rows ("Bin 1 | 2.1x | ...") through this class
+// so every experiment's output is aligned and machine-greppable.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aalo::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") used between experiment blocks.
+void printBanner(std::ostream& os, const std::string& title);
+
+}  // namespace aalo::util

@@ -1,0 +1,40 @@
+#include "util/units.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace aalo::util {
+
+namespace {
+
+std::string formatWithSuffix(double value, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g %s", value, suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string formatBytes(Bytes b) {
+  if (b < 0) return "-" + formatBytes(-b);
+  if (b >= kTB) return formatWithSuffix(b / kTB, "TB");
+  if (b >= kGB) return formatWithSuffix(b / kGB, "GB");
+  if (b >= kMB) return formatWithSuffix(b / kMB, "MB");
+  if (b >= kKB) return formatWithSuffix(b / kKB, "KB");
+  return formatWithSuffix(b, "B");
+}
+
+std::string formatSeconds(Seconds s) {
+  if (s < 0) return "-" + formatSeconds(-s);
+  if (s >= 1.0) return formatWithSuffix(s, "s");
+  if (s >= kMillisecond) return formatWithSuffix(s / kMillisecond, "ms");
+  return formatWithSuffix(s / kMicrosecond, "us");
+}
+
+bool nearlyEqual(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+}  // namespace aalo::util

@@ -1,0 +1,45 @@
+// Units and formatting helpers shared across the Aalo codebase.
+//
+// Quantities are represented as plain doubles with descriptive aliases:
+// fluid-flow simulation constantly multiplies rates by durations, so strong
+// arithmetic types would add friction without catching real bugs here.
+// Identifiers (ports, flows, coflows) get real types in coflow/ids.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aalo::util {
+
+/// Bytes of data (fractional values arise from fluid-rate integration).
+using Bytes = double;
+/// Simulation time in seconds.
+using Seconds = double;
+/// Transfer rate in bytes per second.
+using Rate = double;
+
+inline constexpr Bytes kKB = 1e3;
+inline constexpr Bytes kMB = 1e6;
+inline constexpr Bytes kGB = 1e9;
+inline constexpr Bytes kTB = 1e12;
+
+inline constexpr Seconds kMillisecond = 1e-3;
+inline constexpr Seconds kMicrosecond = 1e-6;
+
+/// 1 Gbps expressed in bytes per second — the paper's per-machine NIC
+/// capacity on EC2 was ~900 Mbps; we default to an even 1 Gbps.
+inline constexpr Rate kGbps = 125.0 * kMB;
+
+/// Returns a human-readable byte count, e.g. "10.0 MB".
+std::string formatBytes(Bytes b);
+
+/// Returns a human-readable duration, e.g. "12.3 ms".
+std::string formatSeconds(Seconds s);
+
+/// Numeric comparison tolerance used throughout the fluid simulator.
+inline constexpr double kEps = 1e-9;
+
+/// True when |a - b| is within an absolute-plus-relative tolerance.
+bool nearlyEqual(double a, double b, double tol = 1e-6);
+
+}  // namespace aalo::util

@@ -1,0 +1,91 @@
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <array>
+#include <span>
+
+#include "coflow/id_generator.h"
+#include "workload/facebook.h"
+
+namespace aalo::workload {
+
+namespace {
+
+/// Builds one workload where each coflow's total size comes from `draw`.
+template <typename DrawTotal>
+coflow::Workload generateWithTotals(const SizeDistributionConfig& config,
+                                    DrawTotal&& draw) {
+  util::Rng rng(config.seed);
+  coflow::Workload wl;
+  wl.num_ports = config.num_ports;
+  coflow::CoflowIdGenerator ids;
+
+  const std::array<double, 4> bin_weights = {0.52, 0.16, 0.15, 0.17};
+  util::Seconds arrival = 0;
+  for (std::size_t j = 0; j < config.num_coflows; ++j) {
+    arrival += rng.exponential(config.mean_interarrival);
+    const std::size_t bin = rng.weightedIndex(std::span<const double>(bin_weights));
+    const bool narrow = bin == 0 || bin == 1;
+
+    int m = 0;
+    int r = 0;
+    if (narrow) {
+      do {
+        m = static_cast<int>(rng.uniformInt(1, 7));
+        r = static_cast<int>(rng.uniformInt(1, 7));
+      } while (m * r > static_cast<int>(kNarrowWidthLimit));
+    } else {
+      do {
+        m = static_cast<int>(rng.uniformInt(4, std::min(16, config.num_ports)));
+        r = static_cast<int>(rng.uniformInt(4, std::min(16, config.num_ports)));
+      } while (m * r <= static_cast<int>(kNarrowWidthLimit));
+    }
+
+    const util::Bytes total = std::max(draw(rng), 1.0 * util::kKB);
+    const auto senders = rng.sampleWithoutReplacement(
+        static_cast<std::size_t>(config.num_ports), static_cast<std::size_t>(m));
+    const auto receivers = rng.sampleWithoutReplacement(
+        static_cast<std::size_t>(config.num_ports), static_cast<std::size_t>(r));
+
+    coflow::CoflowSpec spec;
+    spec.id = ids.newRootId();
+    // Spread the total across flows with mild (deterministic-total) jitter.
+    std::vector<double> shares;
+    double share_sum = 0;
+    for (int k = 0; k < m * r; ++k) {
+      shares.push_back(rng.uniform(0.5, 1.5));
+      share_sum += shares.back();
+    }
+    std::size_t k = 0;
+    for (const std::size_t s : senders) {
+      for (const std::size_t d : receivers) {
+        spec.flows.push_back(coflow::FlowSpec{
+            static_cast<coflow::PortId>(s), static_cast<coflow::PortId>(d),
+            total * shares[k] / share_sum, 0.0});
+        ++k;
+      }
+    }
+
+    coflow::JobSpec job;
+    job.id = static_cast<coflow::JobId>(j);
+    job.arrival = arrival;
+    job.coflows.push_back(std::move(spec));
+    wl.jobs.push_back(std::move(job));
+  }
+  return wl;
+}
+
+}  // namespace
+
+coflow::Workload generateUniformSizeWorkload(const SizeDistributionConfig& config,
+                                             util::Bytes max_total_bytes) {
+  return generateWithTotals(
+      config, [max_total_bytes](util::Rng& rng) { return rng.uniform(0, max_total_bytes); });
+}
+
+coflow::Workload generateFixedSizeWorkload(const SizeDistributionConfig& config,
+                                           util::Bytes total_bytes) {
+  return generateWithTotals(config, [total_bytes](util::Rng&) { return total_bytes; });
+}
+
+}  // namespace aalo::workload

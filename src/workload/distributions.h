@@ -1,0 +1,31 @@
+// Controlled coflow-size distributions for the sensitivity study
+// (§7.5, Figure 13): uniformly distributed and fixed-size coflows whose
+// *structures* (length/width classes) still follow the Table 3 mix.
+#pragma once
+
+#include <cstdint>
+
+#include "coflow/spec.h"
+#include "util/rng.h"
+
+namespace aalo::workload {
+
+struct SizeDistributionConfig {
+  int num_ports = 40;
+  std::size_t num_coflows = 100;
+  util::Seconds mean_interarrival = 0.5;
+  std::uint64_t seed = 11;
+};
+
+/// Coflow total sizes drawn from U(0, max_total_bytes); the flow structure
+/// (width, endpoints) follows the Table 3 mix and the total is spread
+/// across the flows (Figure 13a).
+coflow::Workload generateUniformSizeWorkload(const SizeDistributionConfig& config,
+                                             util::Bytes max_total_bytes);
+
+/// Every coflow has exactly `total_bytes` in total (Figure 13b probes
+/// sizes just below/above Aalo's queue thresholds).
+coflow::Workload generateFixedSizeWorkload(const SizeDistributionConfig& config,
+                                           util::Bytes total_bytes);
+
+}  // namespace aalo::workload

@@ -1,0 +1,58 @@
+// Synthetic Facebook-like coflow workload (§7.1).
+//
+// The paper replays a Hive/MapReduce trace from a 3000-machine Facebook
+// cluster. The trace itself is not distributable, so we synthesize
+// workloads calibrated to the paper's published marginals:
+//
+//  * Table 3 coflow mix — Short/Narrow 52 %, Long/Narrow 16 %,
+//    Short/Wide 15 %, Long/Wide 17 % of coflows, with bin 4 carrying
+//    ~99 % of all bytes ("short" = longest flow < 5 MB, "narrow" =
+//    at most 50 flows);
+//  * heavy-tailed coflow sizes (60 % < 100 MB, ~85 % < 1 GB);
+//  * Poisson job arrivals; one coflow per job (as in the original trace);
+//  * Table 2 communication fractions — 61/13/14/12 % of jobs spend
+//    <25/25-49/50-74/>=75 % of their time in communication — realized by
+//    drawing a target fraction and back-solving the job's compute time
+//    from the coflow's ideal (isolated) transfer duration.
+#pragma once
+
+#include <cstdint>
+
+#include "coflow/spec.h"
+#include "util/rng.h"
+
+namespace aalo::workload {
+
+/// Table 3 bin of a coflow (1-based to match the paper).
+enum class CoflowBin { kShortNarrow = 1, kLongNarrow = 2, kShortWide = 3, kLongWide = 4 };
+
+/// Classification thresholds from §7.1.
+inline constexpr util::Bytes kShortLengthLimit = 5 * util::kMB;
+inline constexpr std::size_t kNarrowWidthLimit = 50;
+
+/// Classifies by length (largest flow) and width (flow count).
+CoflowBin classifyCoflow(util::Bytes max_flow_bytes, std::size_t width);
+
+struct FacebookConfig {
+  int num_ports = 40;
+  std::size_t num_jobs = 150;
+  /// Mean of the exponential inter-arrival distribution (seconds).
+  util::Seconds mean_interarrival = 1.0;
+  std::uint64_t seed = 1;
+  /// Upper clamp for a single flow; bounds simulated makespan.
+  util::Bytes max_flow_bytes = 1 * util::kGB;
+  /// Cap on senders/receivers per coflow (bounds per-coflow width at
+  /// sender_cap * receiver_cap flows).
+  int sender_cap = 18;
+  int receiver_cap = 18;
+};
+
+/// Generates a workload; deterministic in config.seed.
+coflow::Workload generateFacebookWorkload(const FacebookConfig& config);
+
+/// Ideal isolated duration of a coflow: its effective bottleneck at full
+/// port capacity — used to back-solve compute times and wave gaps.
+util::Seconds isolatedBottleneckSeconds(const coflow::CoflowSpec& spec,
+                                        util::Rate port_capacity);
+
+}  // namespace aalo::workload

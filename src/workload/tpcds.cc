@@ -1,0 +1,127 @@
+#include "workload/tpcds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "coflow/id_generator.h"
+
+namespace aalo::workload {
+
+const std::vector<TpcdsQueryShape>& clouderaBenchmarkQueries() {
+  // Shapes follow the usual pattern of Shark plans for these queries:
+  // fact-table scans feeding a chain of shuffles, with wider queries
+  // joining several dimension tables in parallel branches (cf. Figure 4a
+  // for q42). Critical-path lengths span 1-5 as in Figure 11.
+  static const std::vector<TpcdsQueryShape> queries = {
+      {"q19", {2, 1}, 1.0},        {"q27", {2, 1}, 0.8},
+      {"q3", {1, 1}, 0.6},         {"q34", {2, 1}, 0.7},
+      {"q42", {2, 2, 1, 1}, 1.2},  {"q43", {1, 1}, 0.5},
+      {"q46", {2, 2, 1}, 1.1},     {"q52", {1, 1}, 0.6},
+      {"q53", {2, 1, 1}, 0.9},     {"q55", {1, 1}, 0.5},
+      {"q59", {2, 2, 1, 1}, 1.4},  {"q63", {2, 1, 1}, 0.9},
+      {"q65", {2, 2, 1, 1, 1}, 1.6}, {"q68", {2, 2, 1}, 1.2},
+      {"q7", {2, 1}, 0.8},         {"q73", {2, 1}, 0.7},
+      {"q79", {2, 2, 1}, 1.0},     {"q89", {2, 1, 1}, 0.9},
+      {"q98", {1, 1, 1}, 0.7},     {"ss_max", {3, 1}, 2.0},
+  };
+  return queries;
+}
+
+int criticalPathLength(const TpcdsQueryShape& shape) {
+  return static_cast<int>(shape.coflows_per_level.size());
+}
+
+coflow::Workload generateTpcdsWorkload(const TpcdsConfig& config) {
+  const auto& queries = clouderaBenchmarkQueries();
+  util::Rng rng(config.seed);
+  coflow::Workload wl;
+  wl.num_ports = config.num_ports;
+
+  coflow::CoflowIdGenerator ids;
+  util::Seconds arrival = 0;
+  coflow::JobId job_id = 0;
+  for (const TpcdsQueryShape& shape : queries) {
+    arrival += rng.exponential(config.mean_interarrival);
+    coflow::JobSpec job;
+    job.id = job_id++;
+    job.arrival = arrival;
+    job.compute_time = 0;  // DAG experiments compare communication only.
+
+    // Pseudocode 2 permits equal internal ids for independent siblings
+    // (Figure 4c shows several C42.1's); our simulator keys state by
+    // CoflowId, so equal-priority siblings are disambiguated by bumping to
+    // the next unused internal id — FIFO order among independent coflows
+    // is arbitrary anyway (§9: the heuristic "cannot differentiate between
+    // independent coflows").
+    std::set<std::int32_t> used_internals;
+    std::int64_t dag_external = -1;
+    auto uniquified = [&](coflow::CoflowId id) {
+      while (used_internals.contains(id.internal)) ++id.internal;
+      used_internals.insert(id.internal);
+      return id;
+    };
+
+    std::vector<std::vector<coflow::CoflowId>> level_ids;
+    for (std::size_t level = 0; level < shape.coflows_per_level.size(); ++level) {
+      const int n = shape.coflows_per_level[level];
+      if (n <= 0) throw std::invalid_argument("TPC-DS shape: empty level");
+      std::vector<coflow::CoflowId> this_level;
+      for (int k = 0; k < n; ++k) {
+        coflow::CoflowSpec spec;
+        if (level == 0) {
+          if (k == 0) {
+            spec.id = uniquified(ids.newRootId());
+            dag_external = spec.id.external;
+          } else {
+            spec.id = uniquified(coflow::CoflowId{dag_external, 0});
+          }
+        } else {
+          // Depend on 1-2 coflows of the previous level.
+          const auto& prev = level_ids[level - 1];
+          std::vector<coflow::CoflowId> parents;
+          parents.push_back(prev[static_cast<std::size_t>(k) % prev.size()]);
+          if (prev.size() > 1 && rng.chance(0.5)) {
+            parents.push_back(prev[(static_cast<std::size_t>(k) + 1) % prev.size()]);
+          }
+          spec.id = uniquified(ids.newChildId(parents));
+          if (config.barriers_instead_of_pipelining) {
+            spec.starts_after = parents;
+          } else {
+            spec.finishes_before = parents;
+          }
+        }
+
+        // Shuffle shape: a handful of senders/receivers; early levels move
+        // more data.
+        const int m = static_cast<int>(rng.uniformInt(2, 6));
+        const int r = static_cast<int>(rng.uniformInt(2, 6));
+        const auto senders = rng.sampleWithoutReplacement(
+            static_cast<std::size_t>(config.num_ports), static_cast<std::size_t>(m));
+        const auto receivers = rng.sampleWithoutReplacement(
+            static_cast<std::size_t>(config.num_ports), static_cast<std::size_t>(r));
+        const util::Bytes stage_bytes = config.base_stage_bytes * shape.scale *
+                                        std::pow(config.level_decay,
+                                                 static_cast<double>(level)) *
+                                        rng.uniform(0.6, 1.4);
+        const util::Bytes per_flow =
+            std::max(stage_bytes / static_cast<double>(m * r), 10.0 * util::kKB);
+        for (const std::size_t s : senders) {
+          for (const std::size_t d : receivers) {
+            spec.flows.push_back(coflow::FlowSpec{
+                static_cast<coflow::PortId>(s), static_cast<coflow::PortId>(d),
+                per_flow * rng.uniform(0.7, 1.3), 0.0});
+          }
+        }
+        this_level.push_back(spec.id);
+        job.coflows.push_back(std::move(spec));
+      }
+      level_ids.push_back(std::move(this_level));
+    }
+    wl.jobs.push_back(std::move(job));
+  }
+  return wl;
+}
+
+}  // namespace aalo::workload

@@ -1,0 +1,57 @@
+// TPC-DS DAG workloads (§7.4, Figure 11).
+//
+// The paper runs the 20 TPC-DS queries of the Cloudera benchmark with
+// query plans from Shark; each query is a DAG of coflows with
+// Finishes-Before edges (pipelined stages). The SQL itself is irrelevant
+// to scheduling — what matters is each DAG's shape (stages per level,
+// critical-path length) and the data volume flowing between stages. We
+// encode a fixed shape per query (critical-path lengths 1-5, branching
+// like Figure 4) and draw stage sizes heavy-tailed with the customary
+// decay from scan-heavy early stages to small final aggregations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coflow/spec.h"
+#include "util/rng.h"
+
+namespace aalo::workload {
+
+struct TpcdsQueryShape {
+  std::string name;
+  /// coflows_per_level[l] = number of parallel coflows at DAG level l.
+  /// Every coflow at level l+1 Finishes-Before-depends on 1-2 coflows at
+  /// level l. Critical path length = number of levels.
+  std::vector<int> coflows_per_level;
+  /// Relative data scale of the query (multiplies stage sizes).
+  double scale = 1.0;
+};
+
+/// The 20 queries of the Cloudera TPC-DS benchmark with plausible Shark
+/// plan shapes (the paper's Figure 11 x-axis, critical paths 1-5).
+const std::vector<TpcdsQueryShape>& clouderaBenchmarkQueries();
+
+struct TpcdsConfig {
+  int num_ports = 40;
+  std::uint64_t seed = 7;
+  /// Base bytes of a level-0 stage before scale/decay are applied.
+  util::Bytes base_stage_bytes = 800 * util::kMB;
+  /// Per-level size decay (later stages move less data).
+  double level_decay = 0.35;
+  /// Mean gap between query submissions.
+  util::Seconds mean_interarrival = 4.0;
+  /// Convert Finishes-Before edges into Starts-After barriers (the
+  /// Varys-style execution mode without pipelining).
+  bool barriers_instead_of_pipelining = false;
+};
+
+/// One job per benchmark query; coflow ids are generated with
+/// CoflowIdGenerator exactly as Aalo's coordinator would (Figure 4c).
+coflow::Workload generateTpcdsWorkload(const TpcdsConfig& config);
+
+/// Critical-path length (levels) of a query DAG.
+int criticalPathLength(const TpcdsQueryShape& shape);
+
+}  // namespace aalo::workload

@@ -1,0 +1,45 @@
+// Plain-text trace format for saving and replaying workloads.
+//
+// Format (one token-separated record per line, '#' comments allowed):
+//
+//   aalo-trace 1
+//   ports <num_ports>
+//   job <job_id> <arrival_s> <compute_s> <num_coflows>
+//   coflow <ext>.<int> <arrival_offset_s> <num_flows> [sa=<ext>.<int>,...]
+//          [fb=<ext>.<int>,...]
+//   flow <src> <dst> <bytes> <start_offset_s>
+//
+// Coflows follow their job line; flows follow their coflow line. This is
+// deliberately close to the published coflow-benchmark format so traces
+// are easy to eyeball and diff.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "coflow/spec.h"
+
+namespace aalo::workload {
+
+void writeTrace(std::ostream& os, const coflow::Workload& workload);
+void writeTraceFile(const std::string& path, const coflow::Workload& workload);
+
+/// Parses a trace; throws std::runtime_error with a line number on any
+/// malformed input, and validates the resulting workload.
+coflow::Workload readTrace(std::istream& is);
+coflow::Workload readTraceFile(const std::string& path);
+
+/// Reads the public *coflow-benchmark* format (github.com/coflow;
+/// e.g. FB2010-1Hr-150-0.txt — the very trace the paper replays):
+///
+///   <numRacks> <numJobs>
+///   <jobID> <arrivalMillis> <numMappers> <m_1> ... <numReducers>
+///          <r_1>:<shuffleMB_1> ...
+///
+/// Mapper/reducer locations are rack numbers (1-based in the published
+/// trace); each mapper sends an equal share of a reducer's shuffle to it.
+/// Jobs become single-coflow jobs on a numRacks-port fabric.
+coflow::Workload readCoflowBenchmarkTrace(std::istream& is);
+coflow::Workload readCoflowBenchmarkTraceFile(const std::string& path);
+
+}  // namespace aalo::workload

@@ -1,0 +1,208 @@
+#include "workload/transforms.h"
+
+#include <algorithm>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/facebook.h"
+
+namespace aalo::workload {
+
+namespace {
+
+/// Table 4 wave-count marginals for a given cap.
+std::vector<double> waveCountWeights(int max_waves) {
+  switch (max_waves) {
+    case 1:
+      return {1.0};
+    case 2:
+      return {0.90, 0.10};
+    case 4:
+      return {0.81, 0.09, 0.04, 0.06};
+    default: {
+      // Generic fallback: geometric-ish decay over 1..max_waves.
+      std::vector<double> w;
+      double p = 1.0;
+      for (int i = 0; i < max_waves; ++i) {
+        w.push_back(p);
+        p *= 0.25;
+      }
+      return w;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t applyMultiWave(coflow::Workload& workload, const MultiWaveConfig& config) {
+  if (config.max_waves < 1) throw std::invalid_argument("applyMultiWave: max_waves < 1");
+  util::Rng rng(config.seed);
+  const std::vector<double> weights = waveCountWeights(config.max_waves);
+  std::size_t multi_wave = 0;
+
+  for (coflow::JobSpec& job : workload.jobs) {
+    for (coflow::CoflowSpec& spec : job.coflows) {
+      const int waves =
+          1 + static_cast<int>(rng.weightedIndex(std::span<const double>(weights)));
+      if (waves == 1) continue;
+
+      // Senders arrive in batches: partition the distinct source ports
+      // into `waves` groups; all flows of a sender join its wave.
+      std::vector<coflow::PortId> sources;
+      for (const coflow::FlowSpec& f : spec.flows) {
+        if (std::find(sources.begin(), sources.end(), f.src) == sources.end()) {
+          sources.push_back(f.src);
+        }
+      }
+      if (sources.size() < 2) continue;  // Single sender: nothing to stagger.
+      const int effective_waves = std::min<int>(waves, static_cast<int>(sources.size()));
+      std::unordered_map<coflow::PortId, int> wave_of;
+      for (std::size_t s = 0; s < sources.size(); ++s) {
+        wave_of[sources[s]] = static_cast<int>(s) % effective_waves;
+      }
+      const util::Seconds wave_gap =
+          std::max(isolatedBottleneckSeconds(spec, config.port_capacity) /
+                       static_cast<double>(effective_waves),
+                   1.0 * util::kMillisecond);
+      for (coflow::FlowSpec& f : spec.flows) {
+        f.start_offset = wave_of.at(f.src) * wave_gap;
+      }
+      ++multi_wave;
+    }
+  }
+  return multi_wave;
+}
+
+coflow::Workload splitWavesIntoCoflows(const coflow::Workload& workload) {
+  coflow::Workload out;
+  out.num_ports = workload.num_ports;
+  // Next free internal id per DAG, so split waves never collide.
+  std::unordered_map<std::int64_t, std::int32_t> next_internal;
+  for (const coflow::JobSpec& job : workload.jobs) {
+    for (const coflow::CoflowSpec& c : job.coflows) {
+      next_internal[c.id.external] =
+          std::max(next_internal[c.id.external], c.id.internal + 1);
+    }
+  }
+
+  for (const coflow::JobSpec& job : workload.jobs) {
+    coflow::JobSpec new_job;
+    new_job.id = job.id;
+    new_job.arrival = job.arrival;
+    new_job.compute_time = job.compute_time;
+    for (const coflow::CoflowSpec& spec : job.coflows) {
+      std::map<util::Seconds, std::vector<coflow::FlowSpec>> waves;
+      for (const coflow::FlowSpec& f : spec.flows) {
+        coflow::FlowSpec copy = f;
+        copy.start_offset = 0;
+        waves[f.start_offset].push_back(copy);
+      }
+      if (waves.size() == 1) {
+        new_job.coflows.push_back(spec);
+        continue;
+      }
+      if (!spec.starts_after.empty() || !spec.finishes_before.empty()) {
+        throw std::invalid_argument(
+            "splitWavesIntoCoflows: dependencies on multi-wave coflows unsupported");
+      }
+      bool first = true;
+      for (auto& [offset, flows] : waves) {
+        coflow::CoflowSpec wave_spec;
+        if (first) {
+          wave_spec.id = spec.id;
+          first = false;
+        } else {
+          wave_spec.id =
+              coflow::CoflowId{spec.id.external, next_internal[spec.id.external]++};
+        }
+        wave_spec.arrival_offset = spec.arrival_offset + offset;
+        wave_spec.flows = std::move(flows);
+        new_job.coflows.push_back(std::move(wave_spec));
+      }
+    }
+    out.jobs.push_back(std::move(new_job));
+  }
+  return out;
+}
+
+coflow::Workload barrierWaves(const coflow::Workload& workload) {
+  coflow::Workload out = workload;
+  for (coflow::JobSpec& job : out.jobs) {
+    for (coflow::CoflowSpec& spec : job.coflows) {
+      util::Seconds max_offset = 0;
+      for (const coflow::FlowSpec& f : spec.flows) {
+        max_offset = std::max(max_offset, f.start_offset);
+      }
+      if (max_offset <= 0) continue;
+      // The barrier delays the whole transfer until the last wave exists.
+      spec.arrival_offset += max_offset;
+      for (coflow::FlowSpec& f : spec.flows) f.start_offset = 0;
+    }
+  }
+  return out;
+}
+
+coflow::Workload addBarriersToDags(const coflow::Workload& workload) {
+  coflow::Workload out = workload;
+  for (coflow::JobSpec& job : out.jobs) {
+    for (coflow::CoflowSpec& spec : job.coflows) {
+      for (const coflow::CoflowId& p : spec.finishes_before) {
+        spec.starts_after.push_back(p);
+      }
+      spec.finishes_before.clear();
+    }
+  }
+  return out;
+}
+
+std::size_t injectTaskFailures(coflow::Workload& workload,
+                               const FailureConfig& config) {
+  if (config.failure_probability < 0 || config.failure_probability > 1) {
+    throw std::invalid_argument("injectTaskFailures: probability out of range");
+  }
+  util::Rng rng(config.seed);
+  std::size_t failures = 0;
+  for (coflow::JobSpec& job : workload.jobs) {
+    for (coflow::CoflowSpec& spec : job.coflows) {
+      std::vector<coflow::FlowSpec> restarted;
+      for (coflow::FlowSpec& f : spec.flows) {
+        if (!rng.chance(config.failure_probability)) continue;
+        ++failures;
+        // The task died after sending a fraction of its output...
+        const double progress = rng.uniform(0.1, 0.9);
+        const util::Seconds isolated = f.bytes / config.port_capacity;
+        const util::Seconds failed_at = f.start_offset + progress * isolated;
+        // ...and the restarted (or speculative) copy resends everything
+        // after a detection lag, like a new wave (§5.2).
+        coflow::FlowSpec restart = f;
+        restart.start_offset =
+            failed_at + config.restart_lag_factor * isolated;
+        restarted.push_back(restart);
+        f.bytes *= progress;  // The partial transfer still happened.
+      }
+      spec.flows.insert(spec.flows.end(), restarted.begin(), restarted.end());
+    }
+  }
+  return failures;
+}
+
+std::vector<double> waveHistogram(const coflow::Workload& workload, int max_waves) {
+  std::vector<double> histogram(static_cast<std::size_t>(std::max(max_waves, 1)), 0.0);
+  std::size_t total = 0;
+  for (const coflow::JobSpec& job : workload.jobs) {
+    for (const coflow::CoflowSpec& spec : job.coflows) {
+      const int waves = std::min(spec.waveCount(), max_waves);
+      histogram[static_cast<std::size_t>(waves - 1)] += 1.0;
+      ++total;
+    }
+  }
+  if (total > 0) {
+    for (double& h : histogram) h /= static_cast<double>(total);
+  }
+  return histogram;
+}
+
+}  // namespace aalo::workload

@@ -1,0 +1,69 @@
+// Workload transformations: multi-wave scheduling and the Varys execution
+// modes the paper compares against (§5.2, §7.3, §7.4).
+#pragma once
+
+#include <cstdint>
+
+#include "coflow/spec.h"
+#include "util/rng.h"
+
+namespace aalo::workload {
+
+struct MultiWaveConfig {
+  /// Maximum number of waves per coflow (Table 4: 1, 2, or 4).
+  int max_waves = 1;
+  /// Random seed for the per-coflow wave count draw.
+  std::uint64_t seed = 3;
+  /// Port capacity used to estimate a wave's duration: wave w starts when
+  /// the previous wave's senders would roughly be done (tasks of wave w+1
+  /// are scheduled as slots free up).
+  util::Rate port_capacity = util::kGbps;
+};
+
+/// Splits each coflow's senders into waves. The number of waves per
+/// coflow follows the paper's Table 4 marginals:
+///   max 1: 100 % one wave
+///   max 2: 90 % one, 10 % two
+///   max 4: 81 % one, 9 % two, 4 % three, 6 % four
+/// Flows of wave w get start offsets staggered by the estimated duration
+/// of one wave. Returns the number of multi-wave coflows produced.
+std::size_t applyMultiWave(coflow::Workload& workload, const MultiWaveConfig& config);
+
+/// Varys mode (i) for multi-wave stages: every wave becomes its own
+/// coflow (same job, fresh internal ids), because a clairvoyant scheduler
+/// cannot admit a coflow whose future flows are unknown. Stage-level
+/// completion is recovered from job records.
+coflow::Workload splitWavesIntoCoflows(const coflow::Workload& workload);
+
+/// Varys mode (ii): an artificial barrier holds *all* flows until the
+/// last wave's start time, so the combined coflow's bottleneck is known.
+coflow::Workload barrierWaves(const coflow::Workload& workload);
+
+/// Varys DAG mode: pipelined Finishes-Before edges become Starts-After
+/// barriers (a clairvoyant scheduler needs complete stages).
+coflow::Workload addBarriersToDags(const coflow::Workload& workload);
+
+/// Table 4 histogram: fraction of coflows with 1..max waves.
+std::vector<double> waveHistogram(const coflow::Workload& workload, int max_waves);
+
+struct FailureConfig {
+  /// Probability that a given flow's sending task fails mid-transfer and
+  /// is restarted (or speculatively re-executed) — §5.2.
+  double failure_probability = 0.1;
+  std::uint64_t seed = 13;
+  /// Detection + rescheduling lag, as a fraction of the flow's isolated
+  /// duration, before the restarted copy begins.
+  double restart_lag_factor = 0.25;
+  util::Rate port_capacity = util::kGbps;
+};
+
+/// Injects task failures/speculation (§5.2): a failed flow is split into
+/// the partial transfer that completed before the failure plus a full
+/// restarted copy beginning after a detection lag. The coflow's total
+/// traffic *grows* (the paper: "their additional traffic is added up to
+/// the current size of that coflow") — which is exactly why attained
+/// service remains a valid, monotone signal. Returns the number of flows
+/// that failed.
+std::size_t injectTaskFailures(coflow::Workload& workload, const FailureConfig& config);
+
+}  // namespace aalo::workload

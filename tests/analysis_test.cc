@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "analysis/compare.h"
+#include "util/units.h"
+
+namespace aalo::analysis {
+namespace {
+
+using util::kMB;
+
+sim::CoflowRecord makeRecord(coflow::CoflowId id, double release, double finish,
+                             util::Bytes max_flow = 1 * kMB, std::size_t width = 2) {
+  sim::CoflowRecord r;
+  r.id = id;
+  r.release = release;
+  r.finish = finish;
+  r.finish_own = finish;
+  r.max_flow_bytes = max_flow;
+  r.width = width;
+  r.bytes = max_flow * static_cast<double>(width);
+  return r;
+}
+
+sim::JobRecord makeJobRecord(coflow::JobId id, double arrival, double comm_finish,
+                             double compute) {
+  sim::JobRecord r;
+  r.id = id;
+  r.arrival = arrival;
+  r.comm_finish = comm_finish;
+  r.compute_time = compute;
+  return r;
+}
+
+TEST(Compare, CoflowBinClassification) {
+  EXPECT_EQ(coflowBin(makeRecord({0, 0}, 0, 1, 1 * kMB, 2)), 1);
+  EXPECT_EQ(coflowBin(makeRecord({0, 0}, 0, 1, 50 * kMB, 2)), 2);
+  EXPECT_EQ(coflowBin(makeRecord({0, 0}, 0, 1, 1 * kMB, 200)), 3);
+  EXPECT_EQ(coflowBin(makeRecord({0, 0}, 0, 1, 50 * kMB, 200)), 4);
+}
+
+TEST(Compare, CommBands) {
+  EXPECT_EQ(commBand(0.1), 0);
+  EXPECT_EQ(commBand(0.3), 1);
+  EXPECT_EQ(commBand(0.6), 2);
+  EXPECT_EQ(commBand(0.9), 3);
+}
+
+TEST(Compare, NormalizedCctRatioOfMeans) {
+  sim::SimResult compared;
+  compared.coflows = {makeRecord({0, 0}, 0, 4), makeRecord({1, 0}, 0, 8)};
+  sim::SimResult baseline;
+  baseline.coflows = {makeRecord({0, 0}, 0, 2), makeRecord({1, 0}, 0, 4)};
+  const auto n = normalizedCct(compared, baseline);
+  EXPECT_DOUBLE_EQ(n.avg, 2.0);  // Mean 6 vs mean 3.
+  EXPECT_EQ(n.count, 2u);
+}
+
+TEST(Compare, NormalizedCctJoinsById) {
+  // Record order must not matter: records are matched by CoflowId.
+  sim::SimResult compared;
+  compared.coflows = {makeRecord({1, 0}, 0, 8), makeRecord({0, 0}, 0, 4)};
+  sim::SimResult baseline;
+  baseline.coflows = {makeRecord({0, 0}, 0, 4), makeRecord({1, 0}, 0, 8)};
+  const auto n = normalizedCct(compared, baseline);
+  EXPECT_DOUBLE_EQ(n.avg, 1.0);
+}
+
+TEST(Compare, MismatchedPopulationsThrow) {
+  sim::SimResult compared;
+  compared.coflows = {makeRecord({9, 0}, 0, 4)};
+  sim::SimResult baseline;
+  baseline.coflows = {makeRecord({0, 0}, 0, 4)};
+  EXPECT_THROW(normalizedCct(compared, baseline), std::invalid_argument);
+}
+
+TEST(Compare, BinFilteredRatios) {
+  sim::SimResult compared;
+  compared.coflows = {makeRecord({0, 0}, 0, 10, 1 * kMB, 2),     // bin 1
+                      makeRecord({1, 0}, 0, 100, 50 * kMB, 200)};  // bin 4
+  sim::SimResult baseline = compared;
+  baseline.coflows[0].finish = 5;
+  const auto bin1 = normalizedCctForBin(compared, baseline, 1);
+  EXPECT_DOUBLE_EQ(bin1.avg, 2.0);
+  EXPECT_EQ(bin1.count, 1u);
+  const auto bin4 = normalizedCctForBin(compared, baseline, 4);
+  EXPECT_DOUBLE_EQ(bin4.avg, 1.0);
+  const auto empty = normalizedCctForBin(compared, baseline, 2);
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.avg, 0.0);
+}
+
+TEST(Compare, JobComparisonByBand) {
+  sim::SimResult compared;
+  compared.jobs = {makeJobRecord(0, 0, 4, 1),    // comm 4, jct 5
+                   makeJobRecord(1, 0, 1, 9)};   // comm 1, jct 10
+  sim::SimResult baseline;
+  baseline.jobs = {makeJobRecord(0, 0, 2, 1),    // comm 2, jct 3
+                   makeJobRecord(1, 0, 2, 9)};   // comm 2, jct 11
+  // Bin by the baseline run: job 0 has comm fraction 2/3 (band 2), job 1
+  // has 2/11 (band 0).
+  const auto band2 = normalizedJobTimes(compared, baseline, baseline, 2);
+  EXPECT_DOUBLE_EQ(band2.comm.avg, 2.0);
+  EXPECT_DOUBLE_EQ(band2.jct.avg, 5.0 / 3.0);
+  const auto all = normalizedJobTimes(compared, baseline, baseline, 4);
+  EXPECT_EQ(all.jct.count, 2u);
+}
+
+TEST(Compare, CctSamplesFiltersByBin) {
+  sim::SimResult result;
+  result.coflows = {makeRecord({0, 0}, 1, 3, 1 * kMB, 2),
+                    makeRecord({1, 0}, 0, 7, 50 * kMB, 200)};
+  const auto all = cctSamples(result);
+  EXPECT_EQ(all.size(), 2u);
+  const auto bin4 = cctSamples(result, 4);
+  ASSERT_EQ(bin4.size(), 1u);
+  EXPECT_DOUBLE_EQ(bin4[0], 7.0);
+}
+
+TEST(Compare, ByteShareByBinSumsToOne) {
+  sim::SimResult result;
+  result.coflows = {makeRecord({0, 0}, 0, 1, 1 * kMB, 2),
+                    makeRecord({1, 0}, 0, 1, 50 * kMB, 200)};
+  const auto share = byteShareByBin(result);
+  double total = 0;
+  for (const auto& [bin, s] : share) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(share.at(4), share.at(1));
+}
+
+}  // namespace
+}  // namespace aalo::analysis

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "sched/clas.h"
+#include "sched/dclas.h"
+#include "sched/fair.h"
+#include "sched/fifo.h"
+#include "sched/fifo_lm.h"
+#include "sched/las.h"
+#include "sched/offline_opt.h"
+#include "sched/varys.h"
+#include "tests/helpers.h"
+#include "util/rng.h"
+
+namespace aalo::sched {
+namespace {
+
+using aalo::testing::FlowDef;
+using aalo::testing::avgCct;
+using aalo::testing::cctOf;
+using aalo::testing::makeJob;
+using aalo::testing::makeWorkload;
+using aalo::testing::runVerified;
+using aalo::testing::unitFabric;
+
+// ---------------------------------------------------------------- Varys --
+
+TEST(Varys, SmallBottleneckPreempts) {
+  VarysScheduler varys;
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 24}}),
+                                   makeJob(1, 2.0, {FlowDef{0, 1, 4}})});
+  const auto result = runVerified(wl, unitFabric(2), varys);
+  // At t=2 the small coflow's bottleneck (4s) beats the big one's (22s):
+  // SEBF serves it first.
+  EXPECT_NEAR(cctOf(result, {1, 0}), 4.0, 1e-6);
+  EXPECT_NEAR(cctOf(result, {0, 0}), 28.0, 1e-6);
+}
+
+TEST(Varys, MaddFinishesFlowsTogether) {
+  VarysScheduler varys;
+  // Two flows into egress 1; bottleneck is 15s. MADD paces the 10B flow at
+  // 2/3 and the 5B flow at 1/3 so both finish exactly at 15.
+  const auto wl =
+      makeWorkload(3, {makeJob(0, 0, {FlowDef{0, 1, 10}, FlowDef{2, 1, 5}})});
+  const auto result = runVerified(wl, unitFabric(3), varys);
+  EXPECT_NEAR(result.coflows[0].cct(), 15.0, 1e-6);
+  EXPECT_NEAR(result.makespan, 15.0, 1e-6);
+}
+
+TEST(Varys, EffectiveBottleneckIsClairvoyant) {
+  // Unlike D-CLAS, Varys *should* react to total sizes: growing the other
+  // coflow flips the SEBF order.
+  const auto wl_small = makeWorkload(3, {makeJob(0, 0, {FlowDef{0, 1, 10}}),
+                                         makeJob(1, 0, {FlowDef{0, 2, 2}})});
+  const auto wl_big = makeWorkload(3, {makeJob(0, 0, {FlowDef{0, 1, 10}}),
+                                       makeJob(1, 0, {FlowDef{0, 2, 50}})});
+  VarysScheduler varys;
+  const auto small = runVerified(wl_small, unitFabric(3), varys);
+  const auto big = runVerified(wl_big, unitFabric(3), varys);
+  EXPECT_NEAR(cctOf(small, {0, 0}), 12.0, 1e-6);  // Waits for the 2B coflow.
+  EXPECT_NEAR(cctOf(big, {0, 0}), 10.0, 1e-6);    // Goes first.
+}
+
+TEST(Varys, BackfillUsesLeftoverCapacity) {
+  VarysScheduler varys;
+  // Head coflow only uses port 0; the second coflow's flow on port 1 must
+  // run concurrently at full rate (work conservation).
+  const auto wl = makeWorkload(3, {makeJob(0, 0, {FlowDef{0, 2, 10}}),
+                                   makeJob(1, 0, {FlowDef{1, 2, 10}})});
+  const auto result = runVerified(wl, unitFabric(3), varys);
+  // Both share egress 2: SEBF picks one (tie -> id order), MADD gives it
+  // rate 1... egress 2 is then full, so the other waits: 10 and 20.
+  EXPECT_NEAR(cctOf(result, {0, 0}), 10.0, 1e-6);
+  EXPECT_NEAR(cctOf(result, {1, 0}), 20.0, 1e-6);
+
+  // Now with distinct egresses there is no contention at all.
+  const auto wl2 = makeWorkload(4, {makeJob(0, 0, {FlowDef{0, 2, 10}}),
+                                    makeJob(1, 0, {FlowDef{1, 3, 10}})});
+  const auto r2 = runVerified(wl2, unitFabric(4), varys);
+  EXPECT_NEAR(cctOf(r2, {0, 0}), 10.0, 1e-6);
+  EXPECT_NEAR(cctOf(r2, {1, 0}), 10.0, 1e-6);
+}
+
+// ------------------------------------------------------------------ LAS --
+
+TEST(DecentralizedLas, LocalTiesShareThePort) {
+  // Figure 1d's pathology: P0 is shared equally between C0 and C1 because
+  // locally both have equal attained service — LAS cannot see that C0 is
+  // also sending on P1.
+  LasConfig cfg;
+  cfg.quantum = 0.25;
+  DecentralizedLasScheduler las(cfg);
+  const auto wl = makeWorkload(4, {makeJob(0, 0, {FlowDef{0, 2, 2}, FlowDef{1, 3, 2}}),
+                                   makeJob(1, 0, {FlowDef{0, 3, 2}})});
+  // Port 0 carries C0's 2B flow and C1's 2B flow... but they also contend
+  // on egress 3 with C0's second flow. Check the port-0 pair finishes
+  // nearly together (shared), unlike a coordinated scheduler.
+  const auto result = runVerified(wl, unitFabric(4), las);
+  // C0's global attained grows twice as fast, yet port 0 still splits
+  // fairly because local attained stays tied.
+  EXPECT_GT(cctOf(result, {1, 0}), 2.9);  // Not served exclusively.
+}
+
+TEST(DecentralizedLas, ServesLeastAttainedFirst) {
+  LasConfig cfg;
+  cfg.quantum = 0.25;
+  cfg.tie_window = 0.01;  // Unit-byte test sizes.
+  DecentralizedLasScheduler las(cfg);
+  // C0 arrives first and accumulates service; C1 arrives later with zero
+  // attained service and takes over the port until it catches up.
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 10}}),
+                                   makeJob(1, 4.0, {FlowDef{0, 1, 2}})});
+  const auto result = runVerified(wl, unitFabric(2), las);
+  // C1 (2B) finishes within ~2s+quantum of its arrival.
+  EXPECT_LT(cctOf(result, {1, 0}), 2.6);
+}
+
+TEST(DecentralizedLas, WorkConservingBackfill) {
+  DecentralizedLasScheduler las;
+  const auto wl = makeWorkload(3, {makeJob(0, 0, {FlowDef{0, 1, 4}}),
+                                   makeJob(1, 0, {FlowDef{2, 1, 4}})});
+  const auto result = runVerified(wl, unitFabric(3), las);
+  // Both flows tie at their (distinct) ingress ports but share egress 1:
+  // total work 8 on egress 1; makespan 8 means no capacity was wasted.
+  EXPECT_NEAR(result.makespan, 8.0, 0.01);
+}
+
+// -------------------------------------------------------------- FIFO-LM --
+
+TEST(FifoLm, LightHeadRunsExclusively) {
+  FifoLmConfig cfg;
+  cfg.heavy_threshold = 100;
+  cfg.quantum = 0.25;
+  FifoLmScheduler baraat(cfg);
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 6}}),
+                                   makeJob(1, 1.0, {FlowDef{0, 1, 6}})});
+  const auto result = runVerified(wl, unitFabric(2), baraat);
+  EXPECT_NEAR(cctOf(result, {0, 0}), 6.0, 1e-6);
+  EXPECT_NEAR(cctOf(result, {1, 0}), 11.0, 1e-6);
+}
+
+TEST(FifoLm, HeavyHeadMultiplexes) {
+  FifoLmConfig cfg;
+  cfg.heavy_threshold = 5;
+  cfg.quantum = 0.25;
+  FifoLmScheduler baraat(cfg);
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 20}}),
+                                   makeJob(1, 6.0, {FlowDef{0, 1, 3}})});
+  const auto result = runVerified(wl, unitFabric(2), baraat);
+  // At t=6 the head has sent 6 > 5: heavy, so the newcomer shares 1/2.
+  EXPECT_NEAR(cctOf(result, {1, 0}), 6.0, 0.3);
+}
+
+// ----------------------------------------------------------------- FIFO --
+
+TEST(Fifo, StrictArrivalOrder) {
+  FifoScheduler fifo;  // Default: Orchestra-style, no multiplexing.
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 10}}),
+                                   makeJob(1, 1.0, {FlowDef{0, 1, 2}})});
+  const auto result = runVerified(wl, unitFabric(2), fifo);
+  EXPECT_NEAR(cctOf(result, {0, 0}), 10.0, 1e-6);
+  EXPECT_NEAR(cctOf(result, {1, 0}), 11.0, 1e-6);  // Head-of-line blocking.
+}
+
+TEST(Fifo, SpilloverIsWorkConserving) {
+  FifoScheduler fifo{FifoConfig{/*work_conserving_spillover=*/true}};
+  // Head coflow saturates port 0 only; the later coflow on port 1 runs
+  // immediately with the leftover capacity.
+  const auto wl = makeWorkload(4, {makeJob(0, 0, {FlowDef{0, 2, 10}}),
+                                   makeJob(1, 0.5, {FlowDef{1, 3, 4}})});
+  const auto result = runVerified(wl, unitFabric(4), fifo);
+  EXPECT_NEAR(cctOf(result, {1, 0}), 4.0, 1e-6);
+}
+
+// ------------------------------------------------------ Continuous CLAS --
+
+TEST(ContinuousClas, IdenticalCoflowsDegenerateToFairSharing) {
+  // Appendix B: continuous priorities interleave identical coflows; both
+  // take ~2x the isolated time.
+  ClasConfig cfg;
+  cfg.quantum = 0.25;
+  ContinuousClasScheduler clas(cfg);
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 6}}),
+                                   makeJob(1, 0, {FlowDef{0, 1, 6}})});
+  const auto result = runVerified(wl, unitFabric(2), clas);
+  EXPECT_NEAR(cctOf(result, {0, 0}), 12.0, 0.5);
+  EXPECT_NEAR(cctOf(result, {1, 0}), 12.0, 0.5);
+
+  // D-CLAS with both coflows in one queue serves them FIFO instead: the
+  // discretization's whole point (T_cont/T_disc -> 2 for the first).
+  DClasConfig dcfg;
+  dcfg.first_threshold = 1000;
+  DClasScheduler dclas(dcfg);
+  const auto dresult = runVerified(wl, unitFabric(2), dclas);
+  EXPECT_NEAR(cctOf(dresult, {0, 0}), 6.0, 1e-6);
+  EXPECT_NEAR(cctOf(dresult, {1, 0}), 12.0, 1e-6);
+}
+
+TEST(ContinuousClas, PrioritizesLeastAttainedGlobally) {
+  ClasConfig cfg;
+  cfg.quantum = 0.25;
+  cfg.tie_window = 0.01;  // Unit-byte test sizes.
+  ContinuousClasScheduler clas(cfg);
+  // C0 sends on two ports (attained grows at 2/s); C1 on one. CLAS soon
+  // prioritizes C1 on the shared port 0.
+  const auto wl =
+      makeWorkload(4, {makeJob(0, 0, {FlowDef{0, 2, 4}, FlowDef{1, 3, 4}}),
+                       makeJob(1, 0, {FlowDef{0, 3, 4}})});
+  const auto result = runVerified(wl, unitFabric(4), clas);
+  // Coordinated: C1 should finish well before the uncoordinated 2x mark.
+  EXPECT_LT(cctOf(result, {1, 0}), cctOf(result, {0, 0}) + 0.5);
+}
+
+// ------------------------------------------------------ Offline 2-approx --
+
+TEST(OfflineOrder, SmallestCoflowFirstOnSingleMachine) {
+  // On one shared port, the 2-approx must order by size (SPT).
+  auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 10}}),
+                             makeJob(1, 0, {FlowDef{0, 1, 2}}),
+                             makeJob(2, 0, {FlowDef{0, 1, 5}})});
+  const auto order = computeConcurrentOpenShopOrder(wl);
+  EXPECT_LT(order.at({1, 0}), order.at({2, 0}));
+  EXPECT_LT(order.at({2, 0}), order.at({0, 0}));
+}
+
+TEST(OfflineOrder, EndToEndBeatsFifoOnAverage) {
+  auto wl = makeWorkload(3, {makeJob(0, 0, {FlowDef{0, 1, 20}}),
+                             makeJob(1, 0, {FlowDef{0, 2, 3}}),
+                             makeJob(2, 0, {FlowDef{0, 1, 6}})});
+  OfflineOrderScheduler offline(computeConcurrentOpenShopOrder(wl));
+  FifoScheduler fifo;
+  const auto off = runVerified(wl, unitFabric(3), offline);
+  const auto ff = runVerified(wl, unitFabric(3), fifo);
+  EXPECT_LE(avgCct(off), avgCct(ff) + 1e-9);
+}
+
+TEST(OfflineOrder, AllCoflowsRanked) {
+  auto wl = makeWorkload(3, {makeJob(0, 0, {FlowDef{0, 1, 1}}),
+                             makeJob(1, 0, {FlowDef{1, 2, 1}})});
+  const auto order = computeConcurrentOpenShopOrder(wl);
+  EXPECT_EQ(order.size(), 2u);
+  EXPECT_TRUE(order.contains({0, 0}));
+  EXPECT_TRUE(order.contains({1, 0}));
+}
+
+// -------------------------------------------------- Cross-scheduler sweep --
+
+struct SchedulerFactory {
+  std::string label;
+  std::function<std::unique_ptr<sim::Scheduler>()> make;
+};
+
+class AllSchedulers : public ::testing::TestWithParam<int> {};
+
+// Every scheduler must complete a randomized workload with feasible
+// allocations and finite CCTs (starvation freedom / work conservation).
+TEST_P(AllSchedulers, CompletesRandomWorkloads) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int ports = static_cast<int>(rng.uniformInt(2, 6));
+  std::vector<coflow::JobSpec> jobs;
+  const int num_jobs = static_cast<int>(rng.uniformInt(2, 10));
+  for (int j = 0; j < num_jobs; ++j) {
+    coflow::JobSpec job;
+    job.id = j;
+    job.arrival = rng.uniform(0, 5);
+    coflow::CoflowSpec spec;
+    spec.id = {j, 0};
+    const int flows = static_cast<int>(rng.uniformInt(1, 6));
+    for (int f = 0; f < flows; ++f) {
+      spec.flows.push_back(coflow::FlowSpec{
+          static_cast<coflow::PortId>(rng.uniformInt(0, ports - 1)),
+          static_cast<coflow::PortId>(rng.uniformInt(0, ports - 1)),
+          rng.uniform(0.5, 20.0), rng.chance(0.2) ? rng.uniform(0, 3) : 0.0});
+    }
+    job.coflows.push_back(std::move(spec));
+    jobs.push_back(std::move(job));
+  }
+  const auto wl = makeWorkload(ports, std::move(jobs));
+
+  DClasConfig dcfg;
+  dcfg.first_threshold = 10.0;
+  dcfg.exp_factor = 4.0;
+  dcfg.num_queues = 4;
+  DClasConfig dcfg_sync = dcfg;
+  dcfg_sync.sync_interval = 1.0;
+  LasConfig las_cfg;
+  las_cfg.quantum = 0.5;
+  FifoLmConfig lm_cfg;
+  lm_cfg.heavy_threshold = 15.0;
+  lm_cfg.quantum = 0.5;
+  ClasConfig clas_cfg;
+  clas_cfg.quantum = 0.5;
+
+  std::vector<std::unique_ptr<sim::Scheduler>> schedulers;
+  schedulers.push_back(std::make_unique<PerFlowFairScheduler>());
+  schedulers.push_back(std::make_unique<DClasScheduler>(dcfg));
+  schedulers.push_back(std::make_unique<DClasScheduler>(dcfg_sync));
+  schedulers.push_back(std::make_unique<VarysScheduler>());
+  schedulers.push_back(std::make_unique<DecentralizedLasScheduler>(las_cfg));
+  schedulers.push_back(std::make_unique<FifoLmScheduler>(lm_cfg));
+  schedulers.push_back(std::make_unique<FifoScheduler>());
+  schedulers.push_back(std::make_unique<ContinuousClasScheduler>(clas_cfg));
+  schedulers.push_back(std::make_unique<OfflineOrderScheduler>(
+      computeConcurrentOpenShopOrder(wl)));
+
+  for (const auto& sched : schedulers) {
+    const auto result = runVerified(wl, unitFabric(ports), *sched);
+    EXPECT_EQ(result.coflows.size(), wl.coflowCount()) << sched->name();
+    for (const auto& rec : result.coflows) {
+      EXPECT_GT(rec.cct(), 0) << sched->name();
+      EXPECT_TRUE(std::isfinite(rec.cct())) << sched->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, AllSchedulers, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace aalo::sched

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "coflow/id_generator.h"
+#include "coflow/ids.h"
+#include "coflow/spec.h"
+#include "util/units.h"
+
+namespace aalo::coflow {
+namespace {
+
+using util::kMB;
+
+TEST(CoflowId, OrderingAndFormat) {
+  const CoflowId a{42, 0};
+  const CoflowId b{42, 1};
+  const CoflowId c{43, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a.toString(), "42.0");
+  CoflowIdFifoLess fifo;
+  EXPECT_TRUE(fifo(a, b));   // Same DAG: parent before dependent.
+  EXPECT_TRUE(fifo(b, c));   // Earlier DAG first.
+  EXPECT_FALSE(fifo(c, a));
+}
+
+TEST(CoflowId, HashDistinguishes) {
+  std::hash<CoflowId> h;
+  EXPECT_NE(h(CoflowId{1, 0}), h(CoflowId{0, 1}));
+  EXPECT_EQ(h(CoflowId{7, 3}), h(CoflowId{7, 3}));
+}
+
+TEST(IdGenerator, RootIdsAreSequential) {
+  CoflowIdGenerator gen;
+  EXPECT_EQ(gen.newRootId(), (CoflowId{0, 0}));
+  EXPECT_EQ(gen.newRootId(), (CoflowId{1, 0}));
+  EXPECT_EQ(gen.nextExternal(), 2);
+}
+
+TEST(IdGenerator, ChildTakesMaxParentPlusOne) {
+  // Pseudocode 2 on Figure 4: the shuffle depending on coflows 42.1 and
+  // 42.2 becomes 42.3.
+  CoflowIdGenerator gen;
+  const std::array<CoflowId, 2> parents = {CoflowId{42, 1}, CoflowId{42, 2}};
+  EXPECT_EQ(gen.newChildId(parents), (CoflowId{42, 3}));
+}
+
+TEST(IdGenerator, ChildValidation) {
+  CoflowIdGenerator gen;
+  EXPECT_THROW(gen.newChildId({}), std::invalid_argument);
+  const std::array<CoflowId, 2> cross_dag = {CoflowId{1, 0}, CoflowId{2, 0}};
+  EXPECT_THROW(gen.newChildId(cross_dag), std::invalid_argument);
+}
+
+TEST(IdGenerator, Figure4Reproduction) {
+  // Figure 4c: six coflows of TPC-DS q42 with dependencies
+  // CA,CB,CC -> CD; CC -> CE; CD,CE -> CF (pipelined chain).
+  CoflowIdGenerator gen;
+  const CoflowId ca = gen.newRootId();
+  EXPECT_EQ(ca.internal, 0);
+  const CoflowId cd = gen.newChildId(std::array{ca});
+  EXPECT_EQ(cd, (CoflowId{ca.external, 1}));
+  const CoflowId ce = gen.newChildId(std::array{ca});
+  EXPECT_EQ(ce, (CoflowId{ca.external, 1}));  // Independent siblings tie.
+  const CoflowId cf = gen.newChildId(std::array{cd, ce});
+  EXPECT_EQ(cf, (CoflowId{ca.external, 2}));
+}
+
+CoflowSpec makeCoflow(CoflowId id, std::initializer_list<FlowSpec> flows) {
+  CoflowSpec c;
+  c.id = id;
+  c.flows = flows;
+  return c;
+}
+
+TEST(CoflowSpec, Aggregates) {
+  const CoflowSpec c = makeCoflow(
+      {1, 0}, {FlowSpec{0, 1, 4 * kMB, 0}, FlowSpec{1, 0, 6 * kMB, 2.0}});
+  EXPECT_DOUBLE_EQ(c.totalBytes(), 10 * kMB);
+  EXPECT_DOUBLE_EQ(c.maxFlowBytes(), 6 * kMB);
+  EXPECT_EQ(c.width(), 2u);
+  EXPECT_EQ(c.waveCount(), 2);
+}
+
+Workload tinyWorkload() {
+  Workload wl;
+  wl.num_ports = 2;
+  JobSpec job;
+  job.id = 0;
+  job.arrival = 0;
+  job.coflows.push_back(makeCoflow({0, 0}, {FlowSpec{0, 1, kMB, 0}}));
+  wl.jobs.push_back(job);
+  return wl;
+}
+
+TEST(Workload, ValidAcceptsTiny) {
+  EXPECT_NO_THROW(tinyWorkload().validate());
+  EXPECT_EQ(tinyWorkload().coflowCount(), 1u);
+  EXPECT_DOUBLE_EQ(tinyWorkload().totalBytes(), kMB);
+}
+
+TEST(Workload, RejectsBadPorts) {
+  Workload wl = tinyWorkload();
+  wl.jobs[0].coflows[0].flows[0].dst = 2;
+  EXPECT_THROW(wl.validate(), std::invalid_argument);
+  wl.num_ports = 0;
+  EXPECT_THROW(wl.validate(), std::invalid_argument);
+}
+
+TEST(Workload, RejectsNonPositiveFlow) {
+  Workload wl = tinyWorkload();
+  wl.jobs[0].coflows[0].flows[0].bytes = 0;
+  EXPECT_THROW(wl.validate(), std::invalid_argument);
+}
+
+TEST(Workload, RejectsDuplicateCoflowIds) {
+  Workload wl = tinyWorkload();
+  JobSpec job2 = wl.jobs[0];
+  job2.id = 1;
+  wl.jobs.push_back(job2);  // Same coflow id 0.0 again.
+  EXPECT_THROW(wl.validate(), std::invalid_argument);
+}
+
+TEST(Workload, RejectsDuplicateJobIds) {
+  Workload wl = tinyWorkload();
+  JobSpec job2 = wl.jobs[0];
+  job2.coflows[0].id = CoflowId{9, 0};
+  wl.jobs.push_back(job2);
+  EXPECT_THROW(wl.validate(), std::invalid_argument);
+}
+
+TEST(Workload, RejectsEmptyCoflow) {
+  Workload wl = tinyWorkload();
+  wl.jobs[0].coflows[0].flows.clear();
+  EXPECT_THROW(wl.validate(), std::invalid_argument);
+}
+
+TEST(Workload, RejectsDanglingDependency) {
+  Workload wl = tinyWorkload();
+  wl.jobs[0].coflows[0].starts_after.push_back(CoflowId{99, 0});
+  EXPECT_THROW(wl.validate(), std::invalid_argument);
+}
+
+TEST(Workload, RejectsNegativeOffsets) {
+  Workload wl = tinyWorkload();
+  wl.jobs[0].coflows[0].flows[0].start_offset = -1;
+  EXPECT_THROW(wl.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aalo::coflow

@@ -1,0 +1,114 @@
+// Reproduction of the paper's Figure 1 worked example.
+//
+// The instance (recovered by tools/fig1_search.cc from the caption's
+// average CCTs): unit-capacity ports, egress uncontended,
+//   C1 (arrives t=0): 3 units on ingress P0 and 3 units on ingress P1,
+//   C2 (arrives t=1): 2 units on ingress P1,
+//   C3 (arrives t=0): 3 units on ingress P0.
+// Caption values: per-flow fairness 5.33, decentralized LAS 5, CLAS with
+// instant coordination 4, optimal 3.67 time units of average CCT.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "sched/clas.h"
+#include "sched/fair.h"
+#include "sched/las.h"
+#include "sched/offline_opt.h"
+#include "sim/simulator.h"
+#include "tests/helpers.h"
+
+namespace aalo {
+namespace {
+
+coflow::Workload figure1Workload() {
+  coflow::Workload wl;
+  wl.num_ports = 8;  // Ingress 0-1 contended; egress 2+ all distinct.
+  auto add = [&](coflow::JobId id, double arrival,
+                 std::vector<coflow::FlowSpec> flows) {
+    coflow::JobSpec job;
+    job.id = id;
+    job.arrival = arrival;
+    coflow::CoflowSpec spec;
+    spec.id = {id, 0};
+    spec.flows = std::move(flows);
+    job.coflows.push_back(std::move(spec));
+    wl.jobs.push_back(std::move(job));
+  };
+  add(0, 0.0, {{0, 2, 3.0, 0}, {1, 3, 3.0, 0}});  // C1
+  add(1, 1.0, {{1, 4, 2.0, 0}});                  // C2
+  add(2, 0.0, {{0, 5, 3.0, 0}});                  // C3
+  return wl;
+}
+
+constexpr fabric::FabricConfig kFig1Fabric{8, 1.0};
+
+TEST(Figure1, PerFlowFairnessAverages5_33) {
+  sched::PerFlowFairScheduler fair;
+  const auto r = testing::runVerified(figure1Workload(), kFig1Fabric, fair);
+  EXPECT_NEAR(testing::cctOf(r, {0, 0}), 6.0, 1e-6);  // C1
+  EXPECT_NEAR(testing::cctOf(r, {1, 0}), 4.0, 1e-6);  // C2
+  EXPECT_NEAR(testing::cctOf(r, {2, 0}), 6.0, 1e-6);  // C3
+  EXPECT_NEAR(testing::avgCct(r), 16.0 / 3, 1e-6);
+}
+
+TEST(Figure1, DecentralizedLasAverages5) {
+  sched::LasConfig cfg;
+  cfg.tie_window = 1e-4;
+  cfg.quantum = 0.05;
+  sched::DecentralizedLasScheduler las(cfg);
+  const auto r = testing::runVerified(figure1Workload(), kFig1Fabric, las);
+  // P0 is split equally between C1 and C3 the whole way (local attained
+  // stays tied): both finish at 6. On P1, C2 catches up with C1's local
+  // service, then they share.
+  EXPECT_NEAR(testing::cctOf(r, {0, 0}), 6.0, 0.1);
+  EXPECT_NEAR(testing::cctOf(r, {1, 0}), 3.0, 0.1);
+  EXPECT_NEAR(testing::cctOf(r, {2, 0}), 6.0, 0.1);
+  EXPECT_NEAR(testing::avgCct(r), 5.0, 0.1);
+}
+
+TEST(Figure1, CoordinatedClasAverages4) {
+  sched::ClasConfig cfg;
+  cfg.tie_window = 1e-4;
+  cfg.quantum = 0.05;
+  sched::ContinuousClasScheduler clas(cfg);
+  const auto r = testing::runVerified(figure1Workload(), kFig1Fabric, clas);
+  EXPECT_NEAR(testing::cctOf(r, {0, 0}), 6.0, 0.1);
+  EXPECT_NEAR(testing::cctOf(r, {1, 0}), 2.0, 0.1);
+  EXPECT_NEAR(testing::cctOf(r, {2, 0}), 4.0, 0.1);
+  EXPECT_NEAR(testing::avgCct(r), 4.0, 0.1);
+}
+
+TEST(Figure1, OptimalPermutationAverages3_67) {
+  // Optimal order: C3 first, then C2, then C1 (work-conserving strict
+  // priority): CCTs 6 (C1), 2 (C2), 3 (C3).
+  std::unordered_map<coflow::CoflowId, int> order = {
+      {{2, 0}, 0}, {{1, 0}, 1}, {{0, 0}, 2}};
+  sched::OfflineOrderScheduler opt(order);
+  const auto r = testing::runVerified(figure1Workload(), kFig1Fabric, opt);
+  EXPECT_NEAR(testing::cctOf(r, {0, 0}), 6.0, 1e-6);
+  EXPECT_NEAR(testing::cctOf(r, {1, 0}), 2.0, 1e-6);
+  EXPECT_NEAR(testing::cctOf(r, {2, 0}), 3.0, 1e-6);
+  EXPECT_NEAR(testing::avgCct(r), 11.0 / 3, 1e-6);
+}
+
+TEST(Figure1, MechanismOrderingMatchesPaper) {
+  sched::PerFlowFairScheduler fair;
+  sched::LasConfig las_cfg;
+  las_cfg.tie_window = 1e-4;
+  las_cfg.quantum = 0.05;
+  sched::DecentralizedLasScheduler las(las_cfg);
+  sched::ClasConfig clas_cfg;
+  clas_cfg.tie_window = 1e-4;
+  clas_cfg.quantum = 0.05;
+  sched::ContinuousClasScheduler clas(clas_cfg);
+  const auto wl = figure1Workload();
+  const double v_fair = testing::avgCct(testing::runVerified(wl, kFig1Fabric, fair));
+  const double v_las = testing::avgCct(testing::runVerified(wl, kFig1Fabric, las));
+  const double v_clas = testing::avgCct(testing::runVerified(wl, kFig1Fabric, clas));
+  EXPECT_GT(v_fair, v_las);
+  EXPECT_GT(v_las, v_clas);
+}
+
+}  // namespace
+}  // namespace aalo

@@ -1,0 +1,73 @@
+// Shared builders for scheduler/simulator tests: tiny workloads with
+// hand-computable completion times on unit-capacity fabrics.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "coflow/spec.h"
+#include "fabric/fabric.h"
+#include "sim/simulator.h"
+
+namespace aalo::testing {
+
+/// Fabric with `ports` ports of 1 byte/s each: sizes == seconds.
+inline fabric::FabricConfig unitFabric(int ports) {
+  return fabric::FabricConfig{ports, 1.0};
+}
+
+struct FlowDef {
+  coflow::PortId src;
+  coflow::PortId dst;
+  util::Bytes bytes;
+  util::Seconds offset = 0;
+};
+
+/// One job holding one coflow with the given flows.
+inline coflow::JobSpec makeJob(coflow::JobId job_id, util::Seconds arrival,
+                               std::initializer_list<FlowDef> flows,
+                               std::int32_t internal = 0) {
+  coflow::JobSpec job;
+  job.id = job_id;
+  job.arrival = arrival;
+  coflow::CoflowSpec spec;
+  spec.id = coflow::CoflowId{job_id, internal};
+  for (const FlowDef& f : flows) {
+    spec.flows.push_back(coflow::FlowSpec{f.src, f.dst, f.bytes, f.offset});
+  }
+  job.coflows.push_back(std::move(spec));
+  return job;
+}
+
+inline coflow::Workload makeWorkload(int ports,
+                                     std::vector<coflow::JobSpec> jobs) {
+  coflow::Workload wl;
+  wl.num_ports = ports;
+  wl.jobs = std::move(jobs);
+  return wl;
+}
+
+/// Runs with allocation verification on (tests always verify feasibility).
+inline sim::SimResult runVerified(const coflow::Workload& wl,
+                                  fabric::FabricConfig fc, sim::Scheduler& sched) {
+  sim::SimOptions opts;
+  opts.verify_allocations = true;
+  return sim::runSimulation(wl, fc, sched, opts);
+}
+
+/// CCT of the coflow with the given id; throws if absent.
+inline util::Seconds cctOf(const sim::SimResult& result, coflow::CoflowId id) {
+  for (const auto& rec : result.coflows) {
+    if (rec.id == id) return rec.cct();
+  }
+  throw std::out_of_range("cctOf: coflow not in result");
+}
+
+/// Average CCT over all coflows.
+inline double avgCct(const sim::SimResult& result) {
+  double total = 0;
+  for (const auto& rec : result.coflows) total += rec.cct();
+  return total / static_cast<double>(result.coflows.size());
+}
+
+}  // namespace aalo::testing

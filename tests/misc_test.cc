@@ -1,0 +1,178 @@
+// Remaining corners: logging levels, socket errors, event-loop interest
+// management, engine guard rails (starvation detection, allocation
+// verification), LAS/FIFO-LM non-work-conserving modes.
+#include <gtest/gtest.h>
+
+#include <sys/epoll.h>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "sched/fifo_lm.h"
+#include "sched/las.h"
+#include "sim/simulator.h"
+#include "tests/helpers.h"
+#include "util/log.h"
+
+namespace aalo {
+namespace {
+
+using testing::FlowDef;
+using testing::makeJob;
+using testing::makeWorkload;
+using testing::unitFabric;
+
+TEST(Log, LevelFiltering) {
+  const auto saved = util::logLevel();
+  util::setLogLevel(util::LogLevel::kError);
+  EXPECT_EQ(util::logLevel(), util::LogLevel::kError);
+  // Below-threshold messages are dropped (no crash, no output assertion
+  // possible on stderr here; exercise the path).
+  AALO_LOG_DEBUG << "dropped";
+  AALO_LOG_ERROR << "emitted";
+  util::setLogLevel(saved);
+}
+
+TEST(Sockets, ConnectToClosedPortThrows) {
+  // Grab an ephemeral port, then close it: connecting must fail.
+  std::uint16_t dead_port;
+  {
+    auto [listener, port] = net::listenTcp(0);
+    dead_port = port;
+  }
+  EXPECT_THROW(net::connectTcp(dead_port), std::system_error);
+}
+
+TEST(Sockets, FdMoveSemantics) {
+  auto [listener, port] = net::listenTcp(0);
+  const int raw = listener.get();
+  net::Fd moved = std::move(listener);
+  EXPECT_EQ(moved.get(), raw);
+  EXPECT_FALSE(listener.valid());  // NOLINT(bugprone-use-after-move)
+  net::Fd assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.get(), raw);
+  EXPECT_EQ(assigned.release(), raw);
+  EXPECT_FALSE(assigned.valid());
+  ::close(raw);
+}
+
+TEST(EventLoop, WatchedAndRemoveAreIdempotent) {
+  net::EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  loop.add(fds[0], EPOLLIN, [](std::uint32_t) {});
+  EXPECT_TRUE(loop.watched(fds[0]));
+  loop.remove(fds[0]);
+  EXPECT_FALSE(loop.watched(fds[0]));
+  loop.remove(fds[0]);  // Second remove is a no-op.
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// A scheduler that refuses to allocate anything: the engine must detect
+// the starvation deadlock instead of spinning forever.
+class StarvingScheduler final : public sim::Scheduler {
+ public:
+  std::string name() const override { return "starving"; }
+  void allocate(const sim::SimView&, std::vector<util::Rate>&) override {}
+};
+
+TEST(SimulatorGuards, DetectsStarvationDeadlock) {
+  StarvingScheduler starving;
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 5}})});
+  sim::Simulator sim(unitFabric(2), starving);
+  EXPECT_THROW(sim.run(wl), std::runtime_error);
+}
+
+// A scheduler that oversubscribes a port: the verifier must reject it.
+class CheatingScheduler final : public sim::Scheduler {
+ public:
+  std::string name() const override { return "cheating"; }
+  void allocate(const sim::SimView& view, std::vector<util::Rate>& rates) override {
+    for (const std::size_t fi : *view.active_flows) {
+      rates[fi] = view.fabric->ingressCapacity(view.flow(fi).src) * 3.0;
+    }
+  }
+};
+
+TEST(SimulatorGuards, VerifierRejectsInfeasibleAllocation) {
+  CheatingScheduler cheating;
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 5}}),
+                                   makeJob(1, 0, {FlowDef{0, 1, 5}})});
+  sim::SimOptions opts;
+  opts.verify_allocations = true;
+  sim::Simulator sim(unitFabric(2), cheating, opts);
+  EXPECT_THROW(sim.run(wl), std::logic_error);
+}
+
+// A scheduler returning negative rates is caught too.
+class NegativeScheduler final : public sim::Scheduler {
+ public:
+  std::string name() const override { return "negative"; }
+  void allocate(const sim::SimView& view, std::vector<util::Rate>& rates) override {
+    for (const std::size_t fi : *view.active_flows) rates[fi] = -1.0;
+  }
+};
+
+TEST(SimulatorGuards, NegativeRatesAreClampedToZeroThenStarve) {
+  // The engine clamps negative rates to 0; with nothing flowing, that is
+  // a starvation deadlock.
+  NegativeScheduler negative;
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 5}})});
+  sim::Simulator sim(unitFabric(2), negative);
+  EXPECT_THROW(sim.run(wl), std::runtime_error);
+}
+
+TEST(NonWorkConserving, LasCanIdleWhenDisabled) {
+  // Without backfill, a deprioritized coflow's ports sit idle: total time
+  // is strictly worse than the work-conserving run.
+  sched::LasConfig cfg;
+  cfg.quantum = 0.1;
+  cfg.tie_window = 0.01;
+  cfg.work_conserving = false;
+  sched::DecentralizedLasScheduler strict_las(cfg);
+  cfg.work_conserving = true;
+  sched::DecentralizedLasScheduler wc_las(cfg);
+
+  // C0's flow and C1's flow share egress 1 from different ingress ports;
+  // LAS picks per-ingress winners, so both are "winners" and this matches
+  // on both. Add a third coflow that loses at ingress 0 and would idle
+  // port 0's leftover without backfill.
+  const auto wl = makeWorkload(
+      3, {makeJob(0, 0, {FlowDef{0, 1, 4}}), makeJob(1, 0.5, {FlowDef{0, 2, 4}})});
+  const auto strict = sim::runSimulation(wl, unitFabric(3), strict_las);
+  const auto wc = sim::runSimulation(wl, unitFabric(3), wc_las);
+  EXPECT_GE(strict.makespan + 1e-9, wc.makespan);
+}
+
+TEST(NonWorkConserving, FifoLmRespectsFlag) {
+  sched::FifoLmConfig cfg;
+  cfg.heavy_threshold = 100;
+  cfg.quantum = 0.1;
+  cfg.work_conserving = false;
+  sched::FifoLmScheduler lm(cfg);
+  // Head coflow uses port 0 only; without spillover the port-1 coflow
+  // still runs (it is the head at its own port) — FIFO-LM is per-port, so
+  // the flag only affects egress leftovers. Feasibility is the point.
+  const auto wl = makeWorkload(4, {makeJob(0, 0, {FlowDef{0, 2, 4}}),
+                                   makeJob(1, 0, {FlowDef{1, 3, 4}})});
+  sim::SimOptions opts;
+  opts.verify_allocations = true;
+  sim::Simulator sim(unitFabric(4), lm, opts);
+  const auto result = sim.run(wl);
+  EXPECT_EQ(result.coflows.size(), 2u);
+}
+
+TEST(SimulatorGuards, MaxRoundsBackstop) {
+  sched::LasConfig cfg;
+  cfg.quantum = 1e-7;  // Pathological quantum: floods the engine.
+  sched::DecentralizedLasScheduler las(cfg);
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 5}})});
+  sim::SimOptions opts;
+  opts.max_rounds = 1000;
+  sim::Simulator sim(unitFabric(2), las, opts);
+  EXPECT_THROW(sim.run(wl), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aalo

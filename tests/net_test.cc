@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <sys/epoll.h>
+
+#include <chrono>
+#include <thread>
+
+#include "net/buffer.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace aalo::net {
+namespace {
+
+TEST(Buffer, PrimitiveRoundTrip) {
+  Buffer b;
+  b.putU8(0xAB);
+  b.putU32(0xDEADBEEF);
+  b.putU64(0x0123456789ABCDEFull);
+  b.putI64(-42);
+  b.putDouble(3.14159);
+  b.putString("hello");
+  EXPECT_EQ(b.getU8(), 0xAB);
+  EXPECT_EQ(b.getU32(), 0xDEADBEEFu);
+  EXPECT_EQ(b.getU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(b.getI64(), -42);
+  EXPECT_DOUBLE_EQ(b.getDouble(), 3.14159);
+  EXPECT_EQ(b.getString(), "hello");
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Buffer, UnderrunThrows) {
+  Buffer b;
+  b.putU8(1);
+  EXPECT_THROW(b.getU32(), std::out_of_range);
+  Buffer c;
+  c.putU32(100);  // String length 100 with no payload.
+  EXPECT_THROW(c.getString(), std::out_of_range);
+}
+
+TEST(Buffer, ConsumeOverrunThrows) {
+  Buffer b;
+  b.putU32(7);
+  EXPECT_THROW(b.consume(5), std::out_of_range);
+}
+
+TEST(Buffer, GrowsAndCompacts) {
+  Buffer b;
+  std::vector<std::uint8_t> blob(100000, 0x5A);
+  for (int i = 0; i < 5; ++i) {
+    b.append(blob.data(), blob.size());
+    b.consume(blob.size() / 2);
+  }
+  // Still coherent after interleaved appends/consumes.
+  const auto view = b.readable();
+  for (const auto byte : view) EXPECT_EQ(byte, 0x5A);
+}
+
+TEST(Protocol, AllMessageTypesRoundTrip) {
+  std::vector<Message> messages;
+  {
+    Message m;
+    m.type = MessageType::kHello;
+    m.daemon_id = 77;
+    messages.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MessageType::kRegisterCoflow;
+    m.request_id = 5;
+    m.parents = {{42, 1}, {42, 2}};
+    messages.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MessageType::kRegisterReply;
+    m.request_id = 5;
+    m.coflow = {42, 3};
+    messages.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MessageType::kUnregisterCoflow;
+    m.coflow = {7, 0};
+    messages.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MessageType::kSizeReport;
+    m.daemon_id = 3;
+    m.sizes = {{{1, 0}, 1e6}, {{2, 0}, 2.5e9}};
+    messages.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MessageType::kScheduleUpdate;
+    m.epoch = 99;
+    m.schedule = {{{1, 0}, 1e6, 0}, {{2, 0}, 2.5e9, 3}};
+    messages.push_back(m);
+  }
+
+  for (const Message& m : messages) {
+    Buffer buffer;
+    encodeMessage(m, buffer);
+    const Message decoded = decodeMessage(buffer);
+    EXPECT_EQ(decoded.type, m.type);
+    EXPECT_EQ(decoded.daemon_id, m.daemon_id);
+    EXPECT_EQ(decoded.request_id, m.request_id);
+    EXPECT_EQ(decoded.epoch, m.epoch);
+    EXPECT_EQ(decoded.coflow, m.coflow);
+    EXPECT_EQ(decoded.parents, m.parents);
+    EXPECT_EQ(decoded.sizes, m.sizes);
+    EXPECT_EQ(decoded.schedule, m.schedule);
+  }
+}
+
+TEST(Protocol, RejectsUnknownTypeAndTrailingBytes) {
+  Buffer bad;
+  bad.putU8(99);
+  EXPECT_THROW(decodeMessage(bad), std::runtime_error);
+
+  Message m;
+  m.type = MessageType::kHello;
+  m.daemon_id = 1;
+  Buffer with_trailing;
+  encodeMessage(m, with_trailing);
+  with_trailing.putU8(0);
+  EXPECT_THROW(decodeMessage(with_trailing), std::runtime_error);
+}
+
+TEST(EventLoop, TimersFireInOrder) {
+  EventLoop loop;
+  std::vector<int> fired;
+  const auto now = EventLoop::Clock::now();
+  loop.callAt(now + std::chrono::milliseconds(20), [&] { fired.push_back(2); });
+  loop.callAt(now + std::chrono::milliseconds(5), [&] { fired.push_back(1); });
+  const auto deadline = now + std::chrono::milliseconds(200);
+  while (fired.size() < 2 && EventLoop::Clock::now() < deadline) {
+    loop.runOnce(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(fired[1], 2);
+}
+
+TEST(EventLoop, CancelledTimerDoesNotFire) {
+  EventLoop loop;
+  bool fired = false;
+  const auto token = loop.callAfter(std::chrono::milliseconds(5),
+                                    [&] { fired = true; });
+  loop.cancelTimer(token);
+  const auto deadline =
+      EventLoop::Clock::now() + std::chrono::milliseconds(50);
+  while (EventLoop::Clock::now() < deadline) {
+    loop.runOnce(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, PostRunsOnLoopAndWakes) {
+  EventLoop loop;
+  std::atomic<bool> ran{false};
+  std::thread poster([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    loop.post([&] { ran = true; });
+  });
+  const auto deadline = EventLoop::Clock::now() + std::chrono::seconds(2);
+  while (!ran && EventLoop::Clock::now() < deadline) {
+    loop.runOnce(std::chrono::milliseconds(100));
+  }
+  poster.join();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Sockets, ListenConnectAccept) {
+  auto [listener, port] = listenTcp(0);
+  ASSERT_TRUE(listener.valid());
+  EXPECT_GT(port, 0);
+  Fd client = connectTcp(port);
+  ASSERT_TRUE(client.valid());
+  Fd server;
+  for (int i = 0; i < 100 && !server.valid(); ++i) {
+    server = acceptTcp(listener.get());
+    if (!server.valid()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(server.valid());
+}
+
+class ConnectionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto [listener, port] = listenTcp(0);
+    listener_ = std::move(listener);
+    client_fd_ = connectTcp(port);
+    for (int i = 0; i < 100 && !server_fd_.valid(); ++i) {
+      server_fd_ = acceptTcp(listener_.get());
+      if (!server_fd_.valid()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(server_fd_.valid());
+  }
+
+  void pump(EventLoop& loop, auto done, int max_ms = 2000) {
+    const auto deadline =
+        EventLoop::Clock::now() + std::chrono::milliseconds(max_ms);
+    while (!done() && EventLoop::Clock::now() < deadline) {
+      loop.runOnce(std::chrono::milliseconds(10));
+    }
+  }
+
+  Fd listener_;
+  Fd client_fd_;
+  Fd server_fd_;
+};
+
+TEST_F(ConnectionFixture, FramesRoundTripBothWays) {
+  EventLoop loop;
+  std::vector<std::string> server_got;
+  std::vector<std::string> client_got;
+  Connection server(loop, std::move(server_fd_),
+                    [&](Buffer& p) { server_got.push_back(p.getString()); }, {});
+  Connection client(loop, std::move(client_fd_),
+                    [&](Buffer& p) { client_got.push_back(p.getString()); }, {});
+
+  Buffer hello;
+  hello.putString("from-client");
+  client.sendFrame(hello);
+  Buffer reply;
+  reply.putString("from-server");
+  server.sendFrame(reply);
+
+  pump(loop, [&] { return !server_got.empty() && !client_got.empty(); });
+  ASSERT_EQ(server_got.size(), 1u);
+  EXPECT_EQ(server_got[0], "from-client");
+  ASSERT_EQ(client_got.size(), 1u);
+  EXPECT_EQ(client_got[0], "from-server");
+}
+
+TEST_F(ConnectionFixture, ManySmallFramesCoalesce) {
+  EventLoop loop;
+  int received = 0;
+  Connection server(loop, std::move(server_fd_),
+                    [&](Buffer& p) {
+                      EXPECT_EQ(p.getU32(), static_cast<std::uint32_t>(received));
+                      ++received;
+                    },
+                    {});
+  Connection client(loop, std::move(client_fd_), {}, {});
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    Buffer payload;
+    payload.putU32(i);
+    client.sendFrame(payload);
+  }
+  pump(loop, [&] { return received == 500; });
+  EXPECT_EQ(received, 500);
+}
+
+TEST_F(ConnectionFixture, LargeFrameSurvivesPartialWrites) {
+  EventLoop loop;
+  std::size_t got = 0;
+  Connection server(loop, std::move(server_fd_),
+                    [&](Buffer& p) { got = p.readableBytes(); }, {});
+  Connection client(loop, std::move(client_fd_), {}, {});
+  std::vector<std::uint8_t> blob(8 * 1024 * 1024, 0x42);
+  client.sendFrame(std::span<const std::uint8_t>(blob));
+  pump(loop, [&] { return got == blob.size(); }, 5000);
+  EXPECT_EQ(got, blob.size());
+}
+
+TEST_F(ConnectionFixture, PeerCloseTriggersHandler) {
+  EventLoop loop;
+  bool closed = false;
+  Connection server(loop, std::move(server_fd_), [](Buffer&) {},
+                    [&] { closed = true; });
+  client_fd_.reset();  // Close the client side.
+  pump(loop, [&] { return closed; });
+  EXPECT_TRUE(closed);
+  EXPECT_TRUE(server.closed());
+}
+
+}  // namespace
+}  // namespace aalo::net

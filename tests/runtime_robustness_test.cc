@@ -1,0 +1,206 @@
+// Runtime robustness: malformed frames, multiple clients, unregister
+// cleanup, and the §6.2 ON/OFF flow-gating signals.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "net/connection.h"
+#include "net/protocol.h"
+#include "runtime/client.h"
+#include "runtime/coordinator.h"
+#include "runtime/daemon.h"
+#include "util/units.h"
+
+namespace aalo::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+void waitFor(auto predicate, std::chrono::milliseconds timeout = 3000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!predicate() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_TRUE(predicate()) << "timed out";
+}
+
+CoordinatorConfig fastCoordinator() {
+  CoordinatorConfig cfg;
+  cfg.sync_interval = 0.005;
+  return cfg;
+}
+
+TEST(RuntimeRobustness, CoordinatorSurvivesMalformedFrames) {
+  Coordinator coordinator(fastCoordinator());
+  coordinator.start();
+
+  // Hand-roll a client that sends garbage frames.
+  net::EventLoop loop;
+  net::Fd fd = net::connectTcp(coordinator.port());
+  net::Connection conn(loop, std::move(fd), {}, {});
+  net::Buffer garbage;
+  garbage.putU8(99);  // Unknown type.
+  garbage.putU64(123456);
+  conn.sendFrame(garbage);
+  net::Buffer truncated;
+  truncated.putU8(2);  // RegisterCoflow missing its fields.
+  conn.sendFrame(truncated);
+  for (int i = 0; i < 20; ++i) loop.runOnce(std::chrono::milliseconds(5));
+
+  // Coordinator still alive and serving real clients.
+  AaloClient client(coordinator.port());
+  const auto id = client.registerCoflow();
+  EXPECT_EQ(id.internal, 0);
+  coordinator.stop();
+}
+
+TEST(RuntimeRobustness, MultipleClientsGetDistinctIds) {
+  Coordinator coordinator(fastCoordinator());
+  coordinator.start();
+  AaloClient a(coordinator.port());
+  AaloClient b(coordinator.port());
+  const auto ia = a.registerCoflow();
+  const auto ib = b.registerCoflow();
+  const auto ia2 = a.registerCoflow();
+  EXPECT_NE(ia, ib);
+  EXPECT_NE(ib, ia2);
+  EXPECT_NE(ia, ia2);
+  coordinator.stop();
+}
+
+TEST(RuntimeRobustness, UnregisterRemovesFromSchedules) {
+  Coordinator coordinator(fastCoordinator());
+  coordinator.start();
+  DaemonConfig dcfg;
+  dcfg.coordinator_port = coordinator.port();
+  dcfg.daemon_id = 1;
+  dcfg.sync_interval = 0.005;
+  Daemon daemon(dcfg);
+  daemon.start();
+
+  AaloClient client(coordinator.port());
+  const auto id = client.registerCoflow();
+  daemon.reportBytes(id, 50 * util::kMB);
+  waitFor([&] { return daemon.queueOf(id) > 0; });
+
+  client.unregisterCoflow(id);
+  waitFor([&] { return coordinator.registeredCoflows() == 0; });
+  // After the next schedule the daemon no longer knows the coflow: it
+  // falls back to the highest-priority default.
+  waitFor([&] { return daemon.queueOf(id) == 0; });
+  daemon.stop();
+  coordinator.stop();
+}
+
+TEST(RuntimeRobustness, OnOffSignalsGateLowPriorityCoflows) {
+  CoordinatorConfig ccfg = fastCoordinator();
+  ccfg.max_on_coflows = 1;  // Only the top coflow may send (§6.2).
+  ccfg.dclas.first_threshold = 1 * util::kMB;
+  ccfg.dclas.num_queues = 3;
+  Coordinator coordinator(ccfg);
+  coordinator.start();
+
+  DaemonConfig dcfg;
+  dcfg.coordinator_port = coordinator.port();
+  dcfg.daemon_id = 1;
+  dcfg.sync_interval = 0.005;
+  dcfg.num_queues = 3;
+  dcfg.uplink_capacity = 100.0;
+  Daemon daemon(dcfg);
+  daemon.start();
+
+  AaloClient client(coordinator.port());
+  const auto hot = client.registerCoflow();
+  const auto cold = client.registerCoflow();
+  daemon.writerActive(hot, true);
+  daemon.writerActive(cold, true);
+  // Demote 'cold' so 'hot' sorts first; with max_on=1, cold goes OFF.
+  daemon.reportBytes(cold, 5 * util::kMB);
+  waitFor([&] { return !daemon.isOn(cold); });
+  EXPECT_TRUE(daemon.isOn(hot));
+  EXPECT_DOUBLE_EQ(daemon.rateFor(cold), 0.0);
+  // The OFF coflow's share flows to the ON one: full uplink.
+  EXPECT_DOUBLE_EQ(daemon.rateFor(hot), 100.0);
+
+  daemon.writerActive(hot, false);
+  daemon.writerActive(cold, false);
+  daemon.stop();
+  coordinator.stop();
+}
+
+TEST(RuntimeRobustness, OnByDefaultWithoutBudget) {
+  Coordinator coordinator(fastCoordinator());  // max_on_coflows = 0.
+  coordinator.start();
+  DaemonConfig dcfg;
+  dcfg.coordinator_port = coordinator.port();
+  dcfg.daemon_id = 1;
+  dcfg.sync_interval = 0.005;
+  Daemon daemon(dcfg);
+  daemon.start();
+
+  AaloClient client(coordinator.port());
+  const auto a = client.registerCoflow();
+  const auto b = client.registerCoflow();
+  daemon.reportBytes(a, 1.0);
+  daemon.reportBytes(b, 1.0);
+  waitFor([&] { return daemon.lastEpoch() >= 3; });
+  EXPECT_TRUE(daemon.isOn(a));
+  EXPECT_TRUE(daemon.isOn(b));
+  daemon.stop();
+  coordinator.stop();
+}
+
+TEST(RuntimeRobustness, ScheduleEntryOnFlagRoundTrips) {
+  net::Message m;
+  m.type = net::MessageType::kScheduleUpdate;
+  m.epoch = 1;
+  m.schedule = {{{1, 0}, 100.0, 0, true}, {{2, 0}, 200.0, 1, false}};
+  net::Buffer buffer;
+  net::encodeMessage(m, buffer);
+  const auto decoded = net::decodeMessage(buffer);
+  ASSERT_EQ(decoded.schedule.size(), 2u);
+  EXPECT_TRUE(decoded.schedule[0].on);
+  EXPECT_FALSE(decoded.schedule[1].on);
+}
+
+
+TEST(RuntimeRobustness, DaemonReconnectsAfterCoordinatorRestart) {
+  auto coordinator = std::make_unique<Coordinator>(fastCoordinator());
+  coordinator->start();
+  const std::uint16_t port = coordinator->port();
+
+  DaemonConfig dcfg;
+  dcfg.coordinator_port = port;
+  dcfg.daemon_id = 5;
+  dcfg.sync_interval = 0.005;
+  dcfg.reconnect_interval = 0.02;
+  Daemon daemon(dcfg);
+  daemon.start();
+  waitFor([&] { return daemon.connected() && daemon.lastEpoch() >= 1; });
+
+  // Local observations made before the outage survive it (§3.2).
+  const coflow::CoflowId id{0, 0};
+  daemon.reportBytes(id, 7 * util::kMB);
+
+  coordinator->stop();
+  coordinator.reset();
+  waitFor([&] { return !daemon.connected(); });
+
+  // Restart on the same port; the daemon must find it again.
+  CoordinatorConfig ccfg = fastCoordinator();
+  ccfg.port = port;
+  ccfg.dclas.first_threshold = 1 * util::kMB;
+  coordinator = std::make_unique<Coordinator>(ccfg);
+  coordinator->start();
+  waitFor([&] { return daemon.connected(); });
+  waitFor([&] { return coordinator->daemonCount() == 1; });
+  // The retained local sizes reach the new coordinator and demote the
+  // coflow past the 1 MB threshold.
+  waitFor([&] { return daemon.queueOf(id) > 0; });
+  daemon.stop();
+  coordinator->stop();
+}
+
+}  // namespace
+}  // namespace aalo::runtime

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "sched/dclas.h"
+#include "sched/uncoordinated.h"
+#include "sched/varys.h"
+#include "tests/helpers.h"
+
+namespace aalo::sched {
+namespace {
+
+using aalo::testing::FlowDef;
+using aalo::testing::cctOf;
+using aalo::testing::makeJob;
+using aalo::testing::makeWorkload;
+using aalo::testing::runVerified;
+using aalo::testing::unitFabric;
+
+DClasConfig smallConfig() {
+  DClasConfig cfg;
+  cfg.first_threshold = 10.0;
+  cfg.exp_factor = 10.0;
+  cfg.num_queues = 4;
+  return cfg;
+}
+
+// Wide coflows whose per-port pieces stay below the local threshold are
+// never demoted locally, so they convoy ahead of a genuinely small coflow
+// — while the coordinated scheduler demotes each after one crossing
+// (the Theorem A.1 pathology).
+TEST(UncoordinatedDClas, LocalKnowledgeConvoysWideCoflows) {
+  // Four wide coflows (ids 0-3): 9 units on each of 4 port pairs (total
+  // 36 each, but only 9 visible per port). One thin coflow (id 9): 9.5
+  // units on port pair (0, 3).
+  std::vector<coflow::JobSpec> jobs;
+  for (int w = 0; w < 4; ++w) {
+    coflow::JobSpec wide;
+    wide.id = w;
+    wide.arrival = 0;
+    coflow::CoflowSpec wspec;
+    wspec.id = {w, 0};
+    for (int i = 0; i < 4; ++i) {
+      wspec.flows.push_back(
+          coflow::FlowSpec{static_cast<coflow::PortId>(i),
+                           static_cast<coflow::PortId>(3 - i), 9.0, 0});
+    }
+    wide.coflows.push_back(wspec);
+    jobs.push_back(wide);
+  }
+  jobs.push_back(makeJob(9, 0, {FlowDef{0, 3, 9.5}}));
+  const auto wl = makeWorkload(4, std::move(jobs));
+
+  UncoordinatedDClasScheduler local(smallConfig(), 0.1);
+  const auto local_result = runVerified(wl, unitFabric(4), local);
+  DClasScheduler coordinated(smallConfig());
+  const auto coord_result = runVerified(wl, unitFabric(4), coordinated);
+
+  // Uncoordinated: every wide coflow's local attained caps at 9 < 10, so
+  // all four stay in the top local queue and the thin coflow waits for
+  // the whole 36-unit convoy. Coordinated: each wide coflow's global size
+  // crosses the threshold after 10 units and is demoted.
+  EXPECT_LT(cctOf(coord_result, {9, 0}), cctOf(local_result, {9, 0}) - 5.0);
+}
+
+TEST(UncoordinatedDClas, MatchesCoordinatedOnSinglePortWorkloads) {
+  // With one contended port, local == global knowledge; both schedulers
+  // demote at the same thresholds (up to the decision quantum).
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 30}}),
+                                   makeJob(1, 2.0, {FlowDef{0, 1, 4}})});
+  UncoordinatedDClasScheduler local(smallConfig(), 0.05);
+  DClasScheduler coordinated(smallConfig());
+  const auto local_result = runVerified(wl, unitFabric(2), local);
+  const auto coord_result = runVerified(wl, unitFabric(2), coordinated);
+  for (const auto id : {coflow::CoflowId{0, 0}, coflow::CoflowId{1, 0}}) {
+    EXPECT_NEAR(cctOf(local_result, id), cctOf(coord_result, id), 0.4);
+  }
+}
+
+TEST(UncoordinatedDClas, IsWorkConserving) {
+  const auto wl = makeWorkload(4, {makeJob(0, 0, {FlowDef{0, 2, 6}}),
+                                   makeJob(1, 0, {FlowDef{1, 3, 6}})});
+  UncoordinatedDClasScheduler local(smallConfig(), 0.1);
+  const auto result = runVerified(wl, unitFabric(4), local);
+  // Disjoint port pairs: both must run at full rate.
+  EXPECT_NEAR(result.makespan, 6.0, 1e-6);
+}
+
+TEST(VarysAdmission, DelayGatesNewCoflows) {
+  VarysConfig cfg;
+  cfg.admission_delay = 2.0;
+  VarysScheduler varys(cfg);
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 4}})});
+  const auto result = runVerified(wl, unitFabric(2), varys);
+  // 2s admission + 4s transfer.
+  EXPECT_NEAR(result.coflows[0].cct(), 6.0, 1e-6);
+}
+
+TEST(VarysAdmission, ZeroDelayUnchanged) {
+  VarysScheduler varys{VarysConfig{}};
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 4}})});
+  const auto result = runVerified(wl, unitFabric(2), varys);
+  EXPECT_NEAR(result.coflows[0].cct(), 4.0, 1e-6);
+}
+
+TEST(VarysAdmission, GatedCoflowDoesNotBlockAdmittedOnes) {
+  VarysConfig cfg;
+  cfg.admission_delay = 3.0;
+  VarysScheduler varys(cfg);
+  const auto wl = makeWorkload(2, {makeJob(0, 0, {FlowDef{0, 1, 4}}),
+                                   makeJob(1, 3.5, {FlowDef{0, 1, 4}})});
+  const auto result = runVerified(wl, unitFabric(2), varys);
+  // C0 admitted at t=3, finishes at 7. C1 admitted at 6.5, runs after C0.
+  EXPECT_NEAR(cctOf(result, {0, 0}), 7.0, 1e-6);
+  EXPECT_NEAR(cctOf(result, {1, 0}), 7.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace aalo::sched

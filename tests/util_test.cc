@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace aalo::util {
+namespace {
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(formatBytes(10 * kMB), "10 MB");
+  EXPECT_EQ(formatBytes(1.5 * kGB), "1.5 GB");
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(-2 * kKB), "-2 KB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(formatSeconds(2.5), "2.5 s");
+  EXPECT_EQ(formatSeconds(0.010), "10 ms");
+  EXPECT_EQ(formatSeconds(42e-6), "42 us");
+}
+
+TEST(Units, NearlyEqual) {
+  EXPECT_TRUE(nearlyEqual(1.0, 1.0 + 1e-9));
+  EXPECT_FALSE(nearlyEqual(1.0, 1.01));
+  EXPECT_TRUE(nearlyEqual(1e12, 1e12 * (1 + 1e-8)));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, ParetoIsAboveScale) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(5.0, 1.2), 5.0);
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsZeroWeights) {
+  Rng rng(3);
+  const double weights[] = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.weightedIndex(weights), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexEmptyThrows) {
+  Rng rng(4);
+  EXPECT_THROW(rng.weightedIndex(std::span<const double>{}), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexRoughProportions) {
+  Rng rng(5);
+  const double weights[] = {1.0, 3.0};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weightedIndex(weights)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 10000.0, 0.75, 0.03);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(6);
+  const auto sample = rng.sampleWithoutReplacement(10, 10);
+  std::vector<bool> seen(10, false);
+  for (const auto v : sample) {
+    EXPECT_LT(v, 10u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  EXPECT_THROW(rng.sampleWithoutReplacement(3, 4), std::invalid_argument);
+}
+
+TEST(Summary, MeanPercentile) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 100);
+  EXPECT_NEAR(s.percentile(95), 95.05, 1e-9);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(Summary, PercentileRangeChecked) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 3.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Cdf, FractionAndQuantile) {
+  Cdf cdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(10), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+}
+
+TEST(Cdf, LogSpacedStepsMonotone) {
+  Cdf cdf({0.01, 0.1, 1, 10, 100});
+  const auto steps = cdf.logSpacedSteps(20);
+  ASSERT_EQ(steps.size(), 20u);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_GE(steps[i].first, steps[i - 1].first);
+    EXPECT_GE(steps[i].second, steps[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(steps.back().second, 1.0);
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"name", "value"});
+  t.addRow({"x", "1.0"});
+  t.addRow({"longer-name", "2.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_THROW(t.addRow({"only-one-cell"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace aalo::util

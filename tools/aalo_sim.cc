@@ -1,0 +1,197 @@
+// aalo_sim — replay an aalo-trace file under one or more schedulers.
+//
+//   aalo_sim --trace PATH [--sched LIST] [--ports-per-rack N]
+//            [--oversubscription X] [--delta SEC] [--csv PATH]
+//
+// PATH may be an aalo-trace file or a public coflow-benchmark trace
+// (e.g. FB2010-1Hr-150-0.txt) — the format is auto-detected.
+//
+// LIST is comma-separated from: aalo, aalo-strict, aalo-adaptive, fair,
+// varys, fifo, fifo-spill, fifo-lm, las, uncoordinated, gossip, clas,
+// offline (default: "aalo,fair,varys").
+//
+// Prints a per-scheduler summary; with --csv, writes one row per coflow
+// per scheduler (scheduler,coflow,job,release,finish,cct,bytes,width).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/compare.h"
+#include "sched/adaptive.h"
+#include "sched/clas.h"
+#include "sched/dclas.h"
+#include "sched/fair.h"
+#include "sched/fifo.h"
+#include "sched/fifo_lm.h"
+#include "sched/gossip.h"
+#include "sched/las.h"
+#include "sched/offline_opt.h"
+#include "sched/uncoordinated.h"
+#include "sched/varys.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/trace_io.h"
+
+using namespace aalo;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: aalo_sim --trace PATH [--sched LIST] [--ports-per-rack N]\n"
+               "                [--oversubscription X] [--delta SEC] [--csv PATH]\n");
+  std::exit(2);
+}
+
+std::unique_ptr<sim::Scheduler> makeScheduler(const std::string& name,
+                                              const coflow::Workload& wl,
+                                              double delta) {
+  if (name == "aalo") {
+    sched::DClasConfig cfg;
+    cfg.sync_interval = delta;
+    return std::make_unique<sched::DClasScheduler>(cfg);
+  }
+  if (name == "aalo-strict") {
+    sched::DClasConfig cfg;
+    cfg.policy = sched::DClasConfig::QueuePolicy::kStrictPriority;
+    return std::make_unique<sched::DClasScheduler>(cfg);
+  }
+  if (name == "aalo-adaptive") {
+    return std::make_unique<sched::AdaptiveDClasScheduler>(sched::AdaptiveConfig{});
+  }
+  if (name == "fair") return std::make_unique<sched::PerFlowFairScheduler>();
+  if (name == "varys") return std::make_unique<sched::VarysScheduler>();
+  if (name == "fifo") return std::make_unique<sched::FifoScheduler>();
+  if (name == "fifo-spill") {
+    return std::make_unique<sched::FifoScheduler>(sched::FifoConfig{true});
+  }
+  if (name == "fifo-lm") {
+    util::Summary sizes;
+    for (const auto& job : wl.jobs) {
+      for (const auto& c : job.coflows) sizes.add(c.totalBytes());
+    }
+    sched::FifoLmConfig cfg;
+    cfg.heavy_threshold = sizes.percentile(80);
+    cfg.quantum = 2.0;
+    return std::make_unique<sched::FifoLmScheduler>(cfg);
+  }
+  if (name == "las") {
+    sched::LasConfig cfg;
+    cfg.quantum = 2.0;
+    return std::make_unique<sched::DecentralizedLasScheduler>(cfg);
+  }
+  if (name == "uncoordinated") {
+    return std::make_unique<sched::UncoordinatedDClasScheduler>(sched::DClasConfig{},
+                                                                2.0);
+  }
+  if (name == "gossip") {
+    return std::make_unique<sched::GossipDClasScheduler>(sched::GossipConfig{});
+  }
+  if (name == "clas") {
+    return std::make_unique<sched::ContinuousClasScheduler>(sched::ClasConfig{});
+  }
+  if (name == "offline") {
+    return std::make_unique<sched::OfflineOrderScheduler>(
+        sched::computeConcurrentOpenShopOrder(wl));
+  }
+  std::fprintf(stderr, "unknown scheduler '%s'\n", name.c_str());
+  usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string sched_list = "aalo,fair,varys";
+  std::string csv_path;
+  int ports_per_rack = 0;
+  double oversubscription = 1.0;
+  double delta = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    auto needValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage();
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--trace")) {
+      trace_path = needValue("--trace");
+    } else if (!std::strcmp(argv[i], "--sched")) {
+      sched_list = needValue("--sched");
+    } else if (!std::strcmp(argv[i], "--csv")) {
+      csv_path = needValue("--csv");
+    } else if (!std::strcmp(argv[i], "--ports-per-rack")) {
+      ports_per_rack = std::atoi(needValue("--ports-per-rack"));
+    } else if (!std::strcmp(argv[i], "--oversubscription")) {
+      oversubscription = std::atof(needValue("--oversubscription"));
+    } else if (!std::strcmp(argv[i], "--delta")) {
+      delta = std::atof(needValue("--delta"));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      usage();
+    }
+  }
+  if (trace_path.empty()) usage();
+
+  // Auto-detect format: the public coflow-benchmark traces start with
+  // "<numRacks> <numJobs>", ours with "aalo-trace 1".
+  coflow::Workload wl;
+  {
+    std::ifstream probe(trace_path);
+    std::string first;
+    probe >> first;
+    if (first == "aalo-trace") {
+      wl = workload::readTraceFile(trace_path);
+    } else {
+      wl = workload::readCoflowBenchmarkTraceFile(trace_path);
+      std::fprintf(stderr, "detected coflow-benchmark format (%d racks)\n",
+                   wl.num_ports);
+    }
+  }
+  fabric::FabricConfig fc{wl.num_ports, util::kGbps};
+  fc.rack.ports_per_rack = ports_per_rack;
+  fc.rack.oversubscription = oversubscription;
+
+  std::ofstream csv;
+  if (!csv_path.empty()) {
+    csv.open(csv_path);
+    if (!csv) {
+      std::fprintf(stderr, "cannot open %s\n", csv_path.c_str());
+      return 1;
+    }
+    csv << "scheduler,coflow,job,release,finish,cct,bytes,width\n";
+  }
+
+  util::Table table({"scheduler", "avg CCT", "p95 CCT", "makespan", "rounds"});
+  std::stringstream names(sched_list);
+  std::string name;
+  while (std::getline(names, name, ',')) {
+    if (name.empty()) continue;
+    auto scheduler = makeScheduler(name, wl, delta);
+    std::fprintf(stderr, "running %s ...\n", scheduler->name().c_str());
+    const auto result = sim::runSimulation(wl, fc, *scheduler);
+    util::Summary cct;
+    for (const auto& rec : result.coflows) {
+      cct.add(rec.cct());
+      if (csv.is_open()) {
+        csv << result.scheduler << ',' << rec.id.toString() << ',' << rec.job << ','
+            << rec.release << ',' << rec.finish << ',' << rec.cct() << ','
+            << rec.bytes << ',' << rec.width << '\n';
+      }
+    }
+    table.addRow({result.scheduler, util::formatSeconds(cct.mean()),
+                  util::formatSeconds(cct.percentile(95)),
+                  util::formatSeconds(result.makespan),
+                  std::to_string(result.allocation_rounds)});
+  }
+  table.print(std::cout);
+  return 0;
+}

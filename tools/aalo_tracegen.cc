@@ -1,0 +1,117 @@
+// aalo_tracegen — synthesize coflow traces in the aalo-trace format.
+//
+//   aalo_tracegen [--kind fb|tpcds|uniform|fixed] [--jobs N] [--ports P]
+//                 [--seed S] [--interarrival SEC] [--size BYTES]
+//                 [--waves W] [--out PATH]
+//
+// Without --out the trace is written to stdout.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "util/units.h"
+#include "workload/distributions.h"
+#include "workload/facebook.h"
+#include "workload/tpcds.h"
+#include "workload/trace_io.h"
+#include "workload/transforms.h"
+
+using namespace aalo;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: aalo_tracegen [--kind fb|tpcds|uniform|fixed] [--jobs N]\n"
+               "                     [--ports P] [--seed S] [--interarrival SEC]\n"
+               "                     [--size BYTES] [--waves W] [--out PATH]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string kind = "fb";
+  std::string out_path;
+  std::size_t jobs = 100;
+  int ports = 40;
+  std::uint64_t seed = 1;
+  double interarrival = 0.5;
+  double size = 100 * util::kMB;
+  int waves = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    auto needValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage();
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--kind")) {
+      kind = needValue("--kind");
+    } else if (!std::strcmp(argv[i], "--jobs")) {
+      jobs = std::strtoull(needValue("--jobs"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--ports")) {
+      ports = std::atoi(needValue("--ports"));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(needValue("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--interarrival")) {
+      interarrival = std::atof(needValue("--interarrival"));
+    } else if (!std::strcmp(argv[i], "--size")) {
+      size = std::atof(needValue("--size"));
+    } else if (!std::strcmp(argv[i], "--waves")) {
+      waves = std::atoi(needValue("--waves"));
+    } else if (!std::strcmp(argv[i], "--out")) {
+      out_path = needValue("--out");
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      usage();
+    }
+  }
+
+  coflow::Workload wl;
+  if (kind == "fb") {
+    workload::FacebookConfig cfg;
+    cfg.num_jobs = jobs;
+    cfg.num_ports = ports;
+    cfg.seed = seed;
+    cfg.mean_interarrival = interarrival;
+    wl = workload::generateFacebookWorkload(cfg);
+  } else if (kind == "tpcds") {
+    workload::TpcdsConfig cfg;
+    cfg.num_ports = ports;
+    cfg.seed = seed;
+    cfg.mean_interarrival = interarrival;
+    wl = workload::generateTpcdsWorkload(cfg);
+  } else if (kind == "uniform" || kind == "fixed") {
+    workload::SizeDistributionConfig cfg;
+    cfg.num_coflows = jobs;
+    cfg.num_ports = ports;
+    cfg.seed = seed;
+    cfg.mean_interarrival = interarrival;
+    wl = kind == "uniform" ? workload::generateUniformSizeWorkload(cfg, size)
+                           : workload::generateFixedSizeWorkload(cfg, size);
+  } else {
+    usage();
+  }
+
+  if (waves > 1) {
+    workload::MultiWaveConfig mw;
+    mw.max_waves = waves;
+    mw.seed = seed + 1;
+    workload::applyMultiWave(wl, mw);
+  }
+
+  if (out_path.empty()) {
+    workload::writeTrace(std::cout, wl);
+  } else {
+    workload::writeTraceFile(out_path, wl);
+    std::fprintf(stderr, "wrote %zu jobs (%zu coflows, %s) to %s\n", wl.jobs.size(),
+                 wl.coflowCount(), util::formatBytes(wl.totalBytes()).c_str(),
+                 out_path.c_str());
+  }
+  return 0;
+}
