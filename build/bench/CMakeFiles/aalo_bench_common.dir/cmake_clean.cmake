@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_bench_common.dir/common.cc.o"
+  "CMakeFiles/aalo_bench_common.dir/common.cc.o.d"
+  "libaalo_bench_common.a"
+  "libaalo_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

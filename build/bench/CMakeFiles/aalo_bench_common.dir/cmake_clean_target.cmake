@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaalo_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appB_discretization.dir/appB_discretization.cc.o"
+  "CMakeFiles/bench_appB_discretization.dir/appB_discretization.cc.o.d"
+  "bench_appB_discretization"
+  "bench_appB_discretization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appB_discretization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_bins.dir/fig06_bins.cc.o"
+  "CMakeFiles/bench_fig06_bins.dir/fig06_bins.cc.o.d"
+  "bench_fig06_bins"
+  "bench_fig06_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_sim.dir/fig08_sim.cc.o"
+  "CMakeFiles/bench_fig08_sim.dir/fig08_sim.cc.o.d"
+  "bench_fig08_sim"
+  "bench_fig08_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

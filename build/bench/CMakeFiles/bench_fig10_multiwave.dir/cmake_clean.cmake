@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_multiwave.dir/fig10_multiwave.cc.o"
+  "CMakeFiles/bench_fig10_multiwave.dir/fig10_multiwave.cc.o.d"
+  "bench_fig10_multiwave"
+  "bench_fig10_multiwave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_multiwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_dag.dir/fig11_dag.cc.o"
+  "CMakeFiles/bench_fig11_dag.dir/fig11_dag.cc.o.d"
+  "bench_fig11_dag"
+  "bench_fig11_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_distributions.dir/fig13_distributions.cc.o"
+  "CMakeFiles/bench_fig13_distributions.dir/fig13_distributions.cc.o.d"
+  "bench_fig13_distributions"
+  "bench_fig13_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_scalability.dir/fig14_scalability.cc.o"
+  "CMakeFiles/bench_fig14_scalability.dir/fig14_scalability.cc.o.d"
+  "bench_fig14_scalability"
+  "bench_fig14_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_3_workload.dir/table2_3_workload.cc.o"
+  "CMakeFiles/bench_table2_3_workload.dir/table2_3_workload.cc.o.d"
+  "bench_table2_3_workload"
+  "bench_table2_3_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_3_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

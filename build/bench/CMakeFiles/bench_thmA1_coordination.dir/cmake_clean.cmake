@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thmA1_coordination.dir/thmA1_coordination.cc.o"
+  "CMakeFiles/bench_thmA1_coordination.dir/thmA1_coordination.cc.o.d"
+  "bench_thmA1_coordination"
+  "bench_thmA1_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thmA1_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_scheduling.dir/dag_scheduling.cpp.o"
+  "CMakeFiles/dag_scheduling.dir/dag_scheduling.cpp.o.d"
+  "dag_scheduling"
+  "dag_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

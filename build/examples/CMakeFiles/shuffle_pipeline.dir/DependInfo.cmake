@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/shuffle_pipeline.cpp" "examples/CMakeFiles/shuffle_pipeline.dir/shuffle_pipeline.cpp.o" "gcc" "examples/CMakeFiles/shuffle_pipeline.dir/shuffle_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aalo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/coflow/CMakeFiles/aalo_coflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/aalo_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aalo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/aalo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aalo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/aalo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aalo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/aalo_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_pipeline.dir/shuffle_pipeline.cpp.o"
+  "CMakeFiles/shuffle_pipeline.dir/shuffle_pipeline.cpp.o.d"
+  "shuffle_pipeline"
+  "shuffle_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_analysis.dir/compare.cc.o"
+  "CMakeFiles/aalo_analysis.dir/compare.cc.o.d"
+  "libaalo_analysis.a"
+  "libaalo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_coflow.dir/id_generator.cc.o"
+  "CMakeFiles/aalo_coflow.dir/id_generator.cc.o.d"
+  "CMakeFiles/aalo_coflow.dir/spec.cc.o"
+  "CMakeFiles/aalo_coflow.dir/spec.cc.o.d"
+  "libaalo_coflow.a"
+  "libaalo_coflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_coflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

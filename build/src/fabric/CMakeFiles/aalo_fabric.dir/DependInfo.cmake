@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/fabric.cc" "src/fabric/CMakeFiles/aalo_fabric.dir/fabric.cc.o" "gcc" "src/fabric/CMakeFiles/aalo_fabric.dir/fabric.cc.o.d"
+  "/root/repo/src/fabric/maxmin.cc" "src/fabric/CMakeFiles/aalo_fabric.dir/maxmin.cc.o" "gcc" "src/fabric/CMakeFiles/aalo_fabric.dir/maxmin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aalo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/coflow/CMakeFiles/aalo_coflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_fabric.dir/fabric.cc.o"
+  "CMakeFiles/aalo_fabric.dir/fabric.cc.o.d"
+  "CMakeFiles/aalo_fabric.dir/maxmin.cc.o"
+  "CMakeFiles/aalo_fabric.dir/maxmin.cc.o.d"
+  "libaalo_fabric.a"
+  "libaalo_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/buffer.cc" "src/net/CMakeFiles/aalo_net.dir/buffer.cc.o" "gcc" "src/net/CMakeFiles/aalo_net.dir/buffer.cc.o.d"
+  "/root/repo/src/net/connection.cc" "src/net/CMakeFiles/aalo_net.dir/connection.cc.o" "gcc" "src/net/CMakeFiles/aalo_net.dir/connection.cc.o.d"
+  "/root/repo/src/net/event_loop.cc" "src/net/CMakeFiles/aalo_net.dir/event_loop.cc.o" "gcc" "src/net/CMakeFiles/aalo_net.dir/event_loop.cc.o.d"
+  "/root/repo/src/net/protocol.cc" "src/net/CMakeFiles/aalo_net.dir/protocol.cc.o" "gcc" "src/net/CMakeFiles/aalo_net.dir/protocol.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/net/CMakeFiles/aalo_net.dir/socket.cc.o" "gcc" "src/net/CMakeFiles/aalo_net.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aalo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/coflow/CMakeFiles/aalo_coflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

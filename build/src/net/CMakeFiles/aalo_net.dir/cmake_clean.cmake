@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_net.dir/buffer.cc.o"
+  "CMakeFiles/aalo_net.dir/buffer.cc.o.d"
+  "CMakeFiles/aalo_net.dir/connection.cc.o"
+  "CMakeFiles/aalo_net.dir/connection.cc.o.d"
+  "CMakeFiles/aalo_net.dir/event_loop.cc.o"
+  "CMakeFiles/aalo_net.dir/event_loop.cc.o.d"
+  "CMakeFiles/aalo_net.dir/protocol.cc.o"
+  "CMakeFiles/aalo_net.dir/protocol.cc.o.d"
+  "CMakeFiles/aalo_net.dir/socket.cc.o"
+  "CMakeFiles/aalo_net.dir/socket.cc.o.d"
+  "libaalo_net.a"
+  "libaalo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

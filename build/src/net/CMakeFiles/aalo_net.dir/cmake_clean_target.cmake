@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaalo_net.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/client.cc" "src/runtime/CMakeFiles/aalo_runtime.dir/client.cc.o" "gcc" "src/runtime/CMakeFiles/aalo_runtime.dir/client.cc.o.d"
+  "/root/repo/src/runtime/coordinator.cc" "src/runtime/CMakeFiles/aalo_runtime.dir/coordinator.cc.o" "gcc" "src/runtime/CMakeFiles/aalo_runtime.dir/coordinator.cc.o.d"
+  "/root/repo/src/runtime/daemon.cc" "src/runtime/CMakeFiles/aalo_runtime.dir/daemon.cc.o" "gcc" "src/runtime/CMakeFiles/aalo_runtime.dir/daemon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/aalo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/aalo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aalo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/coflow/CMakeFiles/aalo_coflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aalo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/aalo_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_runtime.dir/client.cc.o"
+  "CMakeFiles/aalo_runtime.dir/client.cc.o.d"
+  "CMakeFiles/aalo_runtime.dir/coordinator.cc.o"
+  "CMakeFiles/aalo_runtime.dir/coordinator.cc.o.d"
+  "CMakeFiles/aalo_runtime.dir/daemon.cc.o"
+  "CMakeFiles/aalo_runtime.dir/daemon.cc.o.d"
+  "libaalo_runtime.a"
+  "libaalo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/adaptive.cc" "src/sched/CMakeFiles/aalo_sched.dir/adaptive.cc.o" "gcc" "src/sched/CMakeFiles/aalo_sched.dir/adaptive.cc.o.d"
+  "/root/repo/src/sched/clas.cc" "src/sched/CMakeFiles/aalo_sched.dir/clas.cc.o" "gcc" "src/sched/CMakeFiles/aalo_sched.dir/clas.cc.o.d"
+  "/root/repo/src/sched/common.cc" "src/sched/CMakeFiles/aalo_sched.dir/common.cc.o" "gcc" "src/sched/CMakeFiles/aalo_sched.dir/common.cc.o.d"
+  "/root/repo/src/sched/dclas.cc" "src/sched/CMakeFiles/aalo_sched.dir/dclas.cc.o" "gcc" "src/sched/CMakeFiles/aalo_sched.dir/dclas.cc.o.d"
+  "/root/repo/src/sched/fair.cc" "src/sched/CMakeFiles/aalo_sched.dir/fair.cc.o" "gcc" "src/sched/CMakeFiles/aalo_sched.dir/fair.cc.o.d"
+  "/root/repo/src/sched/fifo.cc" "src/sched/CMakeFiles/aalo_sched.dir/fifo.cc.o" "gcc" "src/sched/CMakeFiles/aalo_sched.dir/fifo.cc.o.d"
+  "/root/repo/src/sched/fifo_lm.cc" "src/sched/CMakeFiles/aalo_sched.dir/fifo_lm.cc.o" "gcc" "src/sched/CMakeFiles/aalo_sched.dir/fifo_lm.cc.o.d"
+  "/root/repo/src/sched/gossip.cc" "src/sched/CMakeFiles/aalo_sched.dir/gossip.cc.o" "gcc" "src/sched/CMakeFiles/aalo_sched.dir/gossip.cc.o.d"
+  "/root/repo/src/sched/las.cc" "src/sched/CMakeFiles/aalo_sched.dir/las.cc.o" "gcc" "src/sched/CMakeFiles/aalo_sched.dir/las.cc.o.d"
+  "/root/repo/src/sched/offline_opt.cc" "src/sched/CMakeFiles/aalo_sched.dir/offline_opt.cc.o" "gcc" "src/sched/CMakeFiles/aalo_sched.dir/offline_opt.cc.o.d"
+  "/root/repo/src/sched/uncoordinated.cc" "src/sched/CMakeFiles/aalo_sched.dir/uncoordinated.cc.o" "gcc" "src/sched/CMakeFiles/aalo_sched.dir/uncoordinated.cc.o.d"
+  "/root/repo/src/sched/varys.cc" "src/sched/CMakeFiles/aalo_sched.dir/varys.cc.o" "gcc" "src/sched/CMakeFiles/aalo_sched.dir/varys.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aalo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/coflow/CMakeFiles/aalo_coflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/aalo_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aalo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

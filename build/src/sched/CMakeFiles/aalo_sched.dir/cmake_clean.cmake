@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_sched.dir/adaptive.cc.o"
+  "CMakeFiles/aalo_sched.dir/adaptive.cc.o.d"
+  "CMakeFiles/aalo_sched.dir/clas.cc.o"
+  "CMakeFiles/aalo_sched.dir/clas.cc.o.d"
+  "CMakeFiles/aalo_sched.dir/common.cc.o"
+  "CMakeFiles/aalo_sched.dir/common.cc.o.d"
+  "CMakeFiles/aalo_sched.dir/dclas.cc.o"
+  "CMakeFiles/aalo_sched.dir/dclas.cc.o.d"
+  "CMakeFiles/aalo_sched.dir/fair.cc.o"
+  "CMakeFiles/aalo_sched.dir/fair.cc.o.d"
+  "CMakeFiles/aalo_sched.dir/fifo.cc.o"
+  "CMakeFiles/aalo_sched.dir/fifo.cc.o.d"
+  "CMakeFiles/aalo_sched.dir/fifo_lm.cc.o"
+  "CMakeFiles/aalo_sched.dir/fifo_lm.cc.o.d"
+  "CMakeFiles/aalo_sched.dir/gossip.cc.o"
+  "CMakeFiles/aalo_sched.dir/gossip.cc.o.d"
+  "CMakeFiles/aalo_sched.dir/las.cc.o"
+  "CMakeFiles/aalo_sched.dir/las.cc.o.d"
+  "CMakeFiles/aalo_sched.dir/offline_opt.cc.o"
+  "CMakeFiles/aalo_sched.dir/offline_opt.cc.o.d"
+  "CMakeFiles/aalo_sched.dir/uncoordinated.cc.o"
+  "CMakeFiles/aalo_sched.dir/uncoordinated.cc.o.d"
+  "CMakeFiles/aalo_sched.dir/varys.cc.o"
+  "CMakeFiles/aalo_sched.dir/varys.cc.o.d"
+  "libaalo_sched.a"
+  "libaalo_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_sim.dir/simulator.cc.o"
+  "CMakeFiles/aalo_sim.dir/simulator.cc.o.d"
+  "libaalo_sim.a"
+  "libaalo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_util.dir/log.cc.o"
+  "CMakeFiles/aalo_util.dir/log.cc.o.d"
+  "CMakeFiles/aalo_util.dir/rng.cc.o"
+  "CMakeFiles/aalo_util.dir/rng.cc.o.d"
+  "CMakeFiles/aalo_util.dir/stats.cc.o"
+  "CMakeFiles/aalo_util.dir/stats.cc.o.d"
+  "CMakeFiles/aalo_util.dir/table.cc.o"
+  "CMakeFiles/aalo_util.dir/table.cc.o.d"
+  "CMakeFiles/aalo_util.dir/units.cc.o"
+  "CMakeFiles/aalo_util.dir/units.cc.o.d"
+  "libaalo_util.a"
+  "libaalo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

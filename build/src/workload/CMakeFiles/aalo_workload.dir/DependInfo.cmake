@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/distributions.cc" "src/workload/CMakeFiles/aalo_workload.dir/distributions.cc.o" "gcc" "src/workload/CMakeFiles/aalo_workload.dir/distributions.cc.o.d"
+  "/root/repo/src/workload/facebook.cc" "src/workload/CMakeFiles/aalo_workload.dir/facebook.cc.o" "gcc" "src/workload/CMakeFiles/aalo_workload.dir/facebook.cc.o.d"
+  "/root/repo/src/workload/tpcds.cc" "src/workload/CMakeFiles/aalo_workload.dir/tpcds.cc.o" "gcc" "src/workload/CMakeFiles/aalo_workload.dir/tpcds.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/aalo_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/aalo_workload.dir/trace_io.cc.o.d"
+  "/root/repo/src/workload/transforms.cc" "src/workload/CMakeFiles/aalo_workload.dir/transforms.cc.o" "gcc" "src/workload/CMakeFiles/aalo_workload.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aalo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/coflow/CMakeFiles/aalo_coflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_workload.dir/distributions.cc.o"
+  "CMakeFiles/aalo_workload.dir/distributions.cc.o.d"
+  "CMakeFiles/aalo_workload.dir/facebook.cc.o"
+  "CMakeFiles/aalo_workload.dir/facebook.cc.o.d"
+  "CMakeFiles/aalo_workload.dir/tpcds.cc.o"
+  "CMakeFiles/aalo_workload.dir/tpcds.cc.o.d"
+  "CMakeFiles/aalo_workload.dir/trace_io.cc.o"
+  "CMakeFiles/aalo_workload.dir/trace_io.cc.o.d"
+  "CMakeFiles/aalo_workload.dir/transforms.cc.o"
+  "CMakeFiles/aalo_workload.dir/transforms.cc.o.d"
+  "libaalo_workload.a"
+  "libaalo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coflow_test.dir/coflow_test.cc.o"
+  "CMakeFiles/coflow_test.dir/coflow_test.cc.o.d"
+  "coflow_test"
+  "coflow_test.pdb"
+  "coflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dclas_test.dir/dclas_test.cc.o"
+  "CMakeFiles/dclas_test.dir/dclas_test.cc.o.d"
+  "dclas_test"
+  "dclas_test.pdb"
+  "dclas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dclas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

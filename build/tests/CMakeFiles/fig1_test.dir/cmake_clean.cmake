@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_test.dir/fig1_test.cc.o"
+  "CMakeFiles/fig1_test.dir/fig1_test.cc.o.d"
+  "fig1_test"
+  "fig1_test.pdb"
+  "fig1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

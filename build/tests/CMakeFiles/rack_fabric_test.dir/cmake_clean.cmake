@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rack_fabric_test.dir/rack_fabric_test.cc.o"
+  "CMakeFiles/rack_fabric_test.dir/rack_fabric_test.cc.o.d"
+  "rack_fabric_test"
+  "rack_fabric_test.pdb"
+  "rack_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rack_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

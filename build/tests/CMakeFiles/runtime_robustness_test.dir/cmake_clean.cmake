@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_robustness_test.dir/runtime_robustness_test.cc.o"
+  "CMakeFiles/runtime_robustness_test.dir/runtime_robustness_test.cc.o.d"
+  "runtime_robustness_test"
+  "runtime_robustness_test.pdb"
+  "runtime_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

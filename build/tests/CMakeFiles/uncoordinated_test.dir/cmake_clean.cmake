@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncoordinated_test.dir/uncoordinated_test.cc.o"
+  "CMakeFiles/uncoordinated_test.dir/uncoordinated_test.cc.o.d"
+  "uncoordinated_test"
+  "uncoordinated_test.pdb"
+  "uncoordinated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncoordinated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

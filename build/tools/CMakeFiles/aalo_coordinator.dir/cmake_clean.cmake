@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_coordinator.dir/aalo_coordinator.cc.o"
+  "CMakeFiles/aalo_coordinator.dir/aalo_coordinator.cc.o.d"
+  "aalo_coordinator"
+  "aalo_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aalo_coordinator.
+# This may be replaced when dependencies are built.

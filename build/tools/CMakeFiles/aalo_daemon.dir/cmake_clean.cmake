@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_daemon.dir/aalo_daemon.cc.o"
+  "CMakeFiles/aalo_daemon.dir/aalo_daemon.cc.o.d"
+  "aalo_daemon"
+  "aalo_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_sim_cli.dir/aalo_sim.cc.o"
+  "CMakeFiles/aalo_sim_cli.dir/aalo_sim.cc.o.d"
+  "aalo_sim"
+  "aalo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalo_tracegen.dir/aalo_tracegen.cc.o"
+  "CMakeFiles/aalo_tracegen.dir/aalo_tracegen.cc.o.d"
+  "aalo_tracegen"
+  "aalo_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalo_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_search.dir/fig1_search.cc.o"
+  "CMakeFiles/fig1_search.dir/fig1_search.cc.o.d"
+  "fig1_search"
+  "fig1_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
