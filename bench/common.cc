@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace aalo::bench {
 
@@ -74,6 +75,32 @@ sim::SimResult run(const coflow::Workload& workload, fabric::FabricConfig fabric
   std::fprintf(stderr, "  [%-24s] %zu coflows, %zu rounds, %.1fs wall\n",
                label.c_str(), result.coflows.size(), result.allocation_rounds, wall);
   return result;
+}
+
+sim::BatchJob job(const coflow::Workload& workload, fabric::FabricConfig fabric,
+                  std::function<std::unique_ptr<sim::Scheduler>()> make_scheduler,
+                  std::string label) {
+  sim::BatchJob j;
+  j.label = std::move(label);
+  j.workload = &workload;
+  j.fabric = fabric;
+  j.make_scheduler = std::move(make_scheduler);
+  return j;
+}
+
+std::vector<sim::SimResult> runBatch(std::vector<sim::BatchJob> jobs) {
+  sim::BatchOptions opts;
+  if (const char* env = std::getenv("AALO_BENCH_JOBS")) {
+    opts.num_threads = std::atoi(env);
+  }
+  opts.on_done = [](std::size_t /*index*/, const sim::BatchJob& j,
+                    const sim::SimResult& result, double wall) {
+    const std::string& label = j.label.empty() ? result.scheduler : j.label;
+    std::fprintf(stderr, "  [%-24s] %zu coflows, %zu rounds, %.1fs wall\n",
+                 label.c_str(), result.coflows.size(), result.allocation_rounds,
+                 wall);
+  };
+  return sim::runBatch(jobs, opts);
 }
 
 void printNormalizedByBin(const std::vector<sim::SimResult>& compared,

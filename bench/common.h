@@ -19,6 +19,7 @@
 #include "sched/offline_opt.h"
 #include "sched/uncoordinated.h"
 #include "sched/varys.h"
+#include "sim/batch.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -49,6 +50,19 @@ std::unique_ptr<sim::Scheduler> makeFifo();
 /// Runs and reports wall time to stderr so long benches show progress.
 sim::SimResult run(const coflow::Workload& workload, fabric::FabricConfig fabric,
                    sim::Scheduler& scheduler, const std::string& label);
+
+/// Builds a BatchJob for the sweep benches. The workload is captured by
+/// pointer and must outlive the batch; the factory runs once, inside the
+/// worker thread. An empty label falls back to the scheduler's name.
+sim::BatchJob job(const coflow::Workload& workload, fabric::FabricConfig fabric,
+                  std::function<std::unique_ptr<sim::Scheduler>()> make_scheduler,
+                  std::string label = "");
+
+/// Runs independent sims on the BatchRunner pool with the same stderr
+/// progress lines as `run`. Results come back in submission order, so
+/// output is identical to a serial loop. Thread count: AALO_BENCH_JOBS
+/// env var if set, else all hardware threads.
+std::vector<sim::SimResult> runBatch(std::vector<sim::BatchJob> jobs);
 
 /// Prints the paper's standard table: normalized completion time w.r.t.
 /// Aalo for each Table 3 bin and overall, average and 95th percentile.

@@ -15,12 +15,15 @@ int main() {
   const auto wl = bench::standardWorkload();
   const auto fc = bench::standardFabric();
 
-  auto aalo = bench::makeAalo();
-  auto fair = bench::makeFair();
-  auto varys = bench::makeVarys();
-  const auto aalo_result = bench::run(wl, fc, *aalo, aalo->name());
-  const auto fair_result = bench::run(wl, fc, *fair, fair->name());
-  const auto varys_result = bench::run(wl, fc, *varys, varys->name());
+  // The three runs are independent; let the BatchRunner overlap them.
+  std::vector<sim::BatchJob> jobs;
+  jobs.push_back(bench::job(wl, fc, [] { return bench::makeAalo(); }));
+  jobs.push_back(bench::job(wl, fc, [] { return bench::makeFair(); }));
+  jobs.push_back(bench::job(wl, fc, [] { return bench::makeVarys(); }));
+  const auto results = bench::runBatch(std::move(jobs));
+  const auto& aalo_result = results[0];
+  const auto& fair_result = results[1];
+  const auto& varys_result = results[2];
 
   const char* band_labels[5] = {"<25%", "25-49%", "50-74%", ">=75%", "All Jobs"};
 

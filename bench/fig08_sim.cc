@@ -18,21 +18,29 @@ int main() {
   const auto wl = bench::standardWorkload(300, 40, 11);
   const auto fc = bench::standardFabric();
 
-  auto aalo = bench::makeAalo();
-  const auto aalo_result = bench::run(wl, fc, *aalo, aalo->name());
-
-  std::vector<sim::SimResult> compared;
-  auto fair = bench::makeFair();
-  compared.push_back(bench::run(wl, fc, *fair, fair->name()));
-  auto varys = bench::makeVarys();
-  compared.push_back(bench::run(wl, fc, *varys, varys->name()));
-  auto uncoordinated = bench::makeUncoordinated();
-  compared.push_back(bench::run(wl, fc, *uncoordinated, uncoordinated->name()));
-  auto fifo_lm = bench::makeFifoLm(bench::heavyThreshold(wl, 80));
-  compared.push_back(bench::run(wl, fc, *fifo_lm, fifo_lm->name()));
-  auto offline = std::make_unique<sched::OfflineOrderScheduler>(
-      sched::computeConcurrentOpenShopOrder(wl));
-  compared.push_back(bench::run(wl, fc, *offline, offline->name()));
+  // All eleven runs (Aalo, five baselines, five FIFO-LM sweep points) are
+  // independent — one batch keeps every core busy.
+  const std::vector<double> sweep_pcts = {20.0, 40.0, 60.0, 80.0, 90.0};
+  std::vector<sim::BatchJob> jobs;
+  jobs.push_back(bench::job(wl, fc, [] { return bench::makeAalo(); }));
+  jobs.push_back(bench::job(wl, fc, [] { return bench::makeFair(); }));
+  jobs.push_back(bench::job(wl, fc, [] { return bench::makeVarys(); }));
+  jobs.push_back(bench::job(wl, fc, [] { return bench::makeUncoordinated(); }));
+  const util::Bytes heavy80 = bench::heavyThreshold(wl, 80);
+  jobs.push_back(bench::job(wl, fc, [heavy80] { return bench::makeFifoLm(heavy80); }));
+  jobs.push_back(bench::job(wl, fc, [&wl] {
+    return std::make_unique<sched::OfflineOrderScheduler>(
+        sched::computeConcurrentOpenShopOrder(wl));
+  }));
+  for (const double pct : sweep_pcts) {
+    const util::Bytes threshold = bench::heavyThreshold(wl, pct);
+    jobs.push_back(bench::job(
+        wl, fc, [threshold] { return bench::makeFifoLm(threshold); },
+        "fifo-lm@p" + util::Table::num(pct, 0)));
+  }
+  const auto results = bench::runBatch(std::move(jobs));
+  const auto& aalo_result = results[0];
+  const std::vector<sim::SimResult> compared(results.begin() + 1, results.begin() + 6);
 
   std::printf("\nNormalized average CCT w.r.t. Aalo, per Table 3 bin:\n");
   bench::printNormalizedByBin(compared, aalo_result);
@@ -41,10 +49,9 @@ int main() {
   // percentile best; reproduce the sweep direction.
   std::printf("\nFIFO-LM heavy-threshold sweep (normalized avg CCT w.r.t. Aalo):\n");
   util::Table sweep({"threshold percentile", "normalized avg CCT"});
-  for (const double pct : {20.0, 40.0, 60.0, 80.0, 90.0}) {
-    auto lm = bench::makeFifoLm(bench::heavyThreshold(wl, pct));
-    const auto result = bench::run(wl, fc, *lm, "fifo-lm@p" + util::Table::num(pct, 0));
-    sweep.addRow({util::Table::num(pct, 0) + "th",
+  for (std::size_t i = 0; i < sweep_pcts.size(); ++i) {
+    const auto& result = results[6 + i];
+    sweep.addRow({util::Table::num(sweep_pcts[i], 0) + "th",
                   util::Table::num(analysis::normalizedCct(result, aalo_result).avg, 2) +
                       "x"});
   }

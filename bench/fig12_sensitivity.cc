@@ -6,18 +6,6 @@
 
 using namespace aalo;
 
-namespace {
-
-double improvementOverFair(const coflow::Workload& wl, fabric::FabricConfig fc,
-                           const sim::SimResult& fair_result,
-                           sched::DClasConfig cfg, const std::string& label) {
-  auto aalo = bench::makeAaloWith(cfg);
-  const auto result = bench::run(wl, fc, *aalo, label);
-  return analysis::normalizedCct(fair_result, result).avg;
-}
-
-}  // namespace
-
 int main() {
   bench::header(
       "Figure 12: sensitivity to the queue structure",
@@ -28,90 +16,100 @@ int main() {
 
   const auto wl = bench::standardWorkload(250, 40, 33);
   const auto fc = bench::standardFabric();
-  auto fair = bench::makeFair();
-  const auto fair_result = bench::run(wl, fc, *fair, "per-flow fair");
+
+  // The whole figure is one sweep of independent runs (per-flow fair plus
+  // 23 D-CLAS configurations); collect every point, then run the batch.
+  std::vector<sim::BatchJob> jobs;
+  jobs.push_back(bench::job(wl, fc, [] { return bench::makeFair(); },
+                            "per-flow fair"));
+  auto addPoint = [&](sched::DClasConfig cfg, std::string label) {
+    jobs.push_back(bench::job(
+        wl, fc, [cfg] { return bench::makeAaloWith(cfg); }, std::move(label)));
+  };
 
   // (a) Number of queues.
-  {
-    std::printf("\nFigure 12a — number of queues K (E=10, Q1=10MB):\n");
-    util::Table table({"K", "improvement over fair (avg CCT)"});
-    for (const int k : {1, 2, 5, 10, 15}) {
-      sched::DClasConfig cfg;
-      cfg.num_queues = k;
-      table.addRow({std::to_string(k),
-                    util::Table::num(improvementOverFair(wl, fc, fair_result, cfg,
-                                                         "K=" + std::to_string(k)),
-                                     2) +
-                        "x"});
-    }
-    table.print(std::cout);
+  const std::vector<int> ks = {1, 2, 5, 10, 15};
+  for (const int k : ks) {
+    sched::DClasConfig cfg;
+    cfg.num_queues = k;
+    addPoint(cfg, "K=" + std::to_string(k));
   }
 
   // (b) First queue threshold.
-  {
-    std::printf("\nFigure 12b — Q1 upper limit (K=10, E=10):\n");
-    util::Table table({"Q1^hi", "improvement over fair (avg CCT)"});
-    for (const double q1 : {1e6, 1e7, 1e8, 1e9, 1e10}) {
-      sched::DClasConfig cfg;
-      cfg.first_threshold = q1;
-      table.addRow({util::formatBytes(q1),
-                    util::Table::num(improvementOverFair(wl, fc, fair_result, cfg,
-                                                         "Q1=" + util::formatBytes(q1)),
-                                     2) +
-                        "x"});
-    }
-    table.print(std::cout);
+  const std::vector<double> q1s = {1e6, 1e7, 1e8, 1e9, 1e10};
+  for (const double q1 : q1s) {
+    sched::DClasConfig cfg;
+    cfg.first_threshold = q1;
+    addPoint(cfg, "Q1=" + util::formatBytes(q1));
   }
 
   // (c) Combinations.
-  {
-    std::printf("\nFigure 12c — (K, E, Q1) combinations:\n");
-    util::Table table({"K", "E", "Q1^hi", "improvement over fair"});
-    struct Combo {
-      int k;
-      double e;
-      double q1;
-    };
-    const Combo combos[] = {{2, 10, 1e7},  {5, 10, 1e7},  {10, 10, 1e7},
-                            {10, 4, 1e7},  {10, 32, 1e7}, {5, 10, 1e8},
-                            {10, 10, 1e6}, {15, 4, 1e6},  {10, 32, 1e8}};
-    for (const auto& combo : combos) {
-      sched::DClasConfig cfg;
-      cfg.num_queues = combo.k;
-      cfg.exp_factor = combo.e;
-      cfg.first_threshold = combo.q1;
-      table.addRow({std::to_string(combo.k), util::Table::num(combo.e, 0),
-                    util::formatBytes(combo.q1),
-                    util::Table::num(improvementOverFair(wl, fc, fair_result, cfg,
-                                                         "combo"),
-                                     2) +
-                        "x"});
-    }
-    table.print(std::cout);
+  struct Combo {
+    int k;
+    double e;
+    double q1;
+  };
+  const std::vector<Combo> combos = {{2, 10, 1e7},  {5, 10, 1e7},  {10, 10, 1e7},
+                                     {10, 4, 1e7},  {10, 32, 1e7}, {5, 10, 1e8},
+                                     {10, 10, 1e6}, {15, 4, 1e6},  {10, 32, 1e8}};
+  for (const auto& combo : combos) {
+    sched::DClasConfig cfg;
+    cfg.num_queues = combo.k;
+    cfg.exp_factor = combo.e;
+    cfg.first_threshold = combo.q1;
+    addPoint(cfg, "combo K=" + std::to_string(combo.k));
   }
 
   // (d) Equal-sized queues: linear thresholds over the max coflow size.
+  util::Bytes max_size = 0;
+  for (const auto& job : wl.jobs) {
+    for (const auto& c : job.coflows) max_size = std::max(max_size, c.totalBytes());
+  }
+  const std::vector<int> linear_ks = {2, 10, 100, 1000};
+  for (const int k : linear_ks) {
+    sched::DClasConfig cfg;
+    for (int q = 1; q < k; ++q) {
+      cfg.explicit_thresholds.push_back(max_size * static_cast<double>(q) /
+                                        static_cast<double>(k));
+    }
+    if (cfg.explicit_thresholds.empty()) cfg.num_queues = 1;
+    addPoint(cfg, "linear K=" + std::to_string(k));
+  }
+
+  const auto results = bench::runBatch(std::move(jobs));
+  const auto& fair_result = results[0];
+  std::size_t next = 1;
+  auto improvement = [&] {
+    return util::Table::num(
+               analysis::normalizedCct(fair_result, results[next++]).avg, 2) +
+           "x";
+  };
+
+  {
+    std::printf("\nFigure 12a — number of queues K (E=10, Q1=10MB):\n");
+    util::Table table({"K", "improvement over fair (avg CCT)"});
+    for (const int k : ks) table.addRow({std::to_string(k), improvement()});
+    table.print(std::cout);
+  }
+  {
+    std::printf("\nFigure 12b — Q1 upper limit (K=10, E=10):\n");
+    util::Table table({"Q1^hi", "improvement over fair (avg CCT)"});
+    for (const double q1 : q1s) table.addRow({util::formatBytes(q1), improvement()});
+    table.print(std::cout);
+  }
+  {
+    std::printf("\nFigure 12c — (K, E, Q1) combinations:\n");
+    util::Table table({"K", "E", "Q1^hi", "improvement over fair"});
+    for (const auto& combo : combos) {
+      table.addRow({std::to_string(combo.k), util::Table::num(combo.e, 0),
+                    util::formatBytes(combo.q1), improvement()});
+    }
+    table.print(std::cout);
+  }
   {
     std::printf("\nFigure 12d — equal-sized queues (linear thresholds):\n");
-    util::Bytes max_size = 0;
-    for (const auto& job : wl.jobs) {
-      for (const auto& c : job.coflows) max_size = std::max(max_size, c.totalBytes());
-    }
     util::Table table({"num queues", "improvement over fair"});
-    for (const int k : {2, 10, 100, 1000}) {
-      sched::DClasConfig cfg;
-      cfg.explicit_thresholds.clear();
-      for (int q = 1; q < k; ++q) {
-        cfg.explicit_thresholds.push_back(max_size * static_cast<double>(q) /
-                                          static_cast<double>(k));
-      }
-      if (cfg.explicit_thresholds.empty()) cfg.num_queues = 1;
-      table.addRow({std::to_string(k),
-                    util::Table::num(improvementOverFair(wl, fc, fair_result, cfg,
-                                                         "linear K=" + std::to_string(k)),
-                                     2) +
-                        "x"});
-    }
+    for (const int k : linear_ks) table.addRow({std::to_string(k), improvement()});
     table.print(std::cout);
     std::printf("(max coflow size in this trace: %s)\n",
                 util::formatBytes(max_size).c_str());

@@ -136,15 +136,24 @@ int main() {
               "(simulation):\n");
   const auto wl = bench::standardWorkload(250, 40, 55);
   const auto fc = bench::standardFabric();
-  auto fair = bench::makeFair();
-  const auto fair_result = bench::run(wl, fc, *fair, "per-flow fair");
+  // The Δ sweep is pure simulation — batch it. (Panel (a) above exercises
+  // real sockets on this host and must stay serial to keep timings clean.)
+  const std::vector<double> deltas = {0.01, 0.1, 1.0, 10.0, 100.0};
+  std::vector<sim::BatchJob> jobs;
+  jobs.push_back(bench::job(wl, fc, [] { return bench::makeFair(); },
+                            "per-flow fair"));
+  for (const double delta : deltas) {
+    jobs.push_back(bench::job(wl, fc, [delta] { return bench::makeAalo(delta); },
+                              "aalo Δ=" + util::formatSeconds(delta)));
+  }
+  const auto results = bench::runBatch(std::move(jobs));
+  const auto& fair_result = results[0];
   util::Table delta_table({"Δ", "improvement over fair (avg CCT)"});
-  for (const double delta : {0.01, 0.1, 1.0, 10.0, 100.0}) {
-    auto aalo = bench::makeAalo(delta);
-    const auto result = bench::run(wl, fc, *aalo, "aalo Δ=" + util::formatSeconds(delta));
-    delta_table.addRow({util::formatSeconds(delta),
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    delta_table.addRow({util::formatSeconds(deltas[i]),
                         util::Table::num(
-                            analysis::normalizedCct(fair_result, result).avg, 2) +
+                            analysis::normalizedCct(fair_result, results[1 + i]).avg,
+                            2) +
                             "x"});
   }
   delta_table.print(std::cout);

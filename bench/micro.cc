@@ -62,12 +62,15 @@ void BM_DClasReschedule(benchmark::State& state) {
     coflows.push_back(std::move(cs));
   }
   fabric::Fabric fabric(fabric::FabricConfig{ports, util::kGbps});
+  sim::ActiveCoflowIndex index;
+  index.rebuild(flows, active);
   sim::SimView view;
   view.now = 1.0;
   view.fabric = &fabric;
   view.coflows = &coflows;
   view.flows = &flows;
   view.active_flows = &active;
+  view.active_index = &index;
 
   sched::DClasScheduler dclas{sched::DClasConfig{}};
   dclas.reset(fabric);
@@ -79,7 +82,7 @@ void BM_DClasReschedule(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<long>(active.size()));
 }
-BENCHMARK(BM_DClasReschedule)->Arg(10)->Arg(100)->Arg(500);
+BENCHMARK(BM_DClasReschedule)->Arg(10)->Arg(100)->Arg(500)->Arg(1000);
 
 void BM_ProtocolEncodeDecode(benchmark::State& state) {
   net::Message update;
@@ -109,6 +112,29 @@ void BM_SimulatorEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatorEndToEnd)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+// A 6-job scheduler sweep through sim::runBatch at varying thread counts.
+// On a multi-core host throughput should scale near-linearly with the
+// argument; tools/bench_record.sh captures this alongside the hot-path
+// numbers so the perf trajectory covers both single-run and batch cost.
+void BM_BatchRunnerSweep(benchmark::State& state) {
+  const auto wl = bench::standardWorkload(30, 40, 77);
+  const auto fc = bench::standardFabric();
+  const int threads = static_cast<int>(state.range(0));
+  std::vector<sim::BatchJob> jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back(bench::job(wl, fc, [] { return bench::makeAalo(); }));
+    jobs.push_back(bench::job(wl, fc, [] { return bench::makeFair(); }));
+  }
+  sim::BatchOptions opts;
+  opts.num_threads = threads;
+  for (auto _ : state) {
+    const auto results = sim::runBatch(jobs, opts);
+    benchmark::DoNotOptimize(results.front().makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(BM_BatchRunnerSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

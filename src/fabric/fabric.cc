@@ -97,9 +97,9 @@ void ResidualCapacity::release(coflow::PortId src, coflow::PortId dst, util::Rat
   }
 }
 
-bool ResidualCapacity::exhausted() const {
+bool ResidualCapacity::exhausted(util::Rate threshold) const {
   for (std::size_t p = 0; p < ingress_.size(); ++p) {
-    if (ingress_[p] > util::kEps || egress_[p] > util::kEps) return false;
+    if (ingress_[p] > threshold || egress_[p] > threshold) return false;
   }
   return true;
 }

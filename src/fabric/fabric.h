@@ -118,7 +118,11 @@ class ResidualCapacity {
   void release(coflow::PortId src, coflow::PortId dst, util::Rate rate);
 
   /// True when every port has (numerically) zero residual on both sides.
-  bool exhausted() const;
+  /// `threshold` bounds what counts as zero; the default kEps is absolute,
+  /// so callers comparing against multi-Gbps capacities should pass a
+  /// capacity-relative threshold (water-filling leaves O(capacity * 1e-16)
+  /// dust per pass, which an absolute 1e-9 does not cover).
+  bool exhausted(util::Rate threshold = util::kEps) const;
 
   std::vector<util::Rate>& ingressAll() { return ingress_; }
   std::vector<util::Rate>& egressAll() { return egress_; }

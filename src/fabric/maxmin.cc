@@ -12,8 +12,191 @@ constexpr double kLevelSlack = 1e-9;
 
 }  // namespace
 
+const std::vector<util::Rate>& maxMinAllocate(std::span<const Demand> demands,
+                                              ResidualCapacity& residual,
+                                              MaxMinScratch& scratch) {
+  const std::size_t n = demands.size();
+  std::vector<util::Rate>& rates = scratch.shares;
+  rates.assign(n, 0.0);
+  if (n == 0) return rates;
+
+  const auto ports = static_cast<std::size_t>(residual.numPorts());
+  const Fabric* fabric = residual.fabric();  // Non-null only with racks.
+  for (const Demand& d : demands) {
+    if (d.src < 0 || static_cast<std::size_t>(d.src) >= ports || d.dst < 0 ||
+        static_cast<std::size_t>(d.dst) >= ports) {
+      throw std::out_of_range("maxMinAllocate: demand port out of range");
+    }
+    if (d.rate_cap < 0) throw std::invalid_argument("maxMinAllocate: negative rate cap");
+  }
+
+  const std::size_t racks =
+      fabric != nullptr ? static_cast<std::size_t>(fabric->numRacks()) : 0;
+  // Invariant: every wsum entry is zero between calls (touched entries are
+  // re-zeroed on exit below), so growing with zero-fill is all that is
+  // needed — no O(ports) clear per call.
+  if (scratch.wsum_in.size() < ports) scratch.wsum_in.resize(ports, 0.0);
+  if (scratch.wsum_out.size() < ports) scratch.wsum_out.resize(ports, 0.0);
+  if (scratch.wsum_up.size() < racks) scratch.wsum_up.resize(racks, 0.0);
+  if (scratch.wsum_down.size() < racks) scratch.wsum_down.resize(racks, 0.0);
+  scratch.level_in.resize(ports);
+  scratch.level_out.resize(ports);
+  scratch.level_up.resize(racks);
+  scratch.level_down.resize(racks);
+  scratch.ctx.resize(n);
+  scratch.level.resize(n);
+  scratch.unfrozen.clear();
+  scratch.unfrozen.reserve(n);
+  scratch.touched_in.clear();
+  scratch.touched_out.clear();
+  scratch.touched_up.clear();
+  scratch.touched_down.clear();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Demand& d = demands[i];
+    if (d.weight <= 0.0 || d.rate_cap <= 0.0) continue;  // Rate stays 0.
+    MaxMinScratch::DemandCtx& c = scratch.ctx[i];
+    c.src = static_cast<std::uint32_t>(d.src);
+    c.dst = static_cast<std::uint32_t>(d.dst);
+    c.weight = d.weight;
+    c.cap_level = d.rate_cap / d.weight;
+    if (scratch.wsum_in[c.src] == 0.0) scratch.touched_in.push_back(c.src);
+    if (scratch.wsum_out[c.dst] == 0.0) scratch.touched_out.push_back(c.dst);
+    scratch.wsum_in[c.src] += d.weight;
+    scratch.wsum_out[c.dst] += d.weight;
+    if (fabric != nullptr && fabric->crossRack(d.src, d.dst)) {
+      c.up_rack = fabric->rackOf(d.src);
+      c.down_rack = fabric->rackOf(d.dst);
+      const auto ur = static_cast<std::size_t>(c.up_rack);
+      const auto dr = static_cast<std::size_t>(c.down_rack);
+      if (scratch.wsum_up[ur] == 0.0) {
+        scratch.touched_up.push_back(static_cast<std::uint32_t>(ur));
+      }
+      if (scratch.wsum_down[dr] == 0.0) {
+        scratch.touched_down.push_back(static_cast<std::uint32_t>(dr));
+      }
+      scratch.wsum_up[ur] += d.weight;
+      scratch.wsum_down[dr] += d.weight;
+    } else {
+      c.up_rack = -1;
+      c.down_rack = -1;
+    }
+    scratch.unfrozen.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Each iteration freezes at least one flow, so this terminates in <= n
+  // iterations; the guard catches logic regressions rather than input.
+  std::size_t guard = n + 2 * ports + 2 * racks + 4;
+  while (!scratch.unfrozen.empty()) {
+    if (guard-- == 0) throw std::logic_error("maxMinAllocate: failed to converge");
+
+    // One division per *touched resource*, not per demand. Ports all of
+    // whose demands froze keep wsum 0 and produce inf/NaN levels, but no
+    // live demand reads those entries.
+    for (const std::uint32_t p : scratch.touched_in) {
+      scratch.level_in[p] =
+          residual.ingress(static_cast<coflow::PortId>(p)) / scratch.wsum_in[p];
+    }
+    for (const std::uint32_t p : scratch.touched_out) {
+      scratch.level_out[p] =
+          residual.egress(static_cast<coflow::PortId>(p)) / scratch.wsum_out[p];
+    }
+    for (const std::uint32_t r : scratch.touched_up) {
+      scratch.level_up[r] =
+          residual.rackUplink(static_cast<int>(r)) / scratch.wsum_up[r];
+    }
+    for (const std::uint32_t r : scratch.touched_down) {
+      scratch.level_down[r] =
+          residual.rackDownlink(static_cast<int>(r)) / scratch.wsum_down[r];
+    }
+
+    // The water level each live demand could rise to right now.
+    double min_level = std::numeric_limits<double>::infinity();
+    for (const std::uint32_t i : scratch.unfrozen) {
+      const MaxMinScratch::DemandCtx& c = scratch.ctx[i];
+      double level = std::min(scratch.level_in[c.src], scratch.level_out[c.dst]);
+      level = std::min(level, c.cap_level);
+      if (c.up_rack >= 0) {
+        level = std::min({level, scratch.level_up[static_cast<std::size_t>(c.up_rack)],
+                          scratch.level_down[static_cast<std::size_t>(c.down_rack)]});
+      }
+      scratch.level[i] = level;
+      min_level = std::min(min_level, level);
+    }
+    if (!std::isfinite(min_level)) min_level = 0.0;
+    min_level = std::max(min_level, 0.0);
+
+    // Freeze every flow constrained at (numerically) the minimum level.
+    // Freezing a flow raises (never lowers) the water level of every port
+    // it leaves, so a cached pre-pass level above the cutoff is a safe
+    // skip; only the few at-cutoff candidates re-read the mutated state.
+    // Compaction preserves index order so the consume/weight-subtraction
+    // sequence matches the reference implementation bit for bit.
+    const double cutoff = min_level * (1.0 + kLevelSlack) + 1e-15;
+    std::size_t live = 0;
+    for (std::size_t k = 0; k < scratch.unfrozen.size(); ++k) {
+      const std::uint32_t i = scratch.unfrozen[k];
+      const MaxMinScratch::DemandCtx& c = scratch.ctx[i];
+      if (scratch.level[i] > cutoff) {
+        scratch.unfrozen[live++] = i;
+        continue;
+      }
+      // Current level against mid-pass residual/weights, mirroring the
+      // reference's per-candidate recomputation.
+      double level =
+          std::min(residual.ingress(demands[i].src) / scratch.wsum_in[c.src],
+                   residual.egress(demands[i].dst) / scratch.wsum_out[c.dst]);
+      level = std::min(level, c.cap_level);
+      if (c.up_rack >= 0) {
+        level = std::min(
+            {level,
+             residual.rackUplink(c.up_rack) /
+                 scratch.wsum_up[static_cast<std::size_t>(c.up_rack)],
+             residual.rackDownlink(c.down_rack) /
+                 scratch.wsum_down[static_cast<std::size_t>(c.down_rack)]});
+      }
+      if (level > cutoff) {
+        scratch.unfrozen[live++] = i;
+        continue;
+      }
+      const util::Rate rate = std::min(c.weight * min_level, demands[i].rate_cap);
+      rates[i] = rate;
+      residual.consume(demands[i].src, demands[i].dst, rate);
+      scratch.wsum_in[c.src] -= c.weight;
+      scratch.wsum_out[c.dst] -= c.weight;
+      if (c.up_rack >= 0) {
+        scratch.wsum_up[static_cast<std::size_t>(c.up_rack)] -= c.weight;
+        scratch.wsum_down[static_cast<std::size_t>(c.down_rack)] -= c.weight;
+      }
+    }
+    if (live == scratch.unfrozen.size()) {
+      throw std::logic_error("maxMinAllocate: no progress");
+    }
+    scratch.unfrozen.resize(live);
+  }
+  // Restore the all-zero wsum invariant: the freeze-pass subtractions
+  // leave +/- epsilon residues on touched entries.
+  for (const std::uint32_t p : scratch.touched_in) scratch.wsum_in[p] = 0.0;
+  for (const std::uint32_t p : scratch.touched_out) scratch.wsum_out[p] = 0.0;
+  for (const std::uint32_t r : scratch.touched_up) scratch.wsum_up[r] = 0.0;
+  for (const std::uint32_t r : scratch.touched_down) scratch.wsum_down[r] = 0.0;
+  return rates;
+}
+
 std::vector<util::Rate> maxMinAllocate(const std::vector<Demand>& demands,
                                        ResidualCapacity& residual) {
+  MaxMinScratch scratch;
+  return maxMinAllocate(std::span<const Demand>(demands), residual, scratch);
+}
+
+std::vector<util::Rate> maxMinAllocate(const std::vector<Demand>& demands,
+                                       const Fabric& fabric) {
+  ResidualCapacity residual(fabric);
+  return maxMinAllocate(demands, residual);
+}
+
+std::vector<util::Rate> maxMinAllocateReference(const std::vector<Demand>& demands,
+                                                ResidualCapacity& residual) {
   const std::size_t n = demands.size();
   std::vector<util::Rate> rates(n, 0.0);
   if (n == 0) return rates;
@@ -72,8 +255,6 @@ std::vector<util::Rate> maxMinAllocate(const std::vector<Demand>& demands,
     return level;
   };
 
-  // Each iteration freezes at least one flow, so this terminates in <= n
-  // iterations; the guard catches logic regressions rather than input.
   std::size_t guard = n + 2 * ports + 2 * racks + 4;
   while (unfrozen > 0) {
     if (guard-- == 0) throw std::logic_error("maxMinAllocate: failed to converge");
@@ -108,12 +289,6 @@ std::vector<util::Rate> maxMinAllocate(const std::vector<Demand>& demands,
     if (!froze_any) throw std::logic_error("maxMinAllocate: no progress");
   }
   return rates;
-}
-
-std::vector<util::Rate> maxMinAllocate(const std::vector<Demand>& demands,
-                                       const Fabric& fabric) {
-  ResidualCapacity residual(fabric);
-  return maxMinAllocate(demands, residual);
 }
 
 }  // namespace aalo::fabric

@@ -4,9 +4,20 @@
 // baseline), max-min among flows *within* a coflow (line 6 of Pseudocode 1
 // — no flow-size information, so this is the only sensible discipline),
 // and excess redistribution between D-CLAS queues (line 14).
+//
+// The allocator is called on every scheduler round of every simulation, so
+// the primary entry point is allocation-free: all intermediate state lives
+// in a caller-owned MaxMinScratch arena that is reused across calls. The
+// water-filling iteration computes one water level per *port* (and rack
+// link) instead of one per demand, then takes cheap minima per demand —
+// the level of a demand is fully determined by its ports' levels and its
+// own cap. A slower reference implementation (maxMinAllocateReference) is
+// retained for randomized equivalence testing.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "coflow/ids.h"
@@ -29,15 +40,59 @@ struct Demand {
   util::Rate rate_cap = kUncapped;
 };
 
+/// Reusable buffers for the water-filling pass and its callers. One arena
+/// per scheduler (or per thread) amortizes every heap allocation on the
+/// allocation hot path. The arena carries no state between calls — only
+/// capacity — so it never needs resetting.
+struct MaxMinScratch {
+  /// Caller-assembled demand list (for helpers that build demands on the
+  /// fly, e.g. sched::allocateCoflowMaxMin). maxMinAllocate may be called
+  /// with this vector as its input span; it does not modify it.
+  std::vector<Demand> demands;
+  /// Rates of the last maxMinAllocate call, aligned with its input.
+  std::vector<util::Rate> shares;
+
+  // --- internal to maxMinAllocate -----------------------------------------
+  /// Per-demand precomputed routing/cap data (ports as indices, rack ids,
+  /// weight, cap-implied level).
+  struct DemandCtx {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::int32_t up_rack = -1;    ///< Source rack, or -1 if not cross-rack.
+    std::int32_t down_rack = -1;  ///< Destination rack, or -1.
+    double weight = 1.0;
+    double cap_level = 0.0;  ///< rate_cap / weight.
+  };
+  std::vector<DemandCtx> ctx;
+  std::vector<double> wsum_in, wsum_out, wsum_up, wsum_down;
+  std::vector<double> level_in, level_out, level_up, level_down;
+  std::vector<double> level;            ///< Cached per-demand water level.
+  std::vector<std::uint32_t> unfrozen;  ///< Compact list of live demands.
+  /// Ports/racks referenced by at least one live demand — the level
+  /// refresh loops over these, so a call with few demands on a large
+  /// fabric costs O(demands), not O(ports).
+  std::vector<std::uint32_t> touched_in, touched_out, touched_up, touched_down;
+
+  // --- buffers for sched::allocateCoflowMadd (per-resource remaining) -----
+  std::vector<util::Bytes> rem_in, rem_out, rem_up, rem_down;
+};
+
 /// Computes weighted max-min fair rates for `demands` against `residual`,
-/// consuming the capacity it hands out. Returns rates aligned with
-/// `demands`. Weight <= 0 yields rate 0.
+/// consuming the capacity it hands out. Returns `scratch.shares` resized
+/// and aligned with `demands`. Weight <= 0 yields rate 0.
 ///
 /// Algorithm: repeatedly find the tightest constraint — either a port
 /// whose residual divided by the total weight of unfrozen flows crossing
 /// it is minimal, or an individual flow's rate cap — freeze the affected
-/// flows at the implied water level, subtract, and continue. O(iterations
-/// x flows) with at most (2 x ports + flows) iterations.
+/// flows at the implied water level, subtract, and continue. Each
+/// iteration costs O(ports + racks) divisions plus O(live demands) minima;
+/// at most (2 x ports + 2 x racks + demands) iterations.
+const std::vector<util::Rate>& maxMinAllocate(std::span<const Demand> demands,
+                                              ResidualCapacity& residual,
+                                              MaxMinScratch& scratch);
+
+/// Convenience overload using a transient scratch arena. Prefer the
+/// scratch-threaded overload on hot paths.
 std::vector<util::Rate> maxMinAllocate(const std::vector<Demand>& demands,
                                        ResidualCapacity& residual);
 
@@ -45,5 +100,12 @@ std::vector<util::Rate> maxMinAllocate(const std::vector<Demand>& demands,
 /// full capacity.
 std::vector<util::Rate> maxMinAllocate(const std::vector<Demand>& demands,
                                        const Fabric& fabric);
+
+/// The original (pre-arena) progressive-filling implementation, retained
+/// verbatim as the oracle for randomized equivalence tests. Semantically
+/// identical to maxMinAllocate; O(demands) work per iteration with two
+/// level computations per live demand.
+std::vector<util::Rate> maxMinAllocateReference(const std::vector<Demand>& demands,
+                                                ResidualCapacity& residual);
 
 }  // namespace aalo::fabric

@@ -8,37 +8,44 @@ ContinuousClasScheduler::ContinuousClasScheduler(ClasConfig config) : config_(co
 
 void ContinuousClasScheduler::allocate(const sim::SimView& view,
                                        std::vector<util::Rate>& rates) {
-  std::vector<ActiveCoflow> groups = groupActiveByCoflow(view);
-  std::sort(groups.begin(), groups.end(), [&](const ActiveCoflow& a, const ActiveCoflow& b) {
-    const util::Bytes sa = view.coflow(a.coflow_index).sent;
-    const util::Bytes sb = view.coflow(b.coflow_index).sent;
-    if (sa != sb) return sa < sb;
-    return view.coflow(a.coflow_index).id < view.coflow(b.coflow_index).id;
-  });
+  const std::span<const ActiveCoflow> groups = activeGroups(view, groups_scratch_);
+  // Sort an index array over the (const) grouping instead of copying it.
+  order_.assign(groups.size(), nullptr);
+  for (std::size_t g = 0; g < groups.size(); ++g) order_[g] = &groups[g];
+  std::sort(order_.begin(), order_.end(),
+            [&](const ActiveCoflow* a, const ActiveCoflow* b) {
+              const util::Bytes sa = view.coflow(a->coflow_index).sent;
+              const util::Bytes sb = view.coflow(b->coflow_index).sent;
+              if (sa != sb) return sa < sb;
+              return view.coflow(a->coflow_index).id < view.coflow(b->coflow_index).id;
+            });
 
   fabric::ResidualCapacity residual(*view.fabric);
   // Walk tie groups in least-attained order; tied coflows share the
   // residual jointly with per-coflow (not per-flow) fairness.
+  std::vector<std::size_t> flat;
   std::size_t i = 0;
-  while (i < groups.size()) {
+  while (i < order_.size()) {
     std::size_t j = i + 1;
-    const util::Bytes base = view.coflow(groups[i].coflow_index).sent;
-    while (j < groups.size() &&
-           view.coflow(groups[j].coflow_index).sent - base <= config_.tie_window) {
+    const util::Bytes base = view.coflow(order_[i]->coflow_index).sent;
+    while (j < order_.size() &&
+           view.coflow(order_[j]->coflow_index).sent - base <= config_.tie_window) {
       ++j;
     }
-    std::vector<fabric::Demand> demands;
-    std::vector<std::size_t> flat;
+    scratch_.demands.clear();
+    flat.clear();
     for (std::size_t g = i; g < j; ++g) {
       const double per_flow_weight =
-          1.0 / static_cast<double>(groups[g].flow_indices.size());
-      for (const std::size_t fi : groups[g].flow_indices) {
+          1.0 / static_cast<double>(order_[g]->flow_indices.size());
+      for (const std::size_t fi : order_[g]->flow_indices) {
         const sim::FlowState& f = view.flow(fi);
-        demands.push_back(fabric::Demand{f.src, f.dst, per_flow_weight, fabric::kUncapped});
+        scratch_.demands.push_back(
+            fabric::Demand{f.src, f.dst, per_flow_weight, fabric::kUncapped});
         flat.push_back(fi);
       }
     }
-    const std::vector<util::Rate> shares = fabric::maxMinAllocate(demands, residual);
+    const std::vector<util::Rate>& shares =
+        fabric::maxMinAllocate(scratch_.demands, residual, scratch_);
     for (std::size_t k = 0; k < flat.size(); ++k) rates[flat[k]] += shares[k];
     i = j;
   }
@@ -49,7 +56,7 @@ util::Seconds ContinuousClasScheduler::nextWakeup(const sim::SimView& view) {
   // service of a (currently less-served, hence higher-priority) peer.
   std::vector<const sim::CoflowState*> active;
   std::vector<util::Rate> agg_rate;
-  const std::vector<ActiveCoflow> groups = groupActiveByCoflow(view);
+  const std::span<const ActiveCoflow> groups = activeGroups(view, groups_scratch_);
   for (const ActiveCoflow& g : groups) {
     active.push_back(&view.coflow(g.coflow_index));
     agg_rate.push_back(coflowAggregateRate(view, g));

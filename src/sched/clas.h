@@ -29,6 +29,9 @@ class ContinuousClasScheduler final : public sim::Scheduler {
 
  private:
   ClasConfig config_;
+  fabric::MaxMinScratch scratch_;
+  std::vector<ActiveCoflow> groups_scratch_;
+  std::vector<const ActiveCoflow*> order_;
 };
 
 }  // namespace aalo::sched

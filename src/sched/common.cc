@@ -5,6 +5,13 @@
 
 namespace aalo::sched {
 
+std::span<const ActiveCoflow> activeGroups(const sim::SimView& view,
+                                           std::vector<ActiveCoflow>& scratch) {
+  if (view.active_index != nullptr) return view.active_index->groups();
+  scratch = groupActiveByCoflow(view);
+  return scratch;
+}
+
 std::vector<ActiveCoflow> groupActiveByCoflow(const sim::SimView& view) {
   std::vector<ActiveCoflow> groups;
   std::unordered_map<std::size_t, std::size_t> group_of;  // coflow idx -> groups idx
@@ -21,14 +28,16 @@ std::vector<ActiveCoflow> groupActiveByCoflow(const sim::SimView& view) {
 
 void allocateCoflowMaxMin(const sim::SimView& view, const ActiveCoflow& group,
                           fabric::ResidualCapacity& residual,
-                          std::vector<util::Rate>& rates) {
-  std::vector<fabric::Demand> demands;
-  demands.reserve(group.flow_indices.size());
+                          std::vector<util::Rate>& rates,
+                          fabric::MaxMinScratch& scratch) {
+  scratch.demands.clear();
+  scratch.demands.reserve(group.flow_indices.size());
   for (const std::size_t fi : group.flow_indices) {
     const sim::FlowState& f = view.flow(fi);
-    demands.push_back(fabric::Demand{f.src, f.dst, 1.0, fabric::kUncapped});
+    scratch.demands.push_back(fabric::Demand{f.src, f.dst, 1.0, fabric::kUncapped});
   }
-  const std::vector<util::Rate> shares = fabric::maxMinAllocate(demands, residual);
+  const std::vector<util::Rate>& shares =
+      fabric::maxMinAllocate(scratch.demands, residual, scratch);
   for (std::size_t k = 0; k < group.flow_indices.size(); ++k) {
     rates[group.flow_indices[k]] += shares[k];
   }
@@ -36,7 +45,8 @@ void allocateCoflowMaxMin(const sim::SimView& view, const ActiveCoflow& group,
 
 void allocateCoflowMadd(const sim::SimView& view, const ActiveCoflow& group,
                         fabric::ResidualCapacity& residual,
-                        std::vector<util::Rate>& rates) {
+                        std::vector<util::Rate>& rates,
+                        fabric::MaxMinScratch& scratch) {
   // Effective bottleneck: time to drain the coflow's per-resource
   // remaining bytes at the residual rates (ports, plus rack links on
   // oversubscribed fabrics).
@@ -44,10 +54,14 @@ void allocateCoflowMadd(const sim::SimView& view, const ActiveCoflow& group,
   const fabric::Fabric* rack_fabric = residual.fabric();
   const std::size_t racks =
       rack_fabric != nullptr ? static_cast<std::size_t>(rack_fabric->numRacks()) : 0;
-  std::vector<util::Bytes> rem_in(ports, 0.0);
-  std::vector<util::Bytes> rem_out(ports, 0.0);
-  std::vector<util::Bytes> rem_up(racks, 0.0);
-  std::vector<util::Bytes> rem_down(racks, 0.0);
+  std::vector<util::Bytes>& rem_in = scratch.rem_in;
+  std::vector<util::Bytes>& rem_out = scratch.rem_out;
+  std::vector<util::Bytes>& rem_up = scratch.rem_up;
+  std::vector<util::Bytes>& rem_down = scratch.rem_down;
+  rem_in.assign(ports, 0.0);
+  rem_out.assign(ports, 0.0);
+  rem_up.assign(racks, 0.0);
+  rem_down.assign(racks, 0.0);
   for (const std::size_t fi : group.flow_indices) {
     const sim::FlowState& f = view.flow(fi);
     const util::Bytes rem = std::max(0.0, f.size - f.sent);
@@ -98,17 +112,41 @@ void allocateCoflowMadd(const sim::SimView& view, const ActiveCoflow& group,
 void backfillMaxMin(const sim::SimView& view,
                     const std::vector<std::size_t>& flow_indices,
                     fabric::ResidualCapacity& residual,
-                    std::vector<util::Rate>& rates) {
-  std::vector<fabric::Demand> demands;
-  demands.reserve(flow_indices.size());
+                    std::vector<util::Rate>& rates,
+                    fabric::MaxMinScratch& scratch) {
+  scratch.demands.clear();
+  scratch.demands.reserve(flow_indices.size());
   for (const std::size_t fi : flow_indices) {
     const sim::FlowState& f = view.flow(fi);
-    demands.push_back(fabric::Demand{f.src, f.dst, 1.0, fabric::kUncapped});
+    scratch.demands.push_back(fabric::Demand{f.src, f.dst, 1.0, fabric::kUncapped});
   }
-  const std::vector<util::Rate> shares = fabric::maxMinAllocate(demands, residual);
+  const std::vector<util::Rate>& shares =
+      fabric::maxMinAllocate(scratch.demands, residual, scratch);
   for (std::size_t k = 0; k < flow_indices.size(); ++k) {
     rates[flow_indices[k]] += shares[k];
   }
+}
+
+void allocateCoflowMaxMin(const sim::SimView& view, const ActiveCoflow& group,
+                          fabric::ResidualCapacity& residual,
+                          std::vector<util::Rate>& rates) {
+  fabric::MaxMinScratch scratch;
+  allocateCoflowMaxMin(view, group, residual, rates, scratch);
+}
+
+void allocateCoflowMadd(const sim::SimView& view, const ActiveCoflow& group,
+                        fabric::ResidualCapacity& residual,
+                        std::vector<util::Rate>& rates) {
+  fabric::MaxMinScratch scratch;
+  allocateCoflowMadd(view, group, residual, rates, scratch);
+}
+
+void backfillMaxMin(const sim::SimView& view,
+                    const std::vector<std::size_t>& flow_indices,
+                    fabric::ResidualCapacity& residual,
+                    std::vector<util::Rate>& rates) {
+  fabric::MaxMinScratch scratch;
+  backfillMaxMin(view, flow_indices, residual, rates, scratch);
 }
 
 util::Bytes remainingReleasedBytes(const sim::SimView& view, std::size_t coflow_index) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "fabric/fabric.h"
@@ -11,22 +12,31 @@
 
 namespace aalo::sched {
 
-/// A coflow together with its currently active (started, unfinished) flows.
-struct ActiveCoflow {
-  std::size_t coflow_index = 0;
-  std::vector<std::size_t> flow_indices;
-};
+/// A coflow together with its currently active (started, unfinished)
+/// flows. Alias of the engine-maintained grouping type.
+using ActiveCoflow = sim::ActiveGroup;
 
-/// Groups view.active_flows by coflow. Order of the result follows first
-/// appearance in active_flows; callers sort by their own discipline.
+/// The active-coflow grouping for `view`: the engine-maintained
+/// incremental index when present (free — no per-round rebuild), else
+/// rebuilt into `scratch` (hand-assembled views in tests and benches).
+/// Order of the result is deterministic but discipline-neutral; callers
+/// that care sort by their own key.
+std::span<const ActiveCoflow> activeGroups(const sim::SimView& view,
+                                           std::vector<ActiveCoflow>& scratch);
+
+/// Groups view.active_flows by coflow, rebuilding from scratch. Order of
+/// the result follows first appearance in active_flows. Prefer
+/// activeGroups() — this exists for the no-index fallback and tests.
 std::vector<ActiveCoflow> groupActiveByCoflow(const sim::SimView& view);
 
 /// Gives `group`'s flows a max-min fair allocation of `residual` (equal
 /// weights — line 6 of Pseudocode 1: no flow-size information), *adding*
-/// to whatever `rates` already holds and consuming the residual.
+/// to whatever `rates` already holds and consuming the residual. All
+/// temporaries live in `scratch`.
 void allocateCoflowMaxMin(const sim::SimView& view, const ActiveCoflow& group,
                           fabric::ResidualCapacity& residual,
-                          std::vector<util::Rate>& rates);
+                          std::vector<util::Rate>& rates,
+                          fabric::MaxMinScratch& scratch);
 
 /// Clairvoyant MADD (Varys): every active flow of `group` gets
 /// remaining / Gamma where Gamma is the coflow's effective bottleneck
@@ -34,10 +44,24 @@ void allocateCoflowMaxMin(const sim::SimView& view, const ActiveCoflow& group,
 /// no more than necessary. No-op if the group has no remaining bytes.
 void allocateCoflowMadd(const sim::SimView& view, const ActiveCoflow& group,
                         fabric::ResidualCapacity& residual,
-                        std::vector<util::Rate>& rates);
+                        std::vector<util::Rate>& rates,
+                        fabric::MaxMinScratch& scratch);
 
 /// Work conservation: distributes whatever `residual` still holds among
 /// all of `flow_indices` max-min (equal weights), adding to `rates`.
+void backfillMaxMin(const sim::SimView& view,
+                    const std::vector<std::size_t>& flow_indices,
+                    fabric::ResidualCapacity& residual,
+                    std::vector<util::Rate>& rates,
+                    fabric::MaxMinScratch& scratch);
+
+// Transient-scratch conveniences (tests / cold paths).
+void allocateCoflowMaxMin(const sim::SimView& view, const ActiveCoflow& group,
+                          fabric::ResidualCapacity& residual,
+                          std::vector<util::Rate>& rates);
+void allocateCoflowMadd(const sim::SimView& view, const ActiveCoflow& group,
+                        fabric::ResidualCapacity& residual,
+                        std::vector<util::Rate>& rates);
 void backfillMaxMin(const sim::SimView& view,
                     const std::vector<std::size_t>& flow_indices,
                     fabric::ResidualCapacity& residual,

@@ -65,7 +65,7 @@ void DClasScheduler::reset(const fabric::Fabric& fabric) {
 void DClasScheduler::onCoflowFinished(const sim::SimView& view,
                                       std::size_t coflow_index) {
   (void)view;
-  known_sent_.erase(coflow_index);
+  if (coflow_index < known_sent_.size()) known_sent_[coflow_index] = 0.0;
 }
 
 void DClasScheduler::setThresholds(std::vector<util::Bytes> thresholds) {
@@ -89,17 +89,19 @@ int DClasScheduler::queueOf(util::Bytes known_size) const {
 }
 
 util::Bytes DClasScheduler::knownSize(std::size_t coflow_index) const {
-  const auto it = known_sent_.find(coflow_index);
-  return it == known_sent_.end() ? 0.0 : it->second;
+  return coflow_index < known_sent_.size() ? known_sent_[coflow_index] : 0.0;
 }
 
 void DClasScheduler::maybeSync(const sim::SimView& view) {
+  if (known_sent_.size() < view.coflows->size()) {
+    known_sent_.resize(view.coflows->size(), 0.0);
+  }
   if (config_.sync_interval <= 0) {
     // Instant coordination: the coordinator always knows the true global
     // attained service. Note: only `sent` is read, never remaining sizes.
-    for (const std::size_t fi : *view.active_flows) {
-      const std::size_t ci = view.flow(fi).coflow_index;
-      known_sent_[ci] = view.coflow(ci).sent;
+    // One hash update per active coflow, not per active flow.
+    for (const ActiveCoflow& g : activeGroups(view, groups_scratch_)) {
+      known_sent_[g.coflow_index] = view.coflow(g.coflow_index).sent;
     }
     return;
   }
@@ -113,15 +115,11 @@ void DClasScheduler::maybeSync(const sim::SimView& view) {
   // service: sent(boundary) = sent(now) - rate * (now - boundary).
   const util::Seconds boundary_time =
       static_cast<double>(boundary) * config_.sync_interval;
-  std::unordered_map<std::size_t, util::Rate> agg_rate;
-  for (const std::size_t fi : *view.active_flows) {
-    const sim::FlowState& f = view.flow(fi);
-    agg_rate[f.coflow_index] += f.rate;  // Previous round's rates.
-  }
-  for (const auto& [ci, rate] : agg_rate) {
-    const util::Bytes at_boundary =
-        view.coflow(ci).sent - rate * std::max(0.0, view.now - boundary_time);
-    util::Bytes& known = known_sent_[ci];
+  for (const ActiveCoflow& g : activeGroups(view, groups_scratch_)) {
+    const util::Rate rate = coflowAggregateRate(view, g);  // Previous round.
+    const util::Bytes at_boundary = view.coflow(g.coflow_index).sent -
+                                    rate * std::max(0.0, view.now - boundary_time);
+    util::Bytes& known = known_sent_[g.coflow_index];
     known = std::max(known, std::max(0.0, at_boundary));
   }
 }
@@ -130,9 +128,11 @@ void DClasScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>&
   maybeSync(view);
 
   // Partition active coflows into queues; FIFO order within each queue.
-  std::vector<ActiveCoflow> groups = groupActiveByCoflow(view);
+  const std::span<const ActiveCoflow> groups = activeGroups(view, groups_scratch_);
   const int k = static_cast<int>(thresholds_.size()) + 1;
-  std::vector<std::vector<std::size_t>> queue_members(static_cast<std::size_t>(k));
+  queue_members_.resize(static_cast<std::size_t>(k));
+  for (auto& members : queue_members_) members.clear();
+  std::vector<std::vector<std::size_t>>& queue_members = queue_members_;
   for (std::size_t g = 0; g < groups.size(); ++g) {
     queue_members[static_cast<std::size_t>(queueOf(knownSize(groups[g].coflow_index)))]
         .push_back(g);
@@ -145,12 +145,22 @@ void DClasScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>&
     });
   }
 
+  // A residual is drained once no port can carry more than this; relative
+  // to capacity because each water-filling pass leaves FP dust behind.
+  util::Rate max_cap = 0;
+  for (const util::Rate c : view.fabric->ingressCapacities()) {
+    max_cap = std::max(max_cap, c);
+  }
+  const util::Rate drained = util::kEps * max_cap;
+
   if (config_.policy == DClasConfig::QueuePolicy::kStrictPriority) {
     // Priority-ordered greedy: inherently work conserving.
     fabric::ResidualCapacity residual(*view.fabric);
     for (const auto& members : queue_members) {
+      if (residual.exhausted(drained)) break;
       for (const std::size_t g : members) {
-        allocateCoflowMaxMin(view, groups[g], residual, rates);
+        allocateCoflowMaxMin(view, groups[g], residual, rates, scratch_);
+        if (residual.exhausted(drained)) break;
       }
     }
     return;
@@ -174,7 +184,10 @@ void DClasScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>&
     const double share = config_.queueWeight(q) / total_weight;
     fabric::ResidualCapacity queue_residual(*view.fabric, share);
     for (const std::size_t g : members) {
-      allocateCoflowMaxMin(view, groups[g], queue_residual, rates);
+      allocateCoflowMaxMin(view, groups[g], queue_residual, rates, scratch_);
+      // A deep FIFO queue drains its slice after the first few coflows;
+      // the rest would be handed an empty residual — skip them.
+      if (queue_residual.exhausted(drained)) break;
     }
     // Pool this queue's unused slice for the excess pass.
     for (int p = 0; p < view.fabric->numPorts(); ++p) {
@@ -194,8 +207,10 @@ void DClasScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>&
 
   // Excess policy: hand unused capacity out again, highest priority first.
   for (const auto& members : queue_members) {
+    if (leftover.exhausted(drained)) break;
     for (const std::size_t g : members) {
-      allocateCoflowMaxMin(view, groups[g], leftover, rates);
+      allocateCoflowMaxMin(view, groups[g], leftover, rates, scratch_);
+      if (leftover.exhausted(drained)) break;
     }
   }
 }
@@ -206,7 +221,9 @@ util::Seconds DClasScheduler::nextWakeup(const sim::SimView& view) {
   // from the just-installed rates; with Δ > 0 the demotion lands on the
   // first sync boundary after the true crossing.
   util::Seconds earliest = sim::kInfTime;
-  const std::vector<ActiveCoflow> groups = groupActiveByCoflow(view);
+  // With the engine-maintained index this is a read, not a rebuild —
+  // allocate() and nextWakeup() see the same grouping for free.
+  const std::span<const ActiveCoflow> groups = activeGroups(view, groups_scratch_);
   for (const ActiveCoflow& group : groups) {
     const int q = queueOf(knownSize(group.coflow_index));
     if (q >= static_cast<int>(thresholds_.size())) continue;  // Lowest queue.

@@ -80,10 +80,15 @@ class DClasScheduler final : public sim::Scheduler {
 
   DClasConfig config_;
   std::vector<util::Bytes> thresholds_;  ///< Size num_queues - 1.
-  /// Attained sizes as of the last coordination round.
-  std::unordered_map<std::size_t, util::Bytes> known_sent_;
+  /// Attained sizes as of the last coordination round, indexed by coflow
+  /// index (dense — coflow indices are small and stable within a run).
+  std::vector<util::Bytes> known_sent_;
   /// Last applied sync boundary index (floor(now / Δ)); -1 before any.
   std::int64_t last_sync_boundary_ = -1;
+  /// Reusable allocation-round buffers (hot path).
+  fabric::MaxMinScratch scratch_;
+  std::vector<ActiveCoflow> groups_scratch_;
+  std::vector<std::vector<std::size_t>> queue_members_;
 };
 
 }  // namespace aalo::sched

@@ -5,7 +5,7 @@ namespace aalo::sched {
 void PerFlowFairScheduler::allocate(const sim::SimView& view,
                                     std::vector<util::Rate>& rates) {
   fabric::ResidualCapacity residual(*view.fabric);
-  backfillMaxMin(view, *view.active_flows, residual, rates);
+  backfillMaxMin(view, *view.active_flows, residual, rates, scratch_);
 }
 
 }  // namespace aalo::sched

@@ -13,6 +13,9 @@ class PerFlowFairScheduler final : public sim::Scheduler {
   std::string name() const override { return "per-flow-fair"; }
 
   void allocate(const sim::SimView& view, std::vector<util::Rate>& rates) override;
+
+ private:
+  fabric::MaxMinScratch scratch_;
 };
 
 }  // namespace aalo::sched

@@ -7,18 +7,23 @@
 namespace aalo::sched {
 
 void FifoScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>& rates) {
-  std::vector<ActiveCoflow> groups = groupActiveByCoflow(view);
+  const std::span<const ActiveCoflow> groups = activeGroups(view, groups_scratch_);
   const coflow::CoflowIdFifoLess fifo_less;
-  std::sort(groups.begin(), groups.end(), [&](const ActiveCoflow& a, const ActiveCoflow& b) {
-    const sim::CoflowState& ca = view.coflow(a.coflow_index);
-    const sim::CoflowState& cb = view.coflow(b.coflow_index);
-    if (ca.release_time != cb.release_time) return ca.release_time < cb.release_time;
-    return fifo_less(ca.id, cb.id);
-  });
+  order_.assign(groups.size(), nullptr);
+  for (std::size_t g = 0; g < groups.size(); ++g) order_[g] = &groups[g];
+  std::sort(order_.begin(), order_.end(),
+            [&](const ActiveCoflow* a, const ActiveCoflow* b) {
+              const sim::CoflowState& ca = view.coflow(a->coflow_index);
+              const sim::CoflowState& cb = view.coflow(b->coflow_index);
+              if (ca.release_time != cb.release_time) {
+                return ca.release_time < cb.release_time;
+              }
+              return fifo_less(ca.id, cb.id);
+            });
 
   fabric::ResidualCapacity residual(*view.fabric);
-  for (const ActiveCoflow& group : groups) {
-    allocateCoflowMaxMin(view, group, residual, rates);
+  for (const ActiveCoflow* group : order_) {
+    allocateCoflowMaxMin(view, *group, residual, rates, scratch_);
     if (!config_.work_conserving_spillover) break;  // Head only.
   }
 }

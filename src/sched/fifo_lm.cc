@@ -29,7 +29,7 @@ void FifoLmScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>
     per_port[p][it->second].flow_indices.push_back(fi);
   }
   // Local attained service (includes finished flows of active coflows).
-  for (const ActiveCoflow& group : groupActiveByCoflow(view)) {
+  for (const ActiveCoflow& group : activeGroups(view, groups_scratch_)) {
     const sim::CoflowState& c = view.coflow(group.coflow_index);
     for (const std::size_t fi : c.flow_indices) {
       const sim::FlowState& f = view.flow(fi);
@@ -41,7 +41,8 @@ void FifoLmScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>
   }
 
   const coflow::CoflowIdFifoLess fifo_less;
-  std::vector<fabric::Demand> demands;
+  std::vector<fabric::Demand>& demands = scratch_.demands;
+  demands.clear();
   std::vector<std::size_t> chosen;
   for (std::size_t p = 0; p < ports; ++p) {
     auto& queue = per_port[p];
@@ -63,10 +64,11 @@ void FifoLmScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>
   }
 
   fabric::ResidualCapacity residual(*view.fabric);
-  const std::vector<util::Rate> shares = fabric::maxMinAllocate(demands, residual);
+  const std::vector<util::Rate>& shares =
+      fabric::maxMinAllocate(demands, residual, scratch_);
   for (std::size_t k = 0; k < chosen.size(); ++k) rates[chosen[k]] += shares[k];
   if (config_.work_conserving) {
-    backfillMaxMin(view, *view.active_flows, residual, rates);
+    backfillMaxMin(view, *view.active_flows, residual, rates, scratch_);
   }
 }
 

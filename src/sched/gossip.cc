@@ -117,7 +117,8 @@ void GossipDClasScheduler::allocate(const sim::SimView& view,
   }
 
   const coflow::CoflowIdFifoLess fifo_less;
-  std::vector<fabric::Demand> demands;
+  std::vector<fabric::Demand>& demands = scratch_.demands;
+  demands.clear();
   std::vector<std::size_t> chosen;
   for (std::size_t p = 0; p < ports; ++p) {
     auto& members = per_port[p];
@@ -159,9 +160,10 @@ void GossipDClasScheduler::allocate(const sim::SimView& view,
   }
 
   fabric::ResidualCapacity residual(*view.fabric);
-  const std::vector<util::Rate> shares = fabric::maxMinAllocate(demands, residual);
+  const std::vector<util::Rate>& shares =
+      fabric::maxMinAllocate(demands, residual, scratch_);
   for (std::size_t i = 0; i < chosen.size(); ++i) rates[chosen[i]] += shares[i];
-  backfillMaxMin(view, *view.active_flows, residual, rates);
+  backfillMaxMin(view, *view.active_flows, residual, rates, scratch_);
 }
 
 util::Seconds GossipDClasScheduler::nextWakeup(const sim::SimView& view) {

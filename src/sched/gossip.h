@@ -60,6 +60,7 @@ class GossipDClasScheduler final : public sim::Scheduler {
   /// Bytes of each flow already credited into mass_.
   std::unordered_map<std::size_t, util::Bytes> credited_;
   util::Seconds last_gossip_ = 0;
+  fabric::MaxMinScratch scratch_;
 };
 
 }  // namespace aalo::sched

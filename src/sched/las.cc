@@ -25,7 +25,7 @@ void DecentralizedLasScheduler::allocate(const sim::SimView& view,
   }
   // Attained service includes already-finished flows of still-active
   // coflows: a daemon remembers everything the coflow sent via its uplink.
-  for (const ActiveCoflow& group : groupActiveByCoflow(view)) {
+  for (const ActiveCoflow& group : activeGroups(view, groups_scratch_)) {
     const sim::CoflowState& c = view.coflow(group.coflow_index);
     for (const std::size_t fi : c.flow_indices) {
       const sim::FlowState& f = view.flow(fi);
@@ -37,7 +37,7 @@ void DecentralizedLasScheduler::allocate(const sim::SimView& view,
   }
 
   // Each port independently selects its least-locally-attained coflow(s).
-  std::vector<fabric::Demand> demands;
+  scratch_.demands.clear();
   std::vector<std::size_t> chosen_flows;
   for (std::size_t p = 0; p < ports; ++p) {
     if (port_flows[p].empty()) continue;
@@ -48,19 +48,20 @@ void DecentralizedLasScheduler::allocate(const sim::SimView& view,
     for (const std::size_t fi : port_flows[p]) {
       const sim::FlowState& f = view.flow(fi);
       if (local_sent[p].at(f.coflow_index) - min_attained <= config_.tie_window) {
-        demands.push_back(fabric::Demand{f.src, f.dst, 1.0, fabric::kUncapped});
+        scratch_.demands.push_back(fabric::Demand{f.src, f.dst, 1.0, fabric::kUncapped});
         chosen_flows.push_back(fi);
       }
     }
   }
 
   fabric::ResidualCapacity residual(*view.fabric);
-  const std::vector<util::Rate> shares = fabric::maxMinAllocate(demands, residual);
+  const std::vector<util::Rate>& shares =
+      fabric::maxMinAllocate(scratch_.demands, residual, scratch_);
   for (std::size_t k = 0; k < chosen_flows.size(); ++k) {
     rates[chosen_flows[k]] += shares[k];
   }
   if (config_.work_conserving) {
-    backfillMaxMin(view, *view.active_flows, residual, rates);
+    backfillMaxMin(view, *view.active_flows, residual, rates, scratch_);
   }
 }
 

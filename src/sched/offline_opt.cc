@@ -93,21 +93,26 @@ OfflineOrderScheduler::OfflineOrderScheduler(
 
 void OfflineOrderScheduler::allocate(const sim::SimView& view,
                                      std::vector<util::Rate>& rates) {
-  std::vector<ActiveCoflow> groups = groupActiveByCoflow(view);
-  std::sort(groups.begin(), groups.end(), [&](const ActiveCoflow& a, const ActiveCoflow& b) {
-    const auto ra = order_.find(view.coflow(a.coflow_index).id);
-    const auto rb = order_.find(view.coflow(b.coflow_index).id);
-    const int va = ra == order_.end() ? std::numeric_limits<int>::max() : ra->second;
-    const int vb = rb == order_.end() ? std::numeric_limits<int>::max() : rb->second;
-    if (va != vb) return va < vb;
-    return view.coflow(a.coflow_index).id < view.coflow(b.coflow_index).id;
-  });
+  const std::span<const ActiveCoflow> groups = activeGroups(view, groups_scratch_);
+  sorted_.assign(groups.size(), nullptr);
+  for (std::size_t g = 0; g < groups.size(); ++g) sorted_[g] = &groups[g];
+  std::sort(sorted_.begin(), sorted_.end(),
+            [&](const ActiveCoflow* a, const ActiveCoflow* b) {
+              const auto ra = order_.find(view.coflow(a->coflow_index).id);
+              const auto rb = order_.find(view.coflow(b->coflow_index).id);
+              const int va =
+                  ra == order_.end() ? std::numeric_limits<int>::max() : ra->second;
+              const int vb =
+                  rb == order_.end() ? std::numeric_limits<int>::max() : rb->second;
+              if (va != vb) return va < vb;
+              return view.coflow(a->coflow_index).id < view.coflow(b->coflow_index).id;
+            });
 
   fabric::ResidualCapacity residual(*view.fabric);
-  for (const ActiveCoflow& group : groups) {
-    allocateCoflowMadd(view, group, residual, rates);
+  for (const ActiveCoflow* group : sorted_) {
+    allocateCoflowMadd(view, *group, residual, rates, scratch_);
   }
-  backfillMaxMin(view, *view.active_flows, residual, rates);
+  backfillMaxMin(view, *view.active_flows, residual, rates, scratch_);
 }
 
 }  // namespace aalo::sched

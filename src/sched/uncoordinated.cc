@@ -34,7 +34,7 @@ void UncoordinatedDClasScheduler::allocate(const sim::SimView& view,
     if (inserted) per_port[p].push_back(PortCoflow{f.coflow_index, 0, {}});
     per_port[p][it->second].flow_indices.push_back(fi);
   }
-  for (const ActiveCoflow& group : groupActiveByCoflow(view)) {
+  for (const ActiveCoflow& group : activeGroups(view, groups_scratch_)) {
     const sim::CoflowState& c = view.coflow(group.coflow_index);
     for (const std::size_t fi : c.flow_indices) {
       const sim::FlowState& f = view.flow(fi);
@@ -48,7 +48,8 @@ void UncoordinatedDClasScheduler::allocate(const sim::SimView& view,
   // Each port independently: local queues, FIFO inside, weighted across.
   // Flow weights are computed per port, then one global water-filling pass
   // resolves egress contention.
-  std::vector<fabric::Demand> demands;
+  std::vector<fabric::Demand>& demands = scratch_.demands;
+  demands.clear();
   std::vector<std::size_t> chosen;
   const coflow::CoflowIdFifoLess fifo_less;
   for (std::size_t p = 0; p < ports; ++p) {
@@ -92,10 +93,11 @@ void UncoordinatedDClasScheduler::allocate(const sim::SimView& view,
   }
 
   fabric::ResidualCapacity residual(*view.fabric);
-  const std::vector<util::Rate> shares = fabric::maxMinAllocate(demands, residual);
+  const std::vector<util::Rate>& shares =
+      fabric::maxMinAllocate(demands, residual, scratch_);
   for (std::size_t i = 0; i < chosen.size(); ++i) rates[chosen[i]] += shares[i];
   // Work conservation, as the local daemons would do with TCP underneath.
-  backfillMaxMin(view, *view.active_flows, residual, rates);
+  backfillMaxMin(view, *view.active_flows, residual, rates, scratch_);
 }
 
 util::Seconds UncoordinatedDClasScheduler::nextWakeup(const sim::SimView& view) {

@@ -31,6 +31,8 @@ class UncoordinatedDClasScheduler final : public sim::Scheduler {
   DClasConfig config_;
   std::vector<util::Bytes> thresholds_;
   util::Seconds quantum_;
+  fabric::MaxMinScratch scratch_;
+  std::vector<ActiveCoflow> groups_scratch_;
 };
 
 }  // namespace aalo::sched

@@ -48,7 +48,7 @@ bool VarysScheduler::admitted(const sim::SimView& view,
 util::Seconds VarysScheduler::nextWakeup(const sim::SimView& view) {
   if (config_.admission_delay <= 0) return sim::kInfTime;
   util::Seconds earliest = sim::kInfTime;
-  for (const ActiveCoflow& group : groupActiveByCoflow(view)) {
+  for (const ActiveCoflow& group : activeGroups(view, groups_scratch_)) {
     if (!admitted(view, group.coflow_index)) {
       earliest = std::min(earliest, view.coflow(group.coflow_index).release_time +
                                         config_.admission_delay);
@@ -58,37 +58,40 @@ util::Seconds VarysScheduler::nextWakeup(const sim::SimView& view) {
 }
 
 void VarysScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>& rates) {
-  std::vector<ActiveCoflow> groups = groupActiveByCoflow(view);
+  const std::span<const ActiveCoflow> all_groups = activeGroups(view, groups_scratch_);
   // Unadmitted coflows (still inside the centralized scheduling delay)
   // may not send at all.
-  std::erase_if(groups, [&](const ActiveCoflow& g) {
-    return !admitted(view, g.coflow_index);
-  });
+  std::vector<const ActiveCoflow*> groups;
+  groups.reserve(all_groups.size());
+  for (const ActiveCoflow& g : all_groups) {
+    if (admitted(view, g.coflow_index)) groups.push_back(&g);
+  }
 
   // SEBF: smallest effective bottleneck first (ties by id for stability).
   std::vector<util::Seconds> gamma(groups.size());
   for (std::size_t g = 0; g < groups.size(); ++g) {
-    gamma[g] = effectiveBottleneck(view, groups[g]);
+    gamma[g] = effectiveBottleneck(view, *groups[g]);
   }
   std::vector<std::size_t> order(groups.size());
   for (std::size_t g = 0; g < order.size(); ++g) order[g] = g;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (gamma[a] != gamma[b]) return gamma[a] < gamma[b];
-    return view.coflow(groups[a].coflow_index).id < view.coflow(groups[b].coflow_index).id;
+    return view.coflow(groups[a]->coflow_index).id <
+           view.coflow(groups[b]->coflow_index).id;
   });
 
   fabric::ResidualCapacity residual(*view.fabric);
   for (const std::size_t g : order) {
-    allocateCoflowMadd(view, groups[g], residual, rates);
+    allocateCoflowMadd(view, *groups[g], residual, rates, scratch_);
   }
   // Work conservation: MADD intentionally under-allocates; backfill
   // across all *admitted* flows.
   std::vector<std::size_t> admitted_flows;
-  for (const ActiveCoflow& group : groups) {
-    admitted_flows.insert(admitted_flows.end(), group.flow_indices.begin(),
-                          group.flow_indices.end());
+  for (const ActiveCoflow* group : groups) {
+    admitted_flows.insert(admitted_flows.end(), group->flow_indices.begin(),
+                          group->flow_indices.end());
   }
-  backfillMaxMin(view, admitted_flows, residual, rates);
+  backfillMaxMin(view, admitted_flows, residual, rates, scratch_);
 }
 
 }  // namespace aalo::sched

@@ -39,6 +39,8 @@ class VarysScheduler final : public sim::Scheduler {
   bool admitted(const sim::SimView& view, std::size_t coflow_index) const;
 
   VarysConfig config_;
+  fabric::MaxMinScratch scratch_;
+  std::vector<ActiveCoflow> groups_scratch_;
 };
 
 }  // namespace aalo::sched

@@ -1,0 +1,98 @@
+#include "sim/batch.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace aalo::sim {
+
+namespace {
+
+struct JobOutcome {
+  SimResult result;
+  std::exception_ptr error;
+};
+
+JobOutcome runOne(const BatchJob& job,
+                  const BatchOptions& options, std::size_t index,
+                  std::mutex* done_mutex) {
+  JobOutcome out;
+  try {
+    if (job.workload == nullptr) {
+      throw std::invalid_argument("BatchJob: workload must not be null");
+    }
+    if (!job.make_scheduler) {
+      throw std::invalid_argument("BatchJob: make_scheduler must not be empty");
+    }
+    const auto start = std::chrono::steady_clock::now();
+    // The scheduler is built here, inside the claimed job, so each run
+    // owns all of its mutable state.
+    std::unique_ptr<Scheduler> scheduler = job.make_scheduler();
+    out.result = runSimulation(*job.workload, job.fabric, *scheduler, job.options);
+    if (options.on_done) {
+      const double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      std::unique_lock<std::mutex> lock;
+      if (done_mutex != nullptr) lock = std::unique_lock(*done_mutex);
+      options.on_done(index, job, out.result, wall);
+    }
+  } catch (...) {
+    out.error = std::current_exception();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SimResult> runBatch(const std::vector<BatchJob>& jobs,
+                                const BatchOptions& options) {
+  std::vector<JobOutcome> outcomes(jobs.size());
+
+  int threads = options.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads), jobs.size()));
+
+  if (threads <= 1) {
+    // Inline path: no pool, no locks — what a plain for-loop would do.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      outcomes[i] = runOne(jobs[i], options, i, /*done_mutex=*/nullptr);
+    }
+  } else {
+    // Work stealing by atomic counter: each worker claims the next
+    // unstarted job. Results land in their submission slot, so the
+    // returned vector is independent of scheduling order.
+    std::atomic<std::size_t> next{0};
+    std::mutex done_mutex;
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs.size()) return;
+        outcomes[i] = runOne(jobs[i], options, i, &done_mutex);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Surface failures deterministically: first failed job wins.
+  for (JobOutcome& out : outcomes) {
+    if (out.error) std::rethrow_exception(out.error);
+  }
+
+  std::vector<SimResult> results;
+  results.reserve(outcomes.size());
+  for (JobOutcome& out : outcomes) results.push_back(std::move(out.result));
+  return results;
+}
+
+}  // namespace aalo::sim

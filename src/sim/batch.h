@@ -1,0 +1,61 @@
+// Thread-pool runner for independent simulations.
+//
+// Every experiment in the paper is a sweep: the same workload under
+// several schedulers (Fig 5, 8), or the same scheduler across a parameter
+// grid (Fig 12, 14b). The runs share nothing mutable — each gets its own
+// Scheduler instance (built by a per-job factory) and its own Simulator —
+// so they parallelize trivially. BatchRunner executes them on a small
+// thread pool and returns results in submission order, making the output
+// byte-identical to a serial loop regardless of thread count or
+// completion order.
+//
+// Sharing contract: jobs may share *immutable* inputs (the Workload is
+// held by pointer and only read; FabricConfig is copied). Everything
+// mutable — the scheduler and all engine state — is created inside the
+// worker, after the job is claimed, so no synchronization is needed
+// beyond the job-claim counter and the completion callback lock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coflow/spec.h"
+#include "fabric/fabric.h"
+#include "sim/records.h"
+#include "sim/simulator.h"
+
+namespace aalo::sim {
+
+/// One independent simulation: (scheduler factory x workload x fabric).
+struct BatchJob {
+  /// Shown in progress callbacks; defaults to the scheduler's name().
+  std::string label;
+  /// Not owned; must outlive the batch. Jobs may share one workload.
+  const coflow::Workload* workload = nullptr;
+  fabric::FabricConfig fabric;
+  /// Called once, inside the worker thread, to build this run's private
+  /// scheduler. Must be callable from any thread (it only runs once).
+  std::function<std::unique_ptr<Scheduler>()> make_scheduler;
+  SimOptions options;
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = run inline (no pool).
+  int num_threads = 0;
+  /// Optional per-completion hook (progress reporting). Called under a
+  /// lock — invocations are serialized but NOT in submission order.
+  std::function<void(std::size_t index, const BatchJob& job,
+                     const SimResult& result, double wall_seconds)>
+      on_done;
+};
+
+/// Runs every job and returns results indexed exactly like `jobs`.
+/// If a job throws, the first exception (in submission order) is
+/// rethrown after all workers have drained.
+std::vector<SimResult> runBatch(const std::vector<BatchJob>& jobs,
+                                const BatchOptions& options = {});
+
+}  // namespace aalo::sim

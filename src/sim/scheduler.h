@@ -24,6 +24,10 @@ struct SimView {
   const std::vector<FlowState>* flows = nullptr;
   /// Indices (into *flows) of started, unfinished flows.
   const std::vector<std::size_t>* active_flows = nullptr;
+  /// Active flows grouped by coflow, maintained incrementally by the
+  /// engine (null for hand-assembled views; schedulers fall back to
+  /// rebuilding the grouping — see sched::activeGroups).
+  const ActiveCoflowIndex* active_index = nullptr;
 
   const CoflowState& coflow(std::size_t i) const { return (*coflows)[i]; }
   const FlowState& flow(std::size_t i) const { return (*flows)[i]; }

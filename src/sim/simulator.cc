@@ -63,6 +63,7 @@ class Run {
   std::vector<CoflowState> coflows_;
   std::vector<FlowState> flows_;
   std::vector<std::size_t> active_flows_;
+  ActiveCoflowIndex active_index_;
   std::vector<util::Rate> rates_;
 
   // Spec back-references and dependency bookkeeping, parallel to coflows_.
@@ -128,6 +129,7 @@ void Run::buildState() {
   }
 
   rates_.assign(flows_.size(), 0.0);
+  active_index_.reset(coflows_.size(), flows_.size());
   for (std::size_t i = 0; i < coflows_.size(); ++i) {
     if (barrier_parents_left_[i] == 0) {
       pushEvent(coflows_[i].spec_arrival, TimelineEvent::Kind::kCoflowRelease, i);
@@ -146,6 +148,7 @@ SimView Run::makeView() const {
   view.coflows = &coflows_;
   view.flows = &flows_;
   view.active_flows = &active_flows_;
+  view.active_index = &active_index_;
   return view;
 }
 
@@ -171,6 +174,7 @@ void Run::releaseFlow(std::size_t fi) {
   f.started = true;
   f.release_time = now_;
   active_flows_.push_back(fi);
+  active_index_.addFlow(f.coflow_index, fi);
   coflows_[f.coflow_index].size_released += f.size;
 }
 
@@ -306,6 +310,7 @@ SimResult Run::execute() {
         f.rate = 0;
         active_flows_[k] = active_flows_.back();
         active_flows_.pop_back();
+        active_index_.removeFlow(f.coflow_index, fi);
         CoflowState& c = coflows_[f.coflow_index];
         if (++c.flows_done == c.flow_indices.size()) {
           finishCoflow(f.coflow_index);

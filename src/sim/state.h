@@ -8,6 +8,7 @@
 // remaining sizes).
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -53,6 +54,98 @@ struct CoflowState {
   util::Bytes size_released = 0;
 
   bool finished() const { return done; }
+};
+
+/// One coflow together with its currently active (started, unfinished)
+/// flows. The grouping every scheduler discipline starts from.
+struct ActiveGroup {
+  std::size_t coflow_index = 0;
+  std::vector<std::size_t> flow_indices;
+};
+
+/// Incrementally maintained grouping of active flows by coflow. The
+/// engine updates it on every flow release and completion, so schedulers
+/// read the grouping in O(1) instead of rebuilding a hash map per round
+/// (previously twice per round: allocate + nextWakeup).
+///
+/// Group order is deterministic — activation order, compacted by
+/// swap-removal when a coflow's last active flow finishes — but NOT
+/// meaningful; disciplines that care about order sort by their own key,
+/// exactly as they did over groupActiveByCoflow() output.
+class ActiveCoflowIndex {
+ public:
+  const std::vector<ActiveGroup>& groups() const { return groups_; }
+
+  /// Bumped on every membership change; lets consumers cache per-round
+  /// derived state keyed on (index identity, epoch).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Resets for a run over `num_coflows` coflows and `num_flows` flows.
+  void reset(std::size_t num_coflows, std::size_t num_flows) {
+    groups_.clear();
+    group_of_.assign(num_coflows, kNone);
+    pos_of_.assign(num_flows, kNone);
+    ++epoch_;
+  }
+
+  void addFlow(std::size_t coflow_index, std::size_t flow_index) {
+    std::size_t g = group_of_[coflow_index];
+    if (g == kNone) {
+      g = groups_.size();
+      group_of_[coflow_index] = g;
+      if (spare_.empty()) {
+        groups_.push_back(ActiveGroup{coflow_index, {}});
+      } else {
+        // Recycle a retired group's vector to keep its capacity.
+        groups_.push_back(ActiveGroup{coflow_index, std::move(spare_.back())});
+        spare_.pop_back();
+      }
+    }
+    pos_of_[flow_index] = groups_[g].flow_indices.size();
+    groups_[g].flow_indices.push_back(flow_index);
+    ++epoch_;
+  }
+
+  void removeFlow(std::size_t coflow_index, std::size_t flow_index) {
+    const std::size_t g = group_of_[coflow_index];
+    std::vector<std::size_t>& members = groups_[g].flow_indices;
+    const std::size_t pos = pos_of_[flow_index];
+    pos_of_[flow_index] = kNone;
+    members[pos] = members.back();
+    members.pop_back();
+    if (pos < members.size()) pos_of_[members[pos]] = pos;
+    if (members.empty()) {
+      spare_.push_back(std::move(members));
+      group_of_[coflow_index] = kNone;
+      if (g + 1 != groups_.size()) {
+        groups_[g] = std::move(groups_.back());
+        group_of_[groups_[g].coflow_index] = g;
+      }
+      groups_.pop_back();
+    }
+    ++epoch_;
+  }
+
+  /// Rebuilds from scratch — for hand-assembled views (tests, micro
+  /// benches) that never go through the engine's event loop.
+  void rebuild(const std::vector<FlowState>& flows,
+               const std::vector<std::size_t>& active) {
+    std::size_t num_coflows = 0;
+    for (const FlowState& f : flows) {
+      num_coflows = std::max(num_coflows, f.coflow_index + 1);
+    }
+    reset(num_coflows, flows.size());
+    for (const std::size_t fi : active) addFlow(flows[fi].coflow_index, fi);
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  std::vector<ActiveGroup> groups_;
+  std::vector<std::size_t> group_of_;  ///< coflow index -> slot in groups_.
+  std::vector<std::size_t> pos_of_;    ///< flow index -> slot in its group.
+  std::vector<std::vector<std::size_t>> spare_;  ///< Retired member vectors.
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace aalo::sim

@@ -1,7 +1,7 @@
 // aalo_sim — replay an aalo-trace file under one or more schedulers.
 //
 //   aalo_sim --trace PATH [--sched LIST] [--ports-per-rack N]
-//            [--oversubscription X] [--delta SEC] [--csv PATH]
+//            [--oversubscription X] [--delta SEC] [--csv PATH] [--jobs N]
 //
 // PATH may be an aalo-trace file or a public coflow-benchmark trace
 // (e.g. FB2010-1Hr-150-0.txt) — the format is auto-detected.
@@ -12,6 +12,10 @@
 //
 // Prints a per-scheduler summary; with --csv, writes one row per coflow
 // per scheduler (scheduler,coflow,job,release,finish,cct,bytes,width).
+//
+// --jobs N runs the schedulers concurrently on N threads (0 = all
+// hardware threads). Each run is independent, and results are reported in
+// --sched order, so the output is identical to --jobs 1.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +37,7 @@
 #include "sched/offline_opt.h"
 #include "sched/uncoordinated.h"
 #include "sched/varys.h"
+#include "sim/batch.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -45,8 +50,22 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: aalo_sim --trace PATH [--sched LIST] [--ports-per-rack N]\n"
-               "                [--oversubscription X] [--delta SEC] [--csv PATH]\n");
+               "                [--oversubscription X] [--delta SEC] [--csv PATH]\n"
+               "                [--jobs N]\n");
   std::exit(2);
+}
+
+/// Validated before the batch starts so an unknown name fails fast in the
+/// main thread instead of exiting from a worker.
+bool knownScheduler(const std::string& name) {
+  static const char* const kNames[] = {
+      "aalo", "aalo-strict", "aalo-adaptive", "fair",   "varys",
+      "fifo", "fifo-spill",  "fifo-lm",       "las",    "uncoordinated",
+      "gossip", "clas",      "offline"};
+  for (const char* const n : kNames) {
+    if (name == n) return true;
+  }
+  return false;
 }
 
 std::unique_ptr<sim::Scheduler> makeScheduler(const std::string& name,
@@ -113,6 +132,7 @@ int main(int argc, char** argv) {
   int ports_per_rack = 0;
   double oversubscription = 1.0;
   double delta = 0.0;
+  int jobs = 1;
 
   for (int i = 1; i < argc; ++i) {
     auto needValue = [&](const char* flag) -> const char* {
@@ -134,6 +154,8 @@ int main(int argc, char** argv) {
       oversubscription = std::atof(needValue("--oversubscription"));
     } else if (!std::strcmp(argv[i], "--delta")) {
       delta = std::atof(needValue("--delta"));
+    } else if (!std::strcmp(argv[i], "--jobs")) {
+      jobs = std::atoi(needValue("--jobs"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       usage();
@@ -170,14 +192,42 @@ int main(int argc, char** argv) {
     csv << "scheduler,coflow,job,release,finish,cct,bytes,width\n";
   }
 
+  std::vector<std::string> sched_names;
+  {
+    std::stringstream names(sched_list);
+    std::string name;
+    while (std::getline(names, name, ',')) {
+      if (name.empty()) continue;
+      if (!knownScheduler(name)) {
+        std::fprintf(stderr, "unknown scheduler '%s'\n", name.c_str());
+        usage();
+      }
+      sched_names.push_back(name);
+    }
+  }
+
+  // One BatchJob per scheduler; --jobs threads run them concurrently.
+  // Results come back in --sched order, so CSV and table output match a
+  // serial run exactly.
+  std::vector<sim::BatchJob> batch;
+  for (const std::string& name : sched_names) {
+    sim::BatchJob job;
+    job.label = name;
+    job.workload = &wl;
+    job.fabric = fc;
+    job.make_scheduler = [&wl, name, delta] { return makeScheduler(name, wl, delta); };
+    batch.push_back(std::move(job));
+  }
+  sim::BatchOptions bopts;
+  bopts.num_threads = jobs;
+  bopts.on_done = [](std::size_t /*index*/, const sim::BatchJob& /*job*/,
+                     const sim::SimResult& result, double wall) {
+    std::fprintf(stderr, "finished %s (%.1fs wall)\n", result.scheduler.c_str(), wall);
+  };
+  const std::vector<sim::SimResult> results = sim::runBatch(batch, bopts);
+
   util::Table table({"scheduler", "avg CCT", "p95 CCT", "makespan", "rounds"});
-  std::stringstream names(sched_list);
-  std::string name;
-  while (std::getline(names, name, ',')) {
-    if (name.empty()) continue;
-    auto scheduler = makeScheduler(name, wl, delta);
-    std::fprintf(stderr, "running %s ...\n", scheduler->name().c_str());
-    const auto result = sim::runSimulation(wl, fc, *scheduler);
+  for (const auto& result : results) {
     util::Summary cct;
     for (const auto& rec : result.coflows) {
       cct.add(rec.cct());

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Records the microbenchmark suite as JSON so successive PRs have a perf
+# trajectory to diff against.
+#
+#   tools/bench_record.sh [build-dir] [output-json]
+#
+# Defaults: build-dir = build, output = BENCH_micro.json (repo root).
+# Builds bench_micro if needed, then runs it with 3 repetitions and
+# aggregate-only reporting (median/mean/stddev per benchmark) to damp
+# scheduler noise. Compare against the committed BENCH_micro.json:
+#
+#   git diff -- BENCH_micro.json
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+out=${2:-"$repo_root/BENCH_micro.json"}
+
+if [ ! -x "$build_dir/bench/bench_micro" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" -j --target bench_micro
+fi
+
+"$build_dir/bench/bench_micro" \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out="$out"
+
+echo "wrote $out" >&2
