@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI driver: full test suite on the default preset, then the chaos-labelled
+# fault-injection suites under AddressSanitizer+UBSan and ThreadSanitizer.
+#
+#   scripts/ci.sh            # default + asan + tsan
+#   scripts/ci.sh default    # just the default preset, full suite
+#   scripts/ci.sh asan       # asan build, chaos suites only
+#   scripts/ci.sh tsan       # tsan build, BatchRunner gate + chaos suites
+#
+# The chaos suites (tests/chaos_test.cc, tests/runtime_robustness_test.cc)
+# carry the "chaos" ctest label; they are the ones that exercise the
+# fault-tolerance paths (reconnects, eviction, mangled frames) where
+# sanitizers earn their keep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_default() {
+  echo "=== default: configure + build + full suite ==="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$(nproc)"
+  ctest --preset default -j "$(nproc)"
+}
+
+run_asan() {
+  echo "=== asan: chaos-labelled fault-injection suites ==="
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$(nproc)" \
+    --target chaos_test runtime_robustness_test
+  (cd build-asan && ctest -L chaos --output-on-failure -j "$(nproc)")
+}
+
+run_tsan() {
+  echo "=== tsan: BatchRunner gate + chaos-labelled suites ==="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$(nproc)"
+  ctest --preset tsan
+  ctest --preset tsan-chaos
+}
+
+case "${1:-all}" in
+  default) run_default ;;
+  asan)    run_asan ;;
+  tsan)    run_tsan ;;
+  all)     run_default; run_asan; run_tsan ;;
+  *) echo "usage: $0 [default|asan|tsan|all]" >&2; exit 2 ;;
+esac
+echo "ci: OK"

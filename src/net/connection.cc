@@ -1,6 +1,7 @@
 #include "net/connection.h"
 
 #include <sys/epoll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <array>
@@ -83,8 +84,10 @@ void Connection::handleReadable() {
 
 void Connection::flush() {
   while (!outgoing_.empty()) {
-    const ssize_t n =
-        ::write(fd_.get(), outgoing_.peek(), outgoing_.readableBytes());
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE
+    // (handled below as a close), never as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_.get(), outgoing_.peek(),
+                             outgoing_.readableBytes(), MSG_NOSIGNAL);
     if (n > 0) {
       outgoing_.consume(static_cast<std::size_t>(n));
       continue;

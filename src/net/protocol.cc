@@ -40,6 +40,7 @@ void encodeMessage(const Message& message, Buffer& out) {
       break;
     case MessageType::kSizeReport:
       out.putU64(message.daemon_id);
+      out.putU64(message.epoch);
       out.putU32(static_cast<std::uint32_t>(message.sizes.size()));
       for (const auto& s : message.sizes) {
         putCoflowId(out, s.id);
@@ -87,6 +88,7 @@ Message decodeMessage(Buffer& in) {
       break;
     case MessageType::kSizeReport: {
       message.daemon_id = in.getU64();
+      message.epoch = in.getU64();
       const std::uint32_t n = in.getU32();
       message.sizes.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) {

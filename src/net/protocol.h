@@ -49,9 +49,12 @@ struct ScheduleEntry {
 /// `type`; unused fields stay default-initialized.
 struct Message {
   MessageType type = MessageType::kHello;
-  std::uint64_t daemon_id = 0;    ///< kHello.
+  std::uint64_t daemon_id = 0;    ///< kHello / kSizeReport.
   std::uint64_t request_id = 0;   ///< kRegisterCoflow / kRegisterReply.
-  std::uint64_t epoch = 0;        ///< kScheduleUpdate: coordination round.
+  /// kScheduleUpdate: this broadcast's coordination round. kSizeReport:
+  /// the last epoch the daemon *applied* — the coordinator uses the echo
+  /// to detect a one-way link (reports arrive, broadcasts don't).
+  std::uint64_t epoch = 0;
   coflow::CoflowId coflow;        ///< kRegisterReply / kUnregisterCoflow.
   std::vector<coflow::CoflowId> parents;   ///< kRegisterCoflow.
   std::vector<CoflowSize> sizes;           ///< kSizeReport.

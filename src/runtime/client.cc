@@ -1,8 +1,10 @@
 #include "runtime/client.h"
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -14,6 +16,7 @@
 
 #include "net/buffer.h"
 #include "net/protocol.h"
+#include "util/log.h"
 
 namespace aalo::runtime {
 
@@ -22,7 +25,9 @@ namespace {
 void writeAllBlocking(int fd, const std::uint8_t* data, std::size_t len) {
   std::size_t sent = 0;
   while (sent < len) {
-    const ssize_t n = ::write(fd, data + sent, len - sent);
+    // MSG_NOSIGNAL: a dead peer yields EPIPE for the retry path to handle,
+    // not a SIGPIPE that kills the application.
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;
@@ -46,7 +51,7 @@ void sendFrameBlocking(int fd, const net::Message& message) {
   writeAllBlocking(fd, frame.peek(), frame.readableBytes());
 }
 
-net::Message readFrameBlocking(int fd, int timeout_ms = 5000) {
+net::Message readFrameBlocking(int fd, int timeout_ms) {
   net::Buffer in;
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
@@ -83,7 +88,44 @@ net::Message readFrameBlocking(int fd, int timeout_ms = 5000) {
 }  // namespace
 
 AaloClient::AaloClient(std::uint16_t coordinator_port)
-    : fd_(net::connectTcp(coordinator_port, /*non_blocking=*/true)) {}
+    : AaloClient(ClientConfig{.coordinator_port = coordinator_port}) {}
+
+AaloClient::AaloClient(ClientConfig config) : config_(std::move(config)) {
+  ensureConnected();
+}
+
+void AaloClient::ensureConnected() {
+  if (fd_.valid()) return;
+  fd_ = net::connectTcp(config_.coordinator_port, /*non_blocking=*/true);
+  if (next_request_ > 1) {
+    // Not the initial dial: the control connection died and came back.
+    stats_.rpc_reconnects.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+net::Message AaloClient::call(const net::Message& request, bool expect_reply) {
+  const int attempts = std::max(config_.max_rpc_attempts, 1);
+  util::Seconds backoff = config_.retry_backoff;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ensureConnected();
+      sendFrameBlocking(fd_.get(), request);
+      if (!expect_reply) return {};
+      return readFrameBlocking(fd_.get(), config_.rpc_timeout_ms);
+    } catch (const std::exception& e) {
+      // Broken pipe, reset, timeout, or refused redial: tear down and
+      // retry over a fresh connection — a restarting coordinator should
+      // be invisible to the application (§3.2).
+      fd_.reset();
+      if (attempt + 1 >= attempts) throw;
+      stats_.rpc_retries.fetch_add(1, std::memory_order_relaxed);
+      AALO_LOG_WARN << "AaloClient: RPC attempt " << attempt + 1 << " failed ("
+                    << e.what() << "); retrying";
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2, config_.retry_max_backoff);
+    }
+  }
+}
 
 coflow::CoflowId AaloClient::registerCoflow(
     std::span<const coflow::CoflowId> parents) {
@@ -91,8 +133,7 @@ coflow::CoflowId AaloClient::registerCoflow(
   request.type = net::MessageType::kRegisterCoflow;
   request.request_id = next_request_++;
   request.parents.assign(parents.begin(), parents.end());
-  sendFrameBlocking(fd_.get(), request);
-  const net::Message reply = readFrameBlocking(fd_.get());
+  const net::Message reply = call(request, /*expect_reply=*/true);
   if (reply.type != net::MessageType::kRegisterReply ||
       reply.request_id != request.request_id) {
     throw std::runtime_error("AaloClient: unexpected register reply");
@@ -104,7 +145,8 @@ void AaloClient::unregisterCoflow(coflow::CoflowId id) {
   net::Message request;
   request.type = net::MessageType::kUnregisterCoflow;
   request.coflow = id;
-  sendFrameBlocking(fd_.get(), request);
+  next_request_++;  // Not echoed, but keeps reconnect accounting honest.
+  call(request, /*expect_reply=*/false);
 }
 
 ThrottledWriter::ThrottledWriter(int fd, coflow::CoflowId id, Daemon& daemon)

@@ -9,8 +9,13 @@
 //
 // The writer is non-blocking in the coflow sense: there is no barrier —
 // senders start sending immediately, Aalo observes sizes as bytes flow
-// and throttles when required. If the daemon loses its coordinator, the
-// writer degrades to unthrottled TCP (fault tolerance, §3.2).
+// and throttles when required. If the daemon loses its coordinator (or
+// its schedule goes stale), the writer degrades to unthrottled TCP
+// (fault tolerance, §3.2).
+//
+// RPCs are retried with exponential backoff over a re-established
+// connection, so a coordinator restart is invisible to applications as
+// long as it returns within the retry budget.
 #pragma once
 
 #include <cstdint>
@@ -19,25 +24,48 @@
 #include "coflow/ids.h"
 #include "net/socket.h"
 #include "runtime/daemon.h"
+#include "runtime/robustness.h"
 
 namespace aalo::runtime {
+
+struct ClientConfig {
+  std::uint16_t coordinator_port = 0;
+  /// Total attempts per RPC (first try + retries). Each failed attempt
+  /// tears the connection down and redials before the next one.
+  int max_rpc_attempts = 8;
+  /// Backoff before retry i is retry_backoff * 2^i, capped below.
+  util::Seconds retry_backoff = 0.05;
+  util::Seconds retry_max_backoff = 0.5;
+  /// Per-attempt reply timeout.
+  int rpc_timeout_ms = 5000;
+};
 
 /// Synchronous control-plane client. One TCP connection per client; safe
 /// for use from a single thread.
 class AaloClient {
  public:
   explicit AaloClient(std::uint16_t coordinator_port);
+  explicit AaloClient(ClientConfig config);
 
   /// register(): obtains a fresh CoflowId; with parents, an id ordered
   /// after them inside the same DAG (register({bId})).
   coflow::CoflowId registerCoflow(std::span<const coflow::CoflowId> parents = {});
 
-  /// unregister(sId): the coflow is complete.
+  /// unregister(sId): the coflow is complete. Idempotent at the
+  /// coordinator, so retries after a broken pipe are safe.
   void unregisterCoflow(coflow::CoflowId id);
 
+  const RobustnessStats& stats() const { return stats_; }
+
  private:
+  void ensureConnected();
+  /// Runs one RPC with bounded retry; reconnects between attempts.
+  net::Message call(const net::Message& request, bool expect_reply);
+
+  ClientConfig config_;
   net::Fd fd_;
   std::uint64_t next_request_ = 1;
+  RobustnessStats stats_;
 };
 
 /// AaloOutputStream equivalent: throttles writes on `fd` to the rate the

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <vector>
 
 #include "net/protocol.h"
 #include "util/log.h"
@@ -25,6 +26,7 @@ Coordinator::Coordinator(CoordinatorConfig config) : config_(std::move(config)) 
 Coordinator::~Coordinator() { stop(); }
 
 void Coordinator::start() {
+  std::lock_guard lifecycle(lifecycle_mutex_);
   if (running_.exchange(true)) return;
   auto [fd, port] = net::listenTcp(config_.port);
   listener_ = std::move(fd);
@@ -36,18 +38,24 @@ void Coordinator::start() {
 }
 
 void Coordinator::stop() {
+  // The lifecycle mutex makes racing stop() calls (or stop() racing the
+  // destructor) serialize; every caller returns only once shutdown is done.
+  std::lock_guard lifecycle(lifecycle_mutex_);
   if (!running_.exchange(false)) return;
   loop_.stop();
   if (thread_.joinable()) thread_.join();
-  loop_.post([this] {
-    peers_.clear();  // Destroy connections on (stopped) loop context.
-  });
+  // The loop thread is gone: destroy connections inline (their destructors
+  // deregister from the now-idle loop).
+  peers_.clear();
   if (listener_.valid()) loop_.remove(listener_.get());
   listener_.reset();
 }
 
 void Coordinator::scheduleTick() {
   loop_.callAfter(toNanos(config_.sync_interval), [this] {
+    const TimePoint now = net::EventLoop::Clock::now();
+    evictStalePeers(now);
+    collectTombstones(now);
     broadcastSchedule();
     if (running_.load(std::memory_order_relaxed)) scheduleTick();
   });
@@ -62,23 +70,76 @@ void Coordinator::onAcceptable() {
     peer.connection = std::make_unique<net::Connection>(
         loop_, std::move(fd),
         [this, key](net::Buffer& payload) { onMessage(key, payload); },
-        [this, key] {
-          const auto it = peers_.find(key);
-          if (it != peers_.end()) {
-            if (it->second.is_daemon) {
-              reported_sizes_.erase(it->second.daemon_id);
-              daemon_count_.fetch_sub(1, std::memory_order_relaxed);
-            }
-            // Defer destruction: we may be inside this connection's own
-            // callback chain.
-            auto doomed = std::move(it->second.connection);
-            peers_.erase(it);
-            loop_.post([conn = std::shared_ptr<net::Connection>(
-                            std::move(doomed))] {});
-          }
-        });
+        [this, key] { dropPeer(key); });
     peers_.emplace(key, std::move(peer));
   }
+}
+
+void Coordinator::dropPeer(std::uint64_t peer_key) {
+  const auto it = peers_.find(peer_key);
+  if (it == peers_.end()) return;
+  if (it->second.is_daemon) {
+    reported_sizes_.erase(it->second.daemon_id);
+    daemon_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  // Defer destruction: we may be inside this connection's own callback
+  // chain (close handler), or about to destroy it from the eviction pass.
+  auto doomed = std::move(it->second.connection);
+  peers_.erase(it);
+  loop_.post([conn = std::shared_ptr<net::Connection>(std::move(doomed))] {});
+}
+
+void Coordinator::evictStalePeers(TimePoint now) {
+  if (config_.liveness_timeout_intervals <= 0 &&
+      config_.one_way_timeout_intervals <= 0) {
+    return;
+  }
+  const auto liveness_budget =
+      toNanos(config_.sync_interval * config_.liveness_timeout_intervals);
+  const auto one_way_budget =
+      toNanos(config_.sync_interval * config_.one_way_timeout_intervals);
+  std::vector<std::uint64_t> evict;
+  for (const auto& [key, peer] : peers_) {
+    if (!peer.is_daemon) continue;
+    if (config_.liveness_timeout_intervals > 0 &&
+        now - peer.last_report > liveness_budget) {
+      stats_.daemons_evicted.fetch_add(1, std::memory_order_relaxed);
+      AALO_LOG_WARN << "coordinator: evicting daemon " << peer.daemon_id
+                    << " (no report for " << config_.liveness_timeout_intervals
+                    << " intervals)";
+      evict.push_back(key);
+      continue;
+    }
+    // One-way failure: its reports arrive (first branch did not trip) but
+    // it never acknowledges our broadcasts — the send path is dead. Only
+    // meaningful once we have actually broadcast something newer than the
+    // daemon's echo.
+    if (config_.one_way_timeout_intervals > 0 &&
+        epoch_.load(std::memory_order_relaxed) > peer.echoed_epoch &&
+        now - peer.last_echo_advance > one_way_budget) {
+      stats_.one_way_evictions.fetch_add(1, std::memory_order_relaxed);
+      AALO_LOG_WARN << "coordinator: evicting daemon " << peer.daemon_id
+                    << " (epoch echo stuck at " << peer.echoed_epoch
+                    << "; one-way link)";
+      evict.push_back(key);
+    }
+  }
+  for (const std::uint64_t key : evict) dropPeer(key);
+}
+
+void Coordinator::collectTombstones(TimePoint now) {
+  if (config_.tombstone_gc_intervals <= 0 || unregistered_.empty()) return;
+  const auto budget =
+      toNanos(config_.sync_interval * config_.tombstone_gc_intervals);
+  for (auto it = unregistered_.begin(); it != unregistered_.end();) {
+    if (now - it->second > budget) {
+      stats_.tombstones_collected.fetch_add(1, std::memory_order_relaxed);
+      it = unregistered_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  tombstone_count_.store(unregistered_.size(), std::memory_order_relaxed);
 }
 
 void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
@@ -90,20 +151,38 @@ void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
   try {
     message = net::decodeMessage(payload);
   } catch (const std::exception& e) {
+    stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
     AALO_LOG_WARN << "coordinator: dropping malformed frame: " << e.what();
     return;
   }
 
+  const TimePoint now = net::EventLoop::Clock::now();
   switch (message.type) {
     case net::MessageType::kHello:
       peer.is_daemon = true;
       peer.daemon_id = message.daemon_id;
+      peer.last_report = now;
+      peer.last_echo_advance = now;
       daemon_count_.fetch_add(1, std::memory_order_relaxed);
       break;
     case net::MessageType::kSizeReport:
       if (peer.is_daemon) {
+        peer.last_report = now;
+        if (message.epoch > peer.echoed_epoch) {
+          peer.echoed_epoch = message.epoch;
+          peer.last_echo_advance = now;
+        }
         auto& sizes = reported_sizes_[peer.daemon_id];
-        for (const auto& s : message.sizes) sizes[s.id] = s.bytes;
+        for (const auto& s : message.sizes) {
+          // Completed coflows must not resurface (tombstone); remember the
+          // mention so the tombstone outlives every daemon still reporting.
+          const auto tomb = unregistered_.find(s.id);
+          if (tomb != unregistered_.end()) {
+            tomb->second = now;
+            continue;
+          }
+          sizes[s.id] = s.bytes;
+        }
       }
       break;
     case net::MessageType::kRegisterCoflow: {
@@ -130,7 +209,8 @@ void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
     }
     case net::MessageType::kUnregisterCoflow:
       registered_.erase(message.coflow);
-      unregistered_.insert(message.coflow);
+      unregistered_[message.coflow] = now;
+      tombstone_count_.store(unregistered_.size(), std::memory_order_relaxed);
       registered_count_.store(registered_.size(), std::memory_order_relaxed);
       for (auto& [daemon, sizes] : reported_sizes_) sizes.erase(message.coflow);
       break;
@@ -151,7 +231,8 @@ void Coordinator::broadcastSchedule() {
       // Two cases for a reported coflow we did not register ourselves:
       // (a) it was explicitly unregistered — tombstoned, drop it; (b) we
       // restarted and lost registration state (§3.2) — the daemons'
-      // reports re-establish it.
+      // reports re-establish it. Stored sizes are tombstone-filtered on
+      // arrival; the check here covers sizes stored before the unregister.
       if (unregistered_.contains(coflow_id)) continue;
       global[coflow_id] += bytes;
     }

@@ -5,18 +5,30 @@
 // The number of coordination messages is linear in the number of daemons
 // and independent of the number of coflows (§3.2): one report in and one
 // broadcast out per daemon per round.
+//
+// Fault tolerance (§3.2 hardening):
+//  * Liveness eviction — a daemon whose reports stop for N·Δ is dropped
+//    (connection closed, its reported sizes discarded) so a hung machine
+//    cannot pin coflows in low-priority queues forever.
+//  * One-way-link detection — daemons echo the last schedule epoch they
+//    applied in every report; a daemon that keeps reporting but whose echo
+//    never advances has a dead receive path and is evicted the same way.
+//  * Tombstone GC — explicit unregisters are tombstoned so completed
+//    coflows cannot resurface from stale reports; a tombstone is collected
+//    once no live daemon has mentioned the coflow for M·Δ.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "coflow/id_generator.h"
 #include "net/connection.h"
 #include "net/event_loop.h"
+#include "runtime/robustness.h"
 #include "sched/dclas.h"
 
 namespace aalo::runtime {
@@ -32,6 +44,16 @@ struct CoordinatorConfig {
   /// schedule (in global priority order); the rest are gated to avoid
   /// receiver-side contention. 0 = everything ON.
   std::size_t max_on_coflows = 0;
+  /// Evict a daemon whose size reports have stopped for this many sync
+  /// intervals (N·Δ). 0 disables liveness eviction.
+  int liveness_timeout_intervals = 10;
+  /// Evict a daemon whose echoed schedule epoch has not advanced for this
+  /// many sync intervals although reports keep arriving (one-way link).
+  /// 0 disables the check.
+  int one_way_timeout_intervals = 40;
+  /// Collect an unregister tombstone after no report has mentioned the
+  /// coflow for this many sync intervals. 0 keeps tombstones forever.
+  int tombstone_gc_intervals = 50;
 };
 
 class Coordinator {
@@ -43,6 +65,8 @@ class Coordinator {
 
   /// Binds, starts the loop thread, begins Δ ticks.
   void start();
+  /// Idempotent and safe under concurrent callers: every caller returns
+  /// only after shutdown has completed.
   void stop();
 
   std::uint16_t port() const { return port_; }
@@ -56,16 +80,30 @@ class Coordinator {
   std::size_t registeredCoflows() const {
     return registered_count_.load(std::memory_order_relaxed);
   }
+  /// Unregister tombstones currently held (pre-GC).
+  std::size_t tombstoneCount() const {
+    return tombstone_count_.load(std::memory_order_relaxed);
+  }
+
+  const RobustnessStats& stats() const { return stats_; }
 
  private:
+  using TimePoint = net::EventLoop::Clock::time_point;
+
   struct Peer {
     std::unique_ptr<net::Connection> connection;
     std::uint64_t daemon_id = 0;
     bool is_daemon = false;
+    TimePoint last_report{};        ///< Last Hello or size report.
+    std::uint64_t echoed_epoch = 0; ///< Highest epoch echoed in a report.
+    TimePoint last_echo_advance{};  ///< When echoed_epoch last grew.
   };
 
   void onAcceptable();
   void onMessage(std::uint64_t peer_key, net::Buffer& payload);
+  void dropPeer(std::uint64_t peer_key);
+  void evictStalePeers(TimePoint now);
+  void collectTombstones(TimePoint now);
   void broadcastSchedule();
   void scheduleTick();
 
@@ -74,6 +112,7 @@ class Coordinator {
   net::Fd listener_;
   std::uint16_t port_ = 0;
   std::thread thread_;
+  std::mutex lifecycle_mutex_;
 
   // Loop-thread-only state.
   std::unordered_map<std::uint64_t, Peer> peers_;
@@ -84,16 +123,18 @@ class Coordinator {
   std::unordered_map<coflow::CoflowId, bool> registered_;
   /// Tombstones for explicit unregisters: daemons keep reporting absolute
   /// local sizes for completed coflows, and those must not resurface in
-  /// schedules. (Unbounded in a very long-lived coordinator; acceptable
-  /// at ~24 bytes per completed coflow for this implementation.)
-  std::unordered_set<coflow::CoflowId> unregistered_;
+  /// schedules. Value = when a report last mentioned the coflow; GC'd by
+  /// collectTombstones once every live daemon has pruned it.
+  std::unordered_map<coflow::CoflowId, TimePoint> unregistered_;
   coflow::CoflowIdGenerator id_generator_;
   std::vector<util::Bytes> thresholds_;
 
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::size_t> daemon_count_{0};
   std::atomic<std::size_t> registered_count_{0};
+  std::atomic<std::size_t> tombstone_count_{0};
   std::atomic<bool> running_{false};
+  RobustnessStats stats_;
 };
 
 }  // namespace aalo::runtime

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cerrno>
+#include <limits>
 #include <system_error>
 
 #include "util/log.h"
@@ -15,13 +16,25 @@ std::chrono::nanoseconds toNanos(util::Seconds s) {
   return std::chrono::nanoseconds(static_cast<std::int64_t>(s * 1e9));
 }
 
+std::uint64_t backoffSeed(const DaemonConfig& config) {
+  if (config.reconnect_seed != 0) return config.reconnect_seed;
+  // Distinct daemons must not retry in lockstep after a shared outage.
+  return config.daemon_id * 0x9E3779B97F4A7C15ull + 1;
+}
+
 }  // namespace
 
-Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {}
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)),
+      thresholds_(config_.dclas.thresholds()),
+      backoff_rng_(backoffSeed(config_)) {
+  next_backoff_ = config_.reconnect_interval;
+}
 
 Daemon::~Daemon() { stop(); }
 
 bool Daemon::tryConnect() {
+  stats_.reconnect_attempts.fetch_add(1, std::memory_order_relaxed);
   net::Fd fd;
   try {
     fd = net::connectTcp(config_.coordinator_port);
@@ -31,12 +44,22 @@ bool Daemon::tryConnect() {
   connection_ = std::make_unique<net::Connection>(
       loop_, std::move(fd), [this](net::Buffer& payload) { onMessage(payload); },
       [this] {
-        connected_.store(false, std::memory_order_relaxed);
+        socket_connected_.store(false, std::memory_order_relaxed);
         AALO_LOG_WARN << "daemon " << config_.daemon_id
                       << ": lost coordinator; data path falls back to fair sharing";
         scheduleReconnect();
       });
-  connected_.store(true, std::memory_order_relaxed);
+  // Fresh connection: expect epochs from scratch (the coordinator may have
+  // restarted and reset its round counter) and give the schedule a full
+  // staleness budget before degrading.
+  conn_epoch_ = 0;
+  seen_in_schedule_.clear();
+  missed_schedules_.clear();
+  last_broadcast_ = net::EventLoop::Clock::now();
+  next_backoff_ = config_.reconnect_interval;
+  socket_connected_.store(true, std::memory_order_relaxed);
+  schedule_fresh_.store(true, std::memory_order_relaxed);
+  stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
   sendHello();
   return true;
 }
@@ -46,20 +69,31 @@ void Daemon::scheduleReconnect() {
       !running_.load(std::memory_order_relaxed)) {
     return;
   }
-  loop_.callAfter(toNanos(config_.reconnect_interval), [this] {
+  loop_.callAfter(toNanos(next_backoff_), [this] {
     if (!running_.load(std::memory_order_relaxed)) return;
-    if (connected_.load(std::memory_order_relaxed)) return;
+    if (socket_connected_.load(std::memory_order_relaxed)) return;
     // Drop the dead connection on the loop thread, then retry. Local
     // sizes are intentionally kept: the coordinator re-learns everything
     // from the next size report (§3.2).
     connection_.reset();
-    if (!tryConnect()) scheduleReconnect();
+    if (!tryConnect()) {
+      // Decorrelated jitter: independent of other daemons' retry phases
+      // and spreads exponentially up to the cap.
+      const util::Seconds base = config_.reconnect_interval;
+      const util::Seconds cap =
+          std::max(base, config_.reconnect_max_backoff);
+      next_backoff_ =
+          std::min(cap, backoff_rng_.uniform(base, next_backoff_ * 3));
+      scheduleReconnect();
+    }
   });
 }
 
 void Daemon::start() {
+  std::lock_guard lifecycle(lifecycle_mutex_);
   if (running_.exchange(true)) return;
   if (!tryConnect()) {
+    running_.store(false, std::memory_order_relaxed);
     throw std::system_error(ECONNREFUSED, std::generic_category(),
                             "Daemon: cannot reach coordinator");
   }
@@ -68,11 +102,15 @@ void Daemon::start() {
 }
 
 void Daemon::stop() {
+  // Serialize racing stop() calls (and stop() vs destructor): every caller
+  // returns only after the loop thread is joined and the socket is gone.
+  std::lock_guard lifecycle(lifecycle_mutex_);
   if (!running_.exchange(false)) return;
   loop_.stop();
   if (thread_.joinable()) thread_.join();
   connection_.reset();
-  connected_.store(false, std::memory_order_relaxed);
+  socket_connected_.store(false, std::memory_order_relaxed);
+  schedule_fresh_.store(false, std::memory_order_relaxed);
 }
 
 void Daemon::sendHello() {
@@ -87,8 +125,27 @@ void Daemon::sendHello() {
 void Daemon::scheduleTick() {
   loop_.callAfter(toNanos(config_.sync_interval), [this] {
     sendSizeReport();
+    checkScheduleFreshness();
     if (running_.load(std::memory_order_relaxed)) scheduleTick();
   });
+}
+
+void Daemon::checkScheduleFreshness() {
+  if (config_.stale_after_intervals <= 0) return;
+  if (!socket_connected_.load(std::memory_order_relaxed)) return;
+  if (!schedule_fresh_.load(std::memory_order_relaxed)) return;
+  const auto budget =
+      toNanos(config_.sync_interval * config_.stale_after_intervals);
+  if (net::EventLoop::Clock::now() - last_broadcast_ > budget) {
+    // §3.2: enforcing a dead schedule is worse than none. Degrade to
+    // local-only mode (every coflow back to the highest-priority queue,
+    // writers unthrottled) until broadcasts resume.
+    schedule_fresh_.store(false, std::memory_order_relaxed);
+    stats_.stale_transitions.fetch_add(1, std::memory_order_relaxed);
+    AALO_LOG_WARN << "daemon " << config_.daemon_id
+                  << ": no schedule for " << config_.stale_after_intervals
+                  << " intervals; entering local-only mode";
+  }
 }
 
 void Daemon::sendSizeReport() {
@@ -96,6 +153,10 @@ void Daemon::sendSizeReport() {
   net::Message report;
   report.type = net::MessageType::kSizeReport;
   report.daemon_id = config_.daemon_id;
+  // Echo the last applied epoch so the coordinator can spot a one-way
+  // link: our reports arriving while this echo never advances means its
+  // broadcasts are not reaching us.
+  report.epoch = conn_epoch_;
   {
     std::lock_guard lock(mutex_);
     report.sizes.reserve(local_sent_.size());
@@ -113,10 +174,25 @@ void Daemon::onMessage(net::Buffer& payload) {
   try {
     message = net::decodeMessage(payload);
   } catch (const std::exception& e) {
+    stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
     AALO_LOG_WARN << "daemon " << config_.daemon_id << ": bad frame: " << e.what();
     return;
   }
   if (message.type != net::MessageType::kScheduleUpdate) return;
+  // Any broadcast — even a stale one — proves the coordinator->daemon
+  // path is alive.
+  last_broadcast_ = net::EventLoop::Clock::now();
+  if (message.epoch <= conn_epoch_) {
+    // Duplicated or reordered broadcast: an old epoch must never
+    // overwrite newer state.
+    stats_.old_epoch_ignored.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  conn_epoch_ = message.epoch;
+
+  std::unordered_set<coflow::CoflowId> scheduled_now;
+  scheduled_now.reserve(message.schedule.size());
+  for (const auto& e : message.schedule) scheduled_now.insert(e.id);
   {
     std::lock_guard lock(mutex_);
     schedule_ = message.schedule;
@@ -127,7 +203,61 @@ void Daemon::onMessage(net::Buffer& payload) {
       on_[e.id] = e.on;
     }
   }
+  pruneCompleted(scheduled_now);
+  for (const auto& e : message.schedule) seen_in_schedule_.insert(e.id);
   last_epoch_.store(message.epoch, std::memory_order_relaxed);
+  if (!schedule_fresh_.exchange(true, std::memory_order_relaxed)) {
+    stats_.stale_recoveries.fetch_add(1, std::memory_order_relaxed);
+    AALO_LOG_INFO << "daemon " << config_.daemon_id
+                  << ": schedule fresh again; leaving local-only mode";
+  }
+}
+
+void Daemon::pruneCompleted(
+    const std::unordered_set<coflow::CoflowId>& scheduled_now) {
+  std::lock_guard lock(mutex_);
+  // A coflow this connection has seen scheduled that has now vanished was
+  // unregistered at the coordinator: drop its local accounting so reports
+  // shrink and the coordinator's tombstone for it can eventually be GC'd.
+  // Coflows with a live local writer are kept — they are not done here,
+  // and their reports keep the tombstone alive, which is correct.
+  for (auto it = seen_in_schedule_.begin(); it != seen_in_schedule_.end();) {
+    if (scheduled_now.contains(*it)) {
+      ++it;
+      continue;
+    }
+    if (active_writers_.contains(*it)) {
+      ++it;
+      continue;
+    }
+    local_sent_.erase(*it);
+    missed_schedules_.erase(*it);
+    stats_.completed_coflows_pruned.fetch_add(1, std::memory_order_relaxed);
+    it = seen_in_schedule_.erase(it);
+  }
+  // A locally accounted coflow we have *never* seen scheduled: a registered
+  // coflow appears in every broadcast (at zero global bytes if need be), so
+  // one that stays absent for many consecutive applied schedules while we
+  // keep reporting it was unregistered before its first schedule reached
+  // us. The round budget keeps in-flight first reports — and a freshly
+  // restarted coordinator that has not heard our absolute sizes yet — from
+  // triggering a premature prune.
+  for (auto it = local_sent_.begin(); it != local_sent_.end();) {
+    const coflow::CoflowId id = it->first;
+    if (scheduled_now.contains(id) || seen_in_schedule_.contains(id) ||
+        active_writers_.contains(id)) {
+      missed_schedules_.erase(id);
+      ++it;
+      continue;
+    }
+    if (++missed_schedules_[id] >= kMissedSchedulesBeforePrune) {
+      missed_schedules_.erase(id);
+      it = local_sent_.erase(it);
+      stats_.completed_coflows_pruned.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void Daemon::reportBytes(coflow::CoflowId id, util::Bytes delta) {
@@ -142,22 +272,44 @@ void Daemon::writerActive(coflow::CoflowId id, bool active) {
   if (count <= 0) active_writers_.erase(id);
 }
 
+int Daemon::localQueueLocked(coflow::CoflowId id) const {
+  const auto it = local_sent_.find(id);
+  const util::Bytes bytes = it == local_sent_.end() ? 0 : it->second;
+  int queue = 0;
+  while (queue < static_cast<int>(thresholds_.size()) &&
+         bytes >= thresholds_[static_cast<std::size_t>(queue)]) {
+    ++queue;
+  }
+  return queue;
+}
+
 int Daemon::queueOf(coflow::CoflowId id) const {
+  // Both available signals lower-bound the coflow's true attained service,
+  // which only grows: the last schedule entry (global bytes at broadcast
+  // time) and local D-CLAS over locally attained bytes (§3.2). Taking the
+  // max means a coflow is never promoted above a queue it already left —
+  // not by an outage, not by a stale schedule surviving a reconnect, and
+  // not by a freshly restarted coordinator that has not heard the absolute
+  // sizes yet. A genuinely new coflow has neither signal: queue 0.
   std::lock_guard lock(mutex_);
+  const int local = localQueueLocked(id);
   const auto it = queue_of_.find(id);
-  return it == queue_of_.end() ? 0 : static_cast<int>(it->second);
+  if (it == queue_of_.end()) return local;
+  return std::max(local, static_cast<int>(it->second));
 }
 
 bool Daemon::isOn(coflow::CoflowId id) const {
+  // Local-only mode: a dead schedule's OFF signals must not gate anyone.
+  if (!connected()) return true;
   std::lock_guard lock(mutex_);
   const auto it = on_.find(id);
   return it == on_.end() ? true : it->second;
 }
 
 util::Rate Daemon::rateFor(coflow::CoflowId id) const {
-  // Fault tolerance (§3.2): without a coordinator the client library
-  // falls back to plain TCP sharing — no throttling.
-  if (!connected_.load(std::memory_order_relaxed)) {
+  // Fault tolerance (§3.2): without a live coordinator — socket down *or*
+  // schedule stale — the client library falls back to plain TCP sharing.
+  if (!connected()) {
     return std::numeric_limits<util::Rate>::infinity();
   }
 
@@ -177,8 +329,9 @@ util::Rate Daemon::rateFor(coflow::CoflowId id) const {
     const auto on_it = on_.find(coflow_id);
     if (on_it != on_.end() && !on_it->second) continue;
     const auto it = queue_of_.find(coflow_id);
-    const int q = std::clamp(
-        it == queue_of_.end() ? 0 : static_cast<int>(it->second), 0, k - 1);
+    const int raw = it == queue_of_.end() ? localQueueLocked(coflow_id)
+                                          : static_cast<int>(it->second);
+    const int q = std::clamp(raw, 0, k - 1);
     queues[static_cast<std::size_t>(q)].push_back(coflow_id);
   }
 

@@ -5,6 +5,18 @@
 // global schedule. Between updates it makes local decisions: coflows it
 // has never seen in a schedule are treated as highest priority (new ==
 // likely small, §3.2).
+//
+// Fault tolerance (§3.2 hardening):
+//  * Reconnects use exponential backoff with decorrelated jitter (seeded,
+//    so failure scenarios replay deterministically); absolute local sizes
+//    are kept across the outage and re-teach a restarted coordinator.
+//  * Stale-schedule degradation — if no broadcast arrives for M·Δ on a
+//    still-open socket (a one-way link or hung coordinator), the daemon
+//    flips to local-only mode: connected() turns false, queueOf()/isOn()
+//    return their local defaults (queue 0 / ON) and ThrottledWriter
+//    degrades to unthrottled TCP.
+//  * Duplicated or reordered schedule broadcasts are ignored: within one
+//    connection only strictly newer epochs are applied.
 #pragma once
 
 #include <atomic>
@@ -21,6 +33,9 @@
 #include "net/connection.h"
 #include "net/event_loop.h"
 #include "net/protocol.h"
+#include "runtime/robustness.h"
+#include "sched/dclas.h"
+#include "util/rng.h"
 #include "util/units.h"
 
 namespace aalo::runtime {
@@ -33,10 +48,25 @@ struct DaemonConfig {
   int num_queues = 10;
   /// Local uplink capacity divided among this machine's coflows.
   util::Rate uplink_capacity = util::kGbps;
-  /// §3.2 fault tolerance: after losing the coordinator, retry connecting
-  /// this often (locally observed sizes are kept across the outage).
+  /// §3.2 fault tolerance: base reconnect delay after losing the
+  /// coordinator (locally observed sizes are kept across the outage).
   /// 0 disables reconnection.
   util::Seconds reconnect_interval = 0.2;
+  /// Backoff ceiling: retry delays grow from reconnect_interval with
+  /// decorrelated jitter up to this value.
+  util::Seconds reconnect_max_backoff = 2.0;
+  /// Seed for the jitter Rng; 0 derives one from daemon_id so distinct
+  /// daemons never thunder in lockstep.
+  std::uint64_t reconnect_seed = 0;
+  /// Flip to local-only mode after this many sync intervals without a
+  /// schedule broadcast on an open socket. 0 disables stale detection.
+  int stale_after_intervals = 25;
+  /// Thresholds used to discretize *locally* attained service when no
+  /// global information exists for a coflow — degraded mode, or the first
+  /// rounds after a coordinator restart. Mirror the coordinator's D-CLAS
+  /// config. Local bytes lower-bound the global size, so the local queue
+  /// never promotes a coflow above what the global schedule would assign.
+  sched::DClasConfig dclas;
 };
 
 class Daemon {
@@ -47,6 +77,7 @@ class Daemon {
   Daemon& operator=(const Daemon&) = delete;
 
   void start();
+  /// Idempotent and safe under concurrent callers.
   void stop();
 
   /// Thread-safe, called by the data path: `delta` more bytes of `id`
@@ -57,37 +88,74 @@ class Daemon {
   /// machine (used for local rate assignment).
   void writerActive(coflow::CoflowId id, bool active);
 
-  /// Queue of a coflow per the last global schedule; never-scheduled
-  /// coflows sit in the highest-priority queue (0).
+  /// Queue of a coflow per the last global schedule. When no schedule
+  /// entry exists — a never-scheduled coflow, or *any* coflow while
+  /// degraded (disconnected or stale schedule) — falls back to local
+  /// D-CLAS over locally attained bytes (§3.2): genuinely new coflows get
+  /// the highest-priority queue (0), known ones keep at most the priority
+  /// their local size justifies, so a coflow is never promoted above a
+  /// queue it already left.
   int queueOf(coflow::CoflowId id) const;
 
   /// §6.2 ON/OFF signal from the last schedule; unknown coflows are ON
-  /// (new == likely small, scheduled locally).
+  /// (new == likely small, scheduled locally), and while degraded every
+  /// coflow is ON — a dead schedule must not gate anyone.
   bool isOn(coflow::CoflowId id) const;
 
   /// D-CLAS rate (bytes/s) the local uplink grants `id` right now:
   /// weighted share across queues, FIFO within the queue among this
-  /// machine's active coflows.
+  /// machine's active coflows. Infinity while degraded (plain TCP).
   util::Rate rateFor(coflow::CoflowId id) const;
 
   std::uint64_t lastEpoch() const { return last_epoch_.load(std::memory_order_relaxed); }
-  bool connected() const { return connected_.load(std::memory_order_relaxed); }
+  /// True only when the socket is up AND the schedule is fresh: a hung
+  /// coordinator (no broadcast for M·Δ) reads as disconnected, which is
+  /// exactly what ThrottledWriter's degrade-to-unthrottled path needs.
+  bool connected() const {
+    return socket_connected_.load(std::memory_order_relaxed) &&
+           schedule_fresh_.load(std::memory_order_relaxed);
+  }
+
+  const RobustnessStats& stats() const { return stats_; }
 
  private:
   void sendHello();
   void sendSizeReport();
+  void checkScheduleFreshness();
   void scheduleTick();
   void scheduleReconnect();
   bool tryConnect();
   void onMessage(net::Buffer& payload);
+  void pruneCompleted(
+      const std::unordered_set<coflow::CoflowId>& scheduled_now);
+  /// Local D-CLAS: discretize locally attained bytes. Needs mutex_ held.
+  int localQueueLocked(coflow::CoflowId id) const;
 
   DaemonConfig config_;
+  std::vector<util::Bytes> thresholds_;  ///< From config_.dclas, immutable.
   net::EventLoop loop_;
   std::unique_ptr<net::Connection> connection_;
   std::thread thread_;
+  std::mutex lifecycle_mutex_;
   std::atomic<bool> running_{false};
-  std::atomic<bool> connected_{false};
+  std::atomic<bool> socket_connected_{false};
+  std::atomic<bool> schedule_fresh_{false};
   std::atomic<std::uint64_t> last_epoch_{0};
+
+  // Loop-thread-only state (start() touches it before the thread exists).
+  util::Rng backoff_rng_;
+  util::Seconds next_backoff_ = 0;
+  std::uint64_t conn_epoch_ = 0;  ///< Highest epoch applied this connection.
+  net::EventLoop::Clock::time_point last_broadcast_{};
+  /// Coflows some schedule on the current connection contained; one that
+  /// later disappears from the schedule has been unregistered and its
+  /// local accounting can be pruned.
+  std::unordered_set<coflow::CoflowId> seen_in_schedule_;
+  /// Locally accounted coflows never seen in a schedule: consecutive
+  /// applied schedules that omitted them. At the budget below they are
+  /// pruned — they were unregistered before their first schedule arrived.
+  std::unordered_map<coflow::CoflowId, int> missed_schedules_;
+  static constexpr int kMissedSchedulesBeforePrune = 10;
 
   mutable std::mutex mutex_;
   std::unordered_map<coflow::CoflowId, util::Bytes> local_sent_;
@@ -95,6 +163,8 @@ class Daemon {
   std::unordered_map<coflow::CoflowId, std::int32_t> queue_of_;
   std::unordered_map<coflow::CoflowId, bool> on_;
   std::vector<net::ScheduleEntry> schedule_;
+
+  RobustnessStats stats_;
 };
 
 }  // namespace aalo::runtime

@@ -1,0 +1,42 @@
+// Monotonic fault-tolerance counters (§3.2 hardening).
+//
+// Every control-plane component (Coordinator, Daemon, AaloClient) owns one
+// RobustnessStats instance and bumps the counters relevant to it. Counters
+// only ever grow, so tests can assert on behavior ("the daemon went stale
+// exactly once", "the client reconnected") instead of sleeping and hoping.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace aalo::runtime {
+
+struct RobustnessStats {
+  using Counter = std::atomic<std::uint64_t>;
+
+  // Shared.
+  Counter malformed_frames{0};  ///< Frames that failed to decode.
+
+  // Coordinator.
+  Counter daemons_evicted{0};       ///< Liveness timeouts (reports stopped).
+  Counter one_way_evictions{0};     ///< Echoed epoch stuck: send path dead.
+  Counter tombstones_collected{0};  ///< Unregister tombstones GC'd.
+
+  // Daemon.
+  Counter reconnect_attempts{0};       ///< Dial attempts after a loss.
+  Counter reconnects{0};               ///< Successful (re)connections.
+  Counter stale_transitions{0};        ///< Entered local-only mode (§3.2).
+  Counter stale_recoveries{0};         ///< Left local-only mode.
+  Counter old_epoch_ignored{0};        ///< Dup/reordered broadcasts dropped.
+  Counter completed_coflows_pruned{0}; ///< Local sizes GC'd after completion.
+
+  // Client.
+  Counter rpc_retries{0};     ///< RPC attempts beyond the first.
+  Counter rpc_reconnects{0};  ///< Control connections re-established.
+
+  RobustnessStats() = default;
+  RobustnessStats(const RobustnessStats&) = delete;
+  RobustnessStats& operator=(const RobustnessStats&) = delete;
+};
+
+}  // namespace aalo::runtime

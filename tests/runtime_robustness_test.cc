@@ -165,6 +165,68 @@ TEST(RuntimeRobustness, ScheduleEntryOnFlagRoundTrips) {
 }
 
 
+TEST(RuntimeRobustness, StopIsIdempotentUnderConcurrentCallers) {
+  Coordinator coordinator(fastCoordinator());
+  coordinator.start();
+  DaemonConfig dcfg;
+  dcfg.coordinator_port = coordinator.port();
+  dcfg.daemon_id = 1;
+  dcfg.sync_interval = 0.005;
+  Daemon daemon(dcfg);
+  daemon.start();
+  waitFor([&] { return daemon.connected(); });
+
+  // Many threads race stop() on both components; every caller must return
+  // only once shutdown has fully completed, and none may crash or hang.
+  std::vector<std::thread> stoppers;
+  stoppers.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    stoppers.emplace_back([&] {
+      daemon.stop();
+      coordinator.stop();
+    });
+  }
+  for (auto& t : stoppers) t.join();
+  EXPECT_FALSE(daemon.connected());
+  EXPECT_EQ(coordinator.daemonCount(), 0u);
+  // Stopping again after the fact is still a no-op (destructors re-stop).
+  daemon.stop();
+  coordinator.stop();
+}
+
+TEST(RuntimeRobustness, TombstonesAreCollectedOnceReportsPrune) {
+  CoordinatorConfig ccfg = fastCoordinator();
+  ccfg.tombstone_gc_intervals = 10;
+  Coordinator coordinator(ccfg);
+  coordinator.start();
+  DaemonConfig dcfg;
+  dcfg.coordinator_port = coordinator.port();
+  dcfg.daemon_id = 1;
+  dcfg.sync_interval = 0.005;
+  Daemon daemon(dcfg);
+  daemon.start();
+
+  AaloClient client(coordinator.port());
+  const auto id = client.registerCoflow();
+  daemon.reportBytes(id, 50 * util::kMB);
+  waitFor([&] { return daemon.queueOf(id) > 0; });
+
+  client.unregisterCoflow(id);
+  waitFor([&] { return coordinator.tombstoneCount() >= 1; });
+  // The daemon notices the coflow left the schedule, prunes its local
+  // accounting, stops mentioning it — and the tombstone is then GC'd.
+  waitFor([&] {
+    return daemon.stats().completed_coflows_pruned.load(
+               std::memory_order_relaxed) >= 1;
+  });
+  waitFor([&] { return coordinator.tombstoneCount() == 0; });
+  EXPECT_GE(coordinator.stats().tombstones_collected.load(
+                std::memory_order_relaxed),
+            1u);
+  daemon.stop();
+  coordinator.stop();
+}
+
 TEST(RuntimeRobustness, DaemonReconnectsAfterCoordinatorRestart) {
   auto coordinator = std::make_unique<Coordinator>(fastCoordinator());
   coordinator->start();

@@ -1,7 +1,11 @@
 // aalo_coordinator — run a standalone Aalo coordinator process.
 //
 //   aalo_coordinator [--port P] [--delta MS] [--queues K] [--q1 BYTES]
-//                    [--factor E] [--verbose]
+//                    [--factor E] [--max-on N] [--liveness-timeout N]
+//                    [--one-way-timeout N] [--tombstone-gc N] [--verbose]
+//
+// The three timeout flags are in units of sync intervals (N * delta); 0
+// disables the corresponding watchdog.
 //
 // Prints one status line per second (daemons, registered coflows, epoch).
 // Terminate with SIGINT/SIGTERM.
@@ -28,7 +32,9 @@ void onSignal(int) { g_stop = true; }
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: aalo_coordinator [--port P] [--delta MS] [--queues K]\n"
-               "                        [--q1 BYTES] [--factor E] [--verbose]\n");
+               "                        [--q1 BYTES] [--factor E] [--max-on N]\n"
+               "                        [--liveness-timeout N] [--one-way-timeout N]\n"
+               "                        [--tombstone-gc N] [--verbose]\n");
   std::exit(2);
 }
 
@@ -54,6 +60,15 @@ int main(int argc, char** argv) {
       cfg.dclas.first_threshold = std::atof(needValue("--q1"));
     } else if (!std::strcmp(argv[i], "--factor")) {
       cfg.dclas.exp_factor = std::atof(needValue("--factor"));
+    } else if (!std::strcmp(argv[i], "--max-on")) {
+      cfg.max_on_coflows =
+          static_cast<std::size_t>(std::atoll(needValue("--max-on")));
+    } else if (!std::strcmp(argv[i], "--liveness-timeout")) {
+      cfg.liveness_timeout_intervals = std::atoi(needValue("--liveness-timeout"));
+    } else if (!std::strcmp(argv[i], "--one-way-timeout")) {
+      cfg.one_way_timeout_intervals = std::atoi(needValue("--one-way-timeout"));
+    } else if (!std::strcmp(argv[i], "--tombstone-gc")) {
+      cfg.tombstone_gc_intervals = std::atoi(needValue("--tombstone-gc"));
     } else if (!std::strcmp(argv[i], "--verbose")) {
       util::setLogLevel(util::LogLevel::kInfo);
     } else {
@@ -75,9 +90,16 @@ int main(int argc, char** argv) {
 
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::seconds(1));
-    std::printf("daemons=%zu coflows=%zu epoch=%llu\n", coordinator.daemonCount(),
-                coordinator.registeredCoflows(),
-                static_cast<unsigned long long>(coordinator.epoch()));
+    const auto& stats = coordinator.stats();
+    std::printf(
+        "daemons=%zu coflows=%zu epoch=%llu tombstones=%zu evicted=%llu "
+        "one_way=%llu malformed=%llu\n",
+        coordinator.daemonCount(), coordinator.registeredCoflows(),
+        static_cast<unsigned long long>(coordinator.epoch()),
+        coordinator.tombstoneCount(),
+        static_cast<unsigned long long>(stats.daemons_evicted.load()),
+        static_cast<unsigned long long>(stats.one_way_evictions.load()),
+        static_cast<unsigned long long>(stats.malformed_frames.load()));
     std::fflush(stdout);
   }
   coordinator.stop();

@@ -5,6 +5,17 @@
 //   aalo_daemon --coordinator-port P [--id N] [--delta MS]
 //               [--synthetic-coflows N] [--rate BYTES_PER_SEC]
 //               [--duration SEC]
+//               [--reconnect MS] [--reconnect-max-backoff MS]
+//               [--stale-intervals N]
+//               [--chaos-seed S] [--chaos-drop P] [--chaos-dup P]
+//               [--chaos-reorder P] [--chaos-corrupt P] [--chaos-truncate P]
+//               [--chaos-delay P] [--chaos-split BYTES]
+//
+// Any --chaos-* flag interposes a net::ChaosProxy between this daemon and
+// the coordinator: the daemon dials the proxy, the proxy relays (and
+// deterministically mangles, per --chaos-seed) frames to the real
+// coordinator port. Probabilities are per frame and apply in both
+// directions.
 #include <cmath>
 #include <csignal>
 #include <cstdio>
@@ -12,9 +23,11 @@
 #include <cstdlib>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "net/chaos.h"
 #include "runtime/client.h"
 #include "runtime/daemon.h"
 #include "util/units.h"
@@ -31,7 +44,13 @@ void onSignal(int) { g_stop = true; }
   std::fprintf(stderr,
                "usage: aalo_daemon --coordinator-port P [--id N] [--delta MS]\n"
                "                   [--synthetic-coflows N] [--rate B/S]\n"
-               "                   [--duration SEC]\n");
+               "                   [--duration SEC]\n"
+               "                   [--reconnect MS] [--reconnect-max-backoff MS]\n"
+               "                   [--stale-intervals N]\n"
+               "                   [--chaos-seed S] [--chaos-drop P] [--chaos-dup P]\n"
+               "                   [--chaos-reorder P] [--chaos-corrupt P]\n"
+               "                   [--chaos-truncate P] [--chaos-delay P]\n"
+               "                   [--chaos-split BYTES]\n");
   std::exit(2);
 }
 
@@ -43,6 +62,9 @@ int main(int argc, char** argv) {
   int synthetic = 0;
   double rate = 10 * util::kMB;
   double duration = 0;  // 0 = run until signalled.
+  bool use_chaos = false;
+  net::ChaosPolicy chaos;
+  std::uint64_t chaos_seed = 1;
 
   for (int i = 1; i < argc; ++i) {
     auto needValue = [&](const char* flag) -> const char* {
@@ -65,6 +87,39 @@ int main(int argc, char** argv) {
       rate = std::atof(needValue("--rate"));
     } else if (!std::strcmp(argv[i], "--duration")) {
       duration = std::atof(needValue("--duration"));
+    } else if (!std::strcmp(argv[i], "--reconnect")) {
+      cfg.reconnect_interval =
+          std::atof(needValue("--reconnect")) * util::kMillisecond;
+    } else if (!std::strcmp(argv[i], "--reconnect-max-backoff")) {
+      cfg.reconnect_max_backoff =
+          std::atof(needValue("--reconnect-max-backoff")) * util::kMillisecond;
+    } else if (!std::strcmp(argv[i], "--stale-intervals")) {
+      cfg.stale_after_intervals = std::atoi(needValue("--stale-intervals"));
+    } else if (!std::strcmp(argv[i], "--chaos-seed")) {
+      chaos_seed = std::strtoull(needValue("--chaos-seed"), nullptr, 10);
+      use_chaos = true;
+    } else if (!std::strcmp(argv[i], "--chaos-drop")) {
+      chaos.drop = std::atof(needValue("--chaos-drop"));
+      use_chaos = true;
+    } else if (!std::strcmp(argv[i], "--chaos-dup")) {
+      chaos.duplicate = std::atof(needValue("--chaos-dup"));
+      use_chaos = true;
+    } else if (!std::strcmp(argv[i], "--chaos-reorder")) {
+      chaos.reorder = std::atof(needValue("--chaos-reorder"));
+      use_chaos = true;
+    } else if (!std::strcmp(argv[i], "--chaos-corrupt")) {
+      chaos.corrupt = std::atof(needValue("--chaos-corrupt"));
+      use_chaos = true;
+    } else if (!std::strcmp(argv[i], "--chaos-truncate")) {
+      chaos.truncate = std::atof(needValue("--chaos-truncate"));
+      use_chaos = true;
+    } else if (!std::strcmp(argv[i], "--chaos-delay")) {
+      chaos.delay = std::atof(needValue("--chaos-delay"));
+      use_chaos = true;
+    } else if (!std::strcmp(argv[i], "--chaos-split")) {
+      chaos.max_write_bytes =
+          static_cast<std::size_t>(std::atoll(needValue("--chaos-split")));
+      use_chaos = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       usage();
@@ -75,6 +130,24 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
 
+  // With chaos flags the daemon dials the proxy instead of the
+  // coordinator; the proxy relays (and mangles) to the real port.
+  const std::uint16_t real_coordinator_port = cfg.coordinator_port;
+  std::unique_ptr<net::ChaosProxy> proxy;
+  if (use_chaos) {
+    net::ChaosProxyConfig pcfg;
+    pcfg.upstream_port = real_coordinator_port;
+    pcfg.seed = chaos_seed;
+    pcfg.client_to_upstream = chaos;
+    pcfg.upstream_to_client = chaos;
+    proxy = std::make_unique<net::ChaosProxy>(pcfg);
+    proxy->start();
+    cfg.coordinator_port = proxy->port();
+    std::printf("chaos proxy on 127.0.0.1:%u -> 127.0.0.1:%u (seed=%llu)\n",
+                proxy->port(), real_coordinator_port,
+                static_cast<unsigned long long>(chaos_seed));
+  }
+
   runtime::Daemon daemon(cfg);
   daemon.start();
   std::printf("aalo_daemon %llu connected to 127.0.0.1:%u\n",
@@ -82,9 +155,11 @@ int main(int argc, char** argv) {
 
   // Optional synthetic load: register N coflows and report bytes at the
   // given per-coflow rate so queue transitions can be observed live.
+  // Client RPCs go straight to the coordinator — chaos targets the
+  // daemon's control channel.
   std::vector<coflow::CoflowId> ids;
   if (synthetic > 0) {
-    runtime::AaloClient client(cfg.coordinator_port);
+    runtime::AaloClient client(real_coordinator_port);
     for (int c = 0; c < synthetic; ++c) ids.push_back(client.registerCoflow());
     std::printf("registered %d synthetic coflows\n", synthetic);
   }
@@ -109,6 +184,25 @@ int main(int argc, char** argv) {
     }
   }
   daemon.stop();
+  const auto& dstats = daemon.stats();
+  std::printf("reconnects=%llu stale_transitions=%llu old_epoch_ignored=%llu\n",
+              static_cast<unsigned long long>(dstats.reconnect_attempts.load()),
+              static_cast<unsigned long long>(dstats.stale_transitions.load()),
+              static_cast<unsigned long long>(dstats.old_epoch_ignored.load()));
+  if (proxy) {
+    const auto& pstats = proxy->stats();
+    std::printf(
+        "chaos: relayed=%llu dropped=%llu dup=%llu reordered=%llu "
+        "truncated=%llu corrupted=%llu delayed=%llu\n",
+        static_cast<unsigned long long>(pstats.frames_relayed.load()),
+        static_cast<unsigned long long>(pstats.frames_dropped.load()),
+        static_cast<unsigned long long>(pstats.frames_duplicated.load()),
+        static_cast<unsigned long long>(pstats.frames_reordered.load()),
+        static_cast<unsigned long long>(pstats.frames_truncated.load()),
+        static_cast<unsigned long long>(pstats.frames_corrupted.load()),
+        static_cast<unsigned long long>(pstats.frames_delayed.load()));
+    proxy->stop();
+  }
   std::printf("shut down cleanly\n");
   return 0;
 }
