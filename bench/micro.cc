@@ -113,6 +113,26 @@ void BM_SimulatorEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEndToEnd)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
 
+// Figure 8-style trace replay: the Facebook-like mix under Aalo with a
+// non-zero coordination interval Δ (arg = Δ in milliseconds), plus
+// per-flow fair sharing as the prior-free baseline (arg = 0). With
+// Δ > 0 most sync-boundary wake-ups change no queue membership, so this
+// bench exercises — and its counters record — the allocation-reuse path
+// (reused > 0 is part of the PR acceptance for the incremental engine).
+void BM_TraceReplay(benchmark::State& state) {
+  const auto wl = bench::standardWorkload(60, 40, 99);
+  const util::Seconds delta = static_cast<double>(state.range(0)) * 1e-3;
+  for (auto _ : state) {
+    auto sched = delta > 0 ? bench::makeAalo(delta) : bench::makeFair();
+    const auto result = sim::runSimulation(wl, bench::standardFabric(), *sched);
+    benchmark::DoNotOptimize(result.makespan);
+    state.counters["rounds"] = static_cast<double>(result.allocation_rounds);
+    state.counters["allocs"] = static_cast<double>(result.allocate_calls);
+    state.counters["reused"] = static_cast<double>(result.reused_allocations);
+  }
+}
+BENCHMARK(BM_TraceReplay)->Arg(0)->Arg(100)->Unit(benchmark::kMillisecond);
+
 // A 6-job scheduler sweep through sim::runBatch at varying thread counts.
 // On a multi-core host throughput should scale near-linearly with the
 // argument; tools/bench_record.sh captures this alongside the hot-path

@@ -19,18 +19,27 @@ run_default() {
   cmake --preset default >/dev/null
   cmake --build --preset default -j "$(nproc)"
   ctest --preset default -j "$(nproc)"
+  echo "=== default: benchmark smoke run ==="
+  # One short iteration per benchmark catches bit-rot in the bench
+  # harness without recording anything. benchmark 1.7.x takes a plain
+  # float of seconds here (no '0.01x' multiplier suffix).
+  cmake --build --preset default -j "$(nproc)" --target bench_micro
+  ./build/bench/bench_micro --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_SimulatorEndToEnd|BM_TraceReplay|BM_DClasReschedule/100'
 }
 
 run_asan() {
-  echo "=== asan: chaos-labelled fault-injection suites ==="
+  echo "=== asan: engine equivalence + chaos-labelled suites ==="
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$(nproc)" \
-    --target chaos_test runtime_robustness_test
+    --target chaos_test runtime_robustness_test engine_equivalence_test
   (cd build-asan && ctest -L chaos --output-on-failure -j "$(nproc)")
+  (cd build-asan && ctest -R 'EngineEquivalence|DClasQueueOracle' \
+    --output-on-failure -j "$(nproc)")
 }
 
 run_tsan() {
-  echo "=== tsan: BatchRunner gate + chaos-labelled suites ==="
+  echo "=== tsan: BatchRunner + engine-equivalence gates + chaos suites ==="
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$(nproc)"
   ctest --preset tsan

@@ -68,6 +68,22 @@ void AdaptiveDClasScheduler::maybeRefit() {
   ++refits_;
 }
 
+void AdaptiveDClasScheduler::onFlowStarted(const sim::SimView& view,
+                                           std::size_t flow_index) {
+  inner_.onFlowStarted(view, flow_index);
+}
+
+void AdaptiveDClasScheduler::onFlowCompleted(const sim::SimView& view,
+                                             std::size_t flow_index) {
+  inner_.onFlowCompleted(view, flow_index);
+}
+
+std::uint64_t AdaptiveDClasScheduler::scheduleEpoch(const sim::SimView& view) {
+  // Refits go through inner_.setThresholds, which bumps the inner epoch —
+  // forwarding is safe even across threshold changes.
+  return inner_.scheduleEpoch(view);
+}
+
 void AdaptiveDClasScheduler::allocate(const sim::SimView& view,
                                       std::vector<util::Rate>& rates) {
   inner_.allocate(view, rates);

@@ -43,6 +43,9 @@ class AdaptiveDClasScheduler final : public sim::Scheduler {
 
   void reset(const fabric::Fabric& fabric) override;
   void onCoflowFinished(const sim::SimView& view, std::size_t coflow_index) override;
+  void onFlowStarted(const sim::SimView& view, std::size_t flow_index) override;
+  void onFlowCompleted(const sim::SimView& view, std::size_t flow_index) override;
+  std::uint64_t scheduleEpoch(const sim::SimView& view) override;
   void allocate(const sim::SimView& view, std::vector<util::Rate>& rates) override;
   util::Seconds nextWakeup(const sim::SimView& view) override;
 

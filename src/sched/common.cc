@@ -157,6 +157,9 @@ util::Bytes remainingReleasedBytes(const sim::SimView& view, std::size_t coflow_
 }
 
 util::Rate coflowAggregateRate(const sim::SimView& view, const ActiveCoflow& group) {
+  // The incremental engine maintains the aggregate; summing per-flow rates
+  // is the fallback for legacy-engine and hand-assembled views.
+  if (view.coflow_rates != nullptr) return (*view.coflow_rates)[group.coflow_index];
   util::Rate total = 0;
   for (const std::size_t fi : group.flow_indices) total += view.flow(fi).rate;
   return total;

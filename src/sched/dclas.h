@@ -17,8 +17,10 @@
 // decision, no coordination needed). Δ = 0 models instant coordination.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sched/common.h"
@@ -59,6 +61,9 @@ class DClasScheduler final : public sim::Scheduler {
 
   void reset(const fabric::Fabric& fabric) override;
   void onCoflowFinished(const sim::SimView& view, std::size_t coflow_index) override;
+  void onFlowStarted(const sim::SimView& view, std::size_t flow_index) override;
+  void onFlowCompleted(const sim::SimView& view, std::size_t flow_index) override;
+  std::uint64_t scheduleEpoch(const sim::SimView& view) override;
   void allocate(const sim::SimView& view, std::vector<util::Rate>& rates) override;
   util::Seconds nextWakeup(const sim::SimView& view) override;
 
@@ -73,10 +78,77 @@ class DClasScheduler final : public sim::Scheduler {
   void setThresholds(std::vector<util::Bytes> thresholds);
   const std::vector<util::Bytes>& thresholds() const { return thresholds_; }
 
+  // ---- Test support --------------------------------------------------
+  /// Whether the persistent queue state currently mirrors `view`'s active
+  /// index (established on the first allocate/scheduleEpoch against an
+  /// index, kept in lockstep by the per-flow hooks).
+  bool tracking(const sim::SimView& view) const;
+  /// Incrementally maintained queue membership (coflow indices, FIFO
+  /// order within each queue). Only meaningful while tracking.
+  std::vector<std::vector<std::size_t>> queueSnapshot() const;
+  /// Oracle: from-scratch partition + FIFO sort of `view`'s active
+  /// coflows, exactly as the pre-incremental implementation rebuilt every
+  /// round. Does not touch the persistent state.
+  std::vector<std::vector<std::size_t>> referenceQueueSnapshot(
+      const sim::SimView& view) const;
+
  private:
+  /// Per-queue persistent state: FIFO-sorted membership plus the cached
+  /// primary-pass output. A clean queue's cache replays bit-identically
+  /// because all of its inputs (members, FIFO order, flow endpoints, fair
+  /// share, fabric) are unchanged since it was recorded.
+  struct QueueState {
+    std::vector<std::size_t> members;  ///< Coflow indices, FIFO-sorted.
+    bool dirty = true;
+    /// Recorded primary-pass rate increments, in allocation order.
+    std::vector<std::pair<std::size_t, util::Rate>> cached_rates;
+    /// Leftover capacity slice after the primary pass.
+    std::vector<util::Rate> left_in, left_out, left_up, left_down;
+  };
+
   /// Coordinator-known attained size of a coflow (0 for never-synced).
   util::Bytes knownSize(std::size_t coflow_index) const;
+  /// Updates known sizes (and, while tracking, applies the resulting
+  /// queue demotions). Idempotent at a fixed view.now.
   void maybeSync(const sim::SimView& view);
+  bool hookTrackable(const sim::SimView& view);
+  void ensureTracking(const sim::SimView& view);
+  void rebuildQueues(const sim::SimView& view);
+  void insertTracked(const sim::SimView& view, std::size_t coflow_index);
+  void removeTracked(std::size_t coflow_index);
+  void maybeDemote(const sim::SimView& view, std::size_t coflow_index);
+  void markQueueDirty(int q);
+  void markAllDirty();
+  /// True when every port some active flow demands has residual capacity
+  /// at or below `drained`. Implies every active flow's available rate is
+  /// negligible — safe to stop allocating (cheaper and far more effective
+  /// than scanning *all* ports, which never drain in sparse phases).
+  bool demandDrained(const fabric::ResidualCapacity& residual,
+                     const std::vector<int>& in_demand,
+                     const std::vector<int>& out_demand,
+                     util::Rate drained) const;
+  void countDemand(const sim::SimView& view, std::vector<int>& in_demand,
+                   std::vector<int>& out_demand) const;
+  /// Max-min over only the flows of `group` that could be given more
+  /// than `drained` from `residual`. In greedy redistribution passes the
+  /// residual is mostly drained, so restricting the water-filling to the
+  /// few flows that can still gain (the rest would only receive FP dust)
+  /// shrinks the dominant cost of a round. Skips the max-min call
+  /// entirely when no flow qualifies.
+  void allocateCoflowGainers(const sim::SimView& view, const ActiveCoflow& group,
+                             fabric::ResidualCapacity& residual,
+                             std::vector<util::Rate>& rates, util::Rate drained);
+  void allocateWeighted(const sim::SimView& view, std::vector<util::Rate>& rates);
+  void allocateStrict(const sim::SimView& view, std::vector<util::Rate>& rates);
+  /// Pre-incremental full-rebuild allocation — the test oracle (same
+  /// pattern as fabric::maxMinAllocateReference).
+  void allocateReference(const sim::SimView& view, std::vector<util::Rate>& rates);
+  /// Like allocateCoflowGainers but records each rate increment so a
+  /// clean queue can replay them without re-running max-min.
+  void allocateCoflowRecording(const sim::SimView& view, const ActiveCoflow& group,
+                               fabric::ResidualCapacity& residual,
+                               std::vector<util::Rate>& rates, util::Rate drained,
+                               std::vector<std::pair<std::size_t, util::Rate>>& out);
 
   DClasConfig config_;
   std::vector<util::Bytes> thresholds_;  ///< Size num_queues - 1.
@@ -85,10 +157,30 @@ class DClasScheduler final : public sim::Scheduler {
   std::vector<util::Bytes> known_sent_;
   /// Last applied sync boundary index (floor(now / Δ)); -1 before any.
   std::int64_t last_sync_boundary_ = -1;
+
+  // ---- Persistent queue state (incrementally maintained) -------------
+  /// Index being tracked; null when the persistent state is stale and the
+  /// next allocate/scheduleEpoch must rebuild.
+  const sim::ActiveCoflowIndex* tracked_index_ = nullptr;
+  std::uint64_t tracked_epoch_ = 0;
+  std::vector<QueueState> queues_;
+  std::vector<int> queue_of_;                   ///< Coflow -> queue, -1 inactive.
+  std::vector<std::uint32_t> active_flows_of_;  ///< Coflow -> live flow count.
+  /// Per-port counts of active flows demanding the port (drain check).
+  std::vector<int> in_demand_, out_demand_;
+  /// Bumped whenever anything the schedule depends on changes (queue
+  /// structure, flow membership, thresholds, rebuilds). Returned from
+  /// scheduleEpoch so the engine can reuse installed rates across rounds
+  /// where it is unchanged.
+  std::uint64_t schedule_epoch_ = 1;
+  double cached_total_weight_ = -1.0;
+
   /// Reusable allocation-round buffers (hot path).
   fabric::MaxMinScratch scratch_;
+  std::vector<std::size_t> gainers_scratch_;
   std::vector<ActiveCoflow> groups_scratch_;
   std::vector<std::vector<std::size_t>> queue_members_;
+  std::vector<int> in_demand_scratch_, out_demand_scratch_;
 };
 
 }  // namespace aalo::sched

@@ -14,6 +14,14 @@ class PerFlowFairScheduler final : public sim::Scheduler {
 
   void allocate(const sim::SimView& view, std::vector<util::Rate>& rates) override;
 
+  /// The allocation depends only on the active-flow set, which the engine
+  /// already tracks via the index epoch — a constant epoch opts into rate
+  /// reuse whenever membership is unchanged.
+  std::uint64_t scheduleEpoch(const sim::SimView& view) override {
+    (void)view;
+    return 1;
+  }
+
  private:
   fabric::MaxMinScratch scratch_;
 };

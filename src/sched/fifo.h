@@ -31,6 +31,14 @@ class FifoScheduler final : public sim::Scheduler {
 
   void allocate(const sim::SimView& view, std::vector<util::Rate>& rates) override;
 
+  /// Arrival order and release times are static per run, so the schedule
+  /// depends only on membership — safe to reuse rates between membership
+  /// changes.
+  std::uint64_t scheduleEpoch(const sim::SimView& view) override {
+    (void)view;
+    return 1;
+  }
+
  private:
   FifoConfig config_;
   fabric::MaxMinScratch scratch_;

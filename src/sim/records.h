@@ -51,6 +51,16 @@ struct SimResult {
   util::Seconds makespan = 0;
   /// Engine statistics (useful for perf sanity checks).
   std::size_t allocation_rounds = 0;
+  /// Rounds where the scheduler was actually asked for a new allocation.
+  std::size_t allocate_calls = 0;
+  /// Rounds where the installed rates were reused via the scheduleEpoch
+  /// handshake (allocation_rounds = allocate_calls + reused_allocations
+  /// under the incremental engine; reuse is 0 under the legacy engine).
+  std::size_t reused_allocations = 0;
+  /// Times the completion predictor (sweep gate + per-coflow aggregate
+  /// rates) was rebuilt — one per allocation install under the
+  /// incremental engine, 0 under the legacy engine.
+  std::size_t heap_rebuilds = 0;
 };
 
 }  // namespace aalo::sim

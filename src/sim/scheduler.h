@@ -7,6 +7,7 @@
 // quanta) via nextWakeup().
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,11 @@ struct SimView {
   /// engine (null for hand-assembled views; schedulers fall back to
   /// rebuilding the grouping — see sched::activeGroups).
   const ActiveCoflowIndex* active_index = nullptr;
+  /// Per-coflow aggregate installed rate (bytes/s), maintained by the
+  /// incremental engine (null otherwise). During allocate()/lifecycle
+  /// hooks it holds the *previous* round's installed rates — exactly what
+  /// sync back-dating wants; during nextWakeup() the just-installed ones.
+  const std::vector<util::Rate>* coflow_rates = nullptr;
 
   const CoflowState& coflow(std::size_t i) const { return (*coflows)[i]; }
   const FlowState& flow(std::size_t i) const { return (*flows)[i]; }
@@ -50,6 +56,41 @@ class Scheduler {
   virtual void onCoflowFinished(const SimView& view, std::size_t coflow_index) {
     (void)view;
     (void)coflow_index;
+  }
+
+  /// Per-flow notifications, fired by the incremental engine immediately
+  /// after the corresponding ActiveCoflowIndex mutation (the legacy
+  /// engine never calls them). Stateful schedulers use them to maintain
+  /// persistent per-round structures; the hook sequence tracks the index
+  /// epoch one bump at a time.
+  virtual void onFlowStarted(const SimView& view, std::size_t flow_index) {
+    (void)view;
+    (void)flow_index;
+  }
+  virtual void onFlowCompleted(const SimView& view, std::size_t flow_index) {
+    (void)view;
+    (void)flow_index;
+  }
+
+  /// Allocation-reuse handshake. Returns an opaque epoch identifying the
+  /// *schedule* this scheduler would produce right now; the engine skips
+  /// allocate() (and keeps the installed rates) on a round where both the
+  /// active-flow membership epoch and this value are unchanged since the
+  /// last install. 0 (the default) means "never reuse".
+  ///
+  /// Contract for implementers:
+  ///  - Must be idempotent at a fixed view.now (the engine may call it
+  ///    both before and after allocate() in one round).
+  ///  - May apply internal state transitions (e.g. D-CLAS sync-boundary
+  ///    demotions) — this is *the* per-round classification point.
+  ///  - On rounds the engine ends up reusing, per-flow `sent` may be
+  ///    stale (it is only materialized at install rounds); per-coflow
+  ///    `sent`, all rates, and the membership index are always current.
+  ///    Only opt in (return non-zero) if allocate() depends on nothing
+  ///    beyond those fields and static flow data.
+  virtual std::uint64_t scheduleEpoch(const SimView& view) {
+    (void)view;
+    return 0;
   }
 
   /// Fills `rates[f]` (bytes/s) for every f in *view.active_flows. The

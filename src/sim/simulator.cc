@@ -38,7 +38,8 @@ class Run {
       : fabric_(fabric_config),
         scheduler_(scheduler),
         options_(options),
-        workload_(workload) {
+        workload_(workload),
+        incremental_(options.incremental_engine) {
     buildState();
   }
 
@@ -55,10 +56,16 @@ class Run {
   void verifyAllocation() const;
   SimResult buildResult();
 
+  SimResult executeLegacy();
+  SimResult executeIncremental();
+  void installAllocation(const SimView& view);
+  void sweepCompletions();
+
   fabric::Fabric fabric_;
   Scheduler& scheduler_;
   const SimOptions& options_;
   const coflow::Workload& workload_;
+  const bool incremental_;
 
   std::vector<CoflowState> coflows_;
   std::vector<FlowState> flows_;
@@ -78,6 +85,21 @@ class Run {
   util::Seconds now_ = 0;
   std::size_t coflows_done_ = 0;
   std::size_t rounds_ = 0;
+
+  // --- Incremental-engine state --------------------------------------
+  // Per-coflow aggregate installed rate (SimView::coflow_rates).
+  std::vector<util::Rate> coflow_rate_;
+  // Conservative earliest time any active flow becomes snap-eligible
+  // (remaining within completion slack) — the gate for running the
+  // completion sweep. Rebuilt at install, re-derived from survivors
+  // after each sweep; the prediction errs early, never late.
+  util::Seconds min_detect_ = kInfTime;
+  bool installed_ = false;
+  std::uint64_t installed_index_epoch_ = 0;
+  std::uint64_t installed_sched_epoch_ = 0;
+  std::size_t allocate_calls_ = 0;
+  std::size_t reused_allocations_ = 0;
+  std::size_t heap_rebuilds_ = 0;
 };
 
 void Run::buildState() {
@@ -149,6 +171,7 @@ SimView Run::makeView() const {
   view.flows = &flows_;
   view.active_flows = &active_flows_;
   view.active_index = &active_index_;
+  if (incremental_) view.coflow_rates = &coflow_rate_;
   return view;
 }
 
@@ -176,6 +199,7 @@ void Run::releaseFlow(std::size_t fi) {
   active_flows_.push_back(fi);
   active_index_.addFlow(f.coflow_index, fi);
   coflows_[f.coflow_index].size_released += f.size;
+  if (incremental_) scheduler_.onFlowStarted(makeView(), fi);
 }
 
 void Run::finishCoflow(std::size_t ci) {
@@ -244,6 +268,10 @@ void Run::verifyAllocation() const {
 }
 
 SimResult Run::execute() {
+  return incremental_ ? executeIncremental() : executeLegacy();
+}
+
+SimResult Run::executeLegacy() {
   scheduler_.reset(fabric_);
   processDueEvents();  // Releases everything due at t = 0.
 
@@ -326,6 +354,191 @@ SimResult Run::execute() {
   if (coflows_done_ != coflows_.size()) {
     throw std::runtime_error("Simulator: run ended with unfinished coflows");
   }
+  allocate_calls_ = rounds_;
+  return buildResult();
+}
+
+// --- Incremental engine ----------------------------------------------
+//
+// Produces bitwise-identical trajectories to executeLegacy()
+// (tests/engine_equivalence_test.cc holds every scheduler to 1e-9 on
+// every finish time). That bound is only reachable by keeping the round
+// arithmetic — the t_next min-scan, the per-flow integration order, the
+// completion-sweep order — exactly the legacy loop's: schedulers that
+// compare exact attained service (continuous CLAS's sort, D-CLAS
+// threshold back-dating) amplify a single ulp of drift into different
+// scheduling decisions and macroscopically different finish times. The
+// engine's savings are therefore confined to work the legacy loop
+// redoes without need:
+//
+//  1. Allocation reuse. Every membership change bumps the active-index
+//     epoch, and schedulers opt in via scheduleEpoch(), which changes
+//     whenever their allocation inputs do. When both epochs match the
+//     installed pair, the round skips rate zeroing, allocate(), the
+//     rate copy, and verification outright: rates are piecewise-
+//     constant, so the installed values are still exact.
+//  2. Per-coflow aggregate rates (SimView::coflow_rates), rebuilt once
+//     per install by summing flow rates in group flow-index order —
+//     bitwise equal to the per-flow fallback sum in
+//     coflowAggregateRate() — making scheduler wake-up predictions
+//     O(1) per coflow instead of O(flows).
+//  3. A completion-sweep gate. The legacy loop scans every active flow
+//     for snap-eligibility every round; here a conservative earliest
+//     snap-eligible time is kept (rebuilt at install, re-derived from
+//     survivors after each sweep) and the sweep is skipped while now_
+//     is provably short of it. The prediction errs early, never late:
+//     an early gate just runs the same no-op scan legacy would.
+
+void Run::installAllocation(const SimView& view) {
+  ++allocate_calls_;
+  for (const std::size_t fi : active_flows_) rates_[fi] = 0.0;
+  scheduler_.allocate(view, rates_);
+  for (const std::size_t fi : active_flows_) {
+    flows_[fi].rate = std::max(0.0, rates_[fi]);
+  }
+  if (options_.verify_allocations) verifyAllocation();
+
+  // Aggregates in group flow-index order: coflowAggregateRate()'s
+  // fallback sums in this exact order under the legacy engine, and
+  // scheduler wake-up predictions need both engines to read bitwise-
+  // equal totals.
+  for (const ActiveGroup& g : active_index_.groups()) {
+    util::Rate total = 0.0;
+    for (const std::size_t fi : g.flow_indices) total += flows_[fi].rate;
+    coflow_rate_[g.coflow_index] = total;
+  }
+
+  // Earliest snap-eligible time across active flows. `f.rate > 0` (not
+  // > kEps) so dust-rate flows that creep into the slack window over a
+  // long horizon still open the gate when legacy would snap them.
+  min_detect_ = kInfTime;
+  for (const std::size_t fi : active_flows_) {
+    const FlowState& f = flows_[fi];
+    const util::Bytes remaining = f.size - f.sent;
+    const util::Bytes slack = std::max(kCompletionSlackBytes, 1e-9 * f.size);
+    if (f.rate > 0) {
+      min_detect_ = std::min(min_detect_, now_ + (remaining - slack) / f.rate);
+    } else if (remaining <= slack) {
+      min_detect_ = now_;  // Zero-rate but already snap-eligible.
+    }
+  }
+  ++heap_rebuilds_;
+
+  installed_ = true;
+  installed_index_epoch_ = active_index_.epoch();
+  installed_sched_epoch_ = scheduler_.scheduleEpoch(view);
+}
+
+void Run::sweepCompletions() {
+  // Legacy-identical completion condition and iteration order; also
+  // re-derives min_detect_ from the survivors so the gate is always a
+  // fresh conservative bound after a (possibly premature) sweep.
+  min_detect_ = kInfTime;
+  for (std::size_t k = 0; k < active_flows_.size();) {
+    const std::size_t fi = active_flows_[k];
+    FlowState& f = flows_[fi];
+    const util::Bytes remaining = f.size - f.sent;
+    const util::Bytes slack = std::max(kCompletionSlackBytes, 1e-9 * f.size);
+    if (remaining <= slack) {
+      coflows_[f.coflow_index].sent += remaining;  // Account the snap.
+      f.sent = f.size;
+      f.done = true;
+      f.rate = 0;
+      active_flows_[k] = active_flows_.back();
+      active_flows_.pop_back();
+      active_index_.removeFlow(f.coflow_index, fi);
+      scheduler_.onFlowCompleted(makeView(), fi);
+      CoflowState& c = coflows_[f.coflow_index];
+      if (++c.flows_done == c.flow_indices.size()) {
+        finishCoflow(f.coflow_index);
+      }
+    } else {
+      if (f.rate > 0) {
+        min_detect_ = std::min(min_detect_, now_ + (remaining - slack) / f.rate);
+      }
+      ++k;
+    }
+  }
+}
+
+SimResult Run::executeIncremental() {
+  scheduler_.reset(fabric_);
+  coflow_rate_.assign(coflows_.size(), 0.0);
+  processDueEvents();  // Releases everything due at t = 0.
+
+  while (true) {
+    if (active_flows_.empty()) {
+      if (timeline_.empty()) break;  // All done.
+      now_ = timeline_.top().time;
+      installed_ = false;
+      processDueEvents();
+      continue;
+    }
+
+    if (++rounds_ > options_.max_rounds) {
+      throw std::runtime_error("Simulator: exceeded max rounds (" + scheduler_.name() +
+                               ")");
+    }
+
+    const SimView view = makeView();
+    bool reuse = installed_ && active_index_.epoch() == installed_index_epoch_;
+    if (reuse) {
+      // scheduleEpoch() is also the scheduler's per-round sync hook
+      // (D-CLAS applies boundary demotions here), so it must run before
+      // the reuse decision is final.
+      const std::uint64_t se = scheduler_.scheduleEpoch(view);
+      reuse = se != 0 && se == installed_sched_epoch_;
+    }
+    if (reuse) {
+      ++reused_allocations_;
+    } else {
+      installAllocation(view);
+    }
+
+    // From here the round is the legacy loop verbatim (same scan and
+    // integration order — see the equivalence note above), except that
+    // the completion sweep is gated on min_detect_.
+    util::Seconds t_next = timeline_.empty() ? kInfTime : timeline_.top().time;
+    for (const std::size_t fi : active_flows_) {
+      const FlowState& f = flows_[fi];
+      if (f.rate > util::kEps) {
+        t_next = std::min(t_next, now_ + (f.size - f.sent) / f.rate);
+      }
+    }
+    const util::Seconds wake = scheduler_.nextWakeup(view);
+    if (wake > now_) t_next = std::min(t_next, wake);
+
+    if (!std::isfinite(t_next)) {
+      throw std::runtime_error("Simulator: starvation deadlock under scheduler " +
+                               scheduler_.name());
+    }
+    t_next = std::max(t_next, now_);  // Guard against wake-ups in the past.
+
+    // Integrate.
+    const util::Seconds dt = t_next - now_;
+    if (dt > 0) {
+      for (const std::size_t fi : active_flows_) {
+        FlowState& f = flows_[fi];
+        if (f.rate <= 0) continue;
+        const util::Bytes delta = std::min(f.rate * dt, f.size - f.sent);
+        f.sent += delta;
+        coflows_[f.coflow_index].sent += delta;
+      }
+    }
+    now_ = t_next;
+
+    // The relative term covers rounding in the prediction itself at
+    // large now_, where one ulp can exceed the absolute kEps grace.
+    if (min_detect_ <= now_ * (1.0 + 1e-12) + util::kEps) {
+      sweepCompletions();
+    }
+
+    processDueEvents();
+  }
+
+  if (coflows_done_ != coflows_.size()) {
+    throw std::runtime_error("Simulator: run ended with unfinished coflows");
+  }
   return buildResult();
 }
 
@@ -333,6 +546,9 @@ SimResult Run::buildResult() {
   SimResult result;
   result.scheduler = scheduler_.name();
   result.allocation_rounds = rounds_;
+  result.allocate_calls = allocate_calls_;
+  result.reused_allocations = reused_allocations_;
+  result.heap_rebuilds = heap_rebuilds_;
   result.makespan = now_;
 
   // Finishes-Before adjustment: a coflow's effective finish is the max of

@@ -24,6 +24,13 @@ struct SimOptions {
   /// Abort (throw std::runtime_error) after this many allocation rounds —
   /// a backstop against schedulers that starve flows or spin.
   std::size_t max_rounds = 20'000'000;
+  /// Engine selection. The incremental engine (default) fuses the
+  /// per-round scans, keeps a next-completion heap, and reuses installed
+  /// rates across rounds via the Scheduler::scheduleEpoch handshake. The
+  /// legacy engine re-allocates and rescans every round and never fires
+  /// the per-flow scheduler hooks — it is retained as the equivalence
+  /// oracle (tests/engine_equivalence_test.cc).
+  bool incremental_engine = true;
 };
 
 class Simulator {

@@ -76,6 +76,13 @@ class ActiveCoflowIndex {
  public:
   const std::vector<ActiveGroup>& groups() const { return groups_; }
 
+  /// The group of a coflow's active flows, or null if it has none.
+  const ActiveGroup* groupFor(std::size_t coflow_index) const {
+    const std::size_t g =
+        coflow_index < group_of_.size() ? group_of_[coflow_index] : kNone;
+    return g == kNone ? nullptr : &groups_[g];
+  }
+
   /// Bumped on every membership change; lets consumers cache per-round
   /// derived state keyed on (index identity, epoch).
   std::uint64_t epoch() const { return epoch_; }

@@ -1,0 +1,322 @@
+// Golden tests for the incremental simulator engine:
+//  - legacy (re-allocate every round) vs incremental (allocation reuse,
+//    next-completion heap, fused integration) engines must produce the
+//    same SimResult for every scheduler, on randomized workloads with
+//    racks, multi-wave flows, and Starts-After/Finishes-Before DAGs;
+//  - D-CLAS's incrementally maintained queue state must match the
+//    retained full-rebuild oracle after arbitrary arrival / demotion /
+//    completion sequences;
+//  - reuse must actually happen (and be accounted) where the design says
+//    it can: Δ > 0 sync boundaries with no demotion.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sched/adaptive.h"
+#include "sched/clas.h"
+#include "sched/dclas.h"
+#include "sched/fair.h"
+#include "sched/fifo.h"
+#include "sched/fifo_lm.h"
+#include "sched/gossip.h"
+#include "sched/las.h"
+#include "sched/offline_opt.h"
+#include "sched/uncoordinated.h"
+#include "sched/varys.h"
+#include "sim/simulator.h"
+#include "tests/helpers.h"
+#include "util/rng.h"
+#include "workload/facebook.h"
+
+namespace aalo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Legacy engine vs incremental engine
+// ---------------------------------------------------------------------------
+
+/// Randomized workload exercising everything the engine integrates:
+/// multi-coflow jobs, multi-wave start offsets, Starts-After barriers and
+/// Finishes-Before pipelines.
+coflow::Workload dagWorkload(std::uint64_t seed, int ports, int jobs) {
+  util::Rng rng(seed);
+  std::vector<coflow::JobSpec> out;
+  for (int j = 0; j < jobs; ++j) {
+    coflow::JobSpec job;
+    job.id = j;
+    job.arrival = rng.uniform(0, 6);
+    const int coflows = static_cast<int>(rng.uniformInt(1, 3));
+    for (int c = 0; c < coflows; ++c) {
+      coflow::CoflowSpec spec;
+      spec.id = {j, c};
+      if (rng.chance(0.3)) spec.arrival_offset = rng.uniform(0, 2);
+      const int flows = static_cast<int>(rng.uniformInt(1, 6));
+      for (int f = 0; f < flows; ++f) {
+        spec.flows.push_back(coflow::FlowSpec{
+            static_cast<coflow::PortId>(rng.uniformInt(0, ports - 1)),
+            static_cast<coflow::PortId>(rng.uniformInt(0, ports - 1)),
+            rng.uniform(0.5, 30.0),
+            // Multi-wave: a third of flows appear mid-coflow.
+            rng.chance(0.35) ? rng.uniform(0.5, 5.0) : 0.0});
+      }
+      if (c > 0 && rng.chance(0.5)) {
+        spec.starts_after.push_back(coflow::CoflowId{j, c - 1});
+      } else if (c > 0 && rng.chance(0.4)) {
+        spec.finishes_before.push_back(coflow::CoflowId{j, c - 1});
+      }
+      job.coflows.push_back(std::move(spec));
+    }
+    out.push_back(std::move(job));
+  }
+  return testing::makeWorkload(ports, std::move(out));
+}
+
+/// Every scheduler in src/sched/, configured so queue transitions, sync
+/// boundaries, refits, and quanta all fire within the short runs.
+std::vector<std::unique_ptr<sim::Scheduler>> allSchedulers(
+    const coflow::Workload& wl) {
+  sched::DClasConfig dcfg;
+  dcfg.first_threshold = 8;
+  dcfg.exp_factor = 4;
+  dcfg.num_queues = 4;
+  sched::DClasConfig strict = dcfg;
+  strict.policy = sched::DClasConfig::QueuePolicy::kStrictPriority;
+  sched::DClasConfig delayed = dcfg;
+  delayed.sync_interval = 0.7;
+  sched::DClasConfig delayed_strict = strict;
+  delayed_strict.sync_interval = 0.4;
+  sched::LasConfig las_cfg;
+  las_cfg.quantum = 0.5;
+  las_cfg.tie_window = 0.05;
+  sched::FifoLmConfig lm_cfg;
+  lm_cfg.heavy_threshold = 20;
+  lm_cfg.quantum = 0.5;
+  sched::ClasConfig clas_cfg;
+  clas_cfg.quantum = 0.5;
+  clas_cfg.tie_window = 0.05;
+  sched::AdaptiveConfig acfg;
+  acfg.dclas = dcfg;
+  acfg.min_samples = 5;
+  acfg.refit_interval = 5;
+  sched::GossipConfig gcfg;
+  gcfg.dclas = dcfg;
+  gcfg.round_interval = 0.5;
+
+  std::vector<std::unique_ptr<sim::Scheduler>> out;
+  out.push_back(std::make_unique<sched::PerFlowFairScheduler>());
+  out.push_back(std::make_unique<sched::DClasScheduler>(dcfg));
+  out.push_back(std::make_unique<sched::DClasScheduler>(strict));
+  out.push_back(std::make_unique<sched::DClasScheduler>(delayed));
+  out.push_back(std::make_unique<sched::DClasScheduler>(delayed_strict));
+  out.push_back(std::make_unique<sched::VarysScheduler>());
+  out.push_back(std::make_unique<sched::VarysScheduler>(sched::VarysConfig{0.2}));
+  out.push_back(std::make_unique<sched::DecentralizedLasScheduler>(las_cfg));
+  out.push_back(std::make_unique<sched::FifoLmScheduler>(lm_cfg));
+  out.push_back(std::make_unique<sched::FifoScheduler>());
+  out.push_back(std::make_unique<sched::FifoScheduler>(sched::FifoConfig{true}));
+  out.push_back(std::make_unique<sched::ContinuousClasScheduler>(clas_cfg));
+  out.push_back(std::make_unique<sched::UncoordinatedDClasScheduler>(dcfg, 0.5));
+  out.push_back(std::make_unique<sched::AdaptiveDClasScheduler>(acfg));
+  out.push_back(std::make_unique<sched::GossipDClasScheduler>(gcfg));
+  out.push_back(std::make_unique<sched::OfflineOrderScheduler>(
+      sched::computeConcurrentOpenShopOrder(wl)));
+  return out;
+}
+
+sim::SimResult runEngine(const coflow::Workload& wl, fabric::FabricConfig fc,
+                         sim::Scheduler& sched, bool incremental) {
+  sim::SimOptions opts;
+  opts.verify_allocations = true;
+  opts.incremental_engine = incremental;
+  return sim::runSimulation(wl, fc, sched, opts);
+}
+
+void expectSameResult(const sim::SimResult& legacy, const sim::SimResult& incr,
+                      const std::string& label) {
+  constexpr double kTol = 1e-9;
+  EXPECT_EQ(legacy.scheduler, incr.scheduler) << label;
+  EXPECT_NEAR(legacy.makespan, incr.makespan, kTol) << label;
+  ASSERT_EQ(legacy.coflows.size(), incr.coflows.size()) << label;
+  for (std::size_t i = 0; i < legacy.coflows.size(); ++i) {
+    EXPECT_EQ(legacy.coflows[i].id, incr.coflows[i].id) << label;
+    EXPECT_NEAR(legacy.coflows[i].release, incr.coflows[i].release, kTol)
+        << label << " coflow " << i;
+    EXPECT_NEAR(legacy.coflows[i].finish_own, incr.coflows[i].finish_own, kTol)
+        << label << " coflow " << i;
+    EXPECT_NEAR(legacy.coflows[i].finish, incr.coflows[i].finish, kTol)
+        << label << " coflow " << i;
+    EXPECT_EQ(legacy.coflows[i].bytes, incr.coflows[i].bytes) << label;
+    EXPECT_EQ(legacy.coflows[i].width, incr.coflows[i].width) << label;
+  }
+  ASSERT_EQ(legacy.jobs.size(), incr.jobs.size()) << label;
+  for (std::size_t i = 0; i < legacy.jobs.size(); ++i) {
+    EXPECT_NEAR(legacy.jobs[i].comm_finish, incr.jobs[i].comm_finish, kTol)
+        << label << " job " << i;
+  }
+  // Both engines walk the same event sequence; only the bookkeeping
+  // differs.
+  EXPECT_EQ(legacy.allocation_rounds, incr.allocation_rounds) << label;
+  EXPECT_EQ(legacy.reused_allocations, 0u) << label;
+  EXPECT_EQ(incr.allocation_rounds, incr.allocate_calls + incr.reused_allocations)
+      << label;
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineEquivalence, AllSchedulersFlatFabric) {
+  const auto wl =
+      dagWorkload(1000 + static_cast<std::uint64_t>(GetParam()), 6, 10);
+  const auto fc = testing::unitFabric(6);
+  const auto legacy_scheds = allSchedulers(wl);
+  const auto incr_scheds = allSchedulers(wl);
+  for (std::size_t s = 0; s < legacy_scheds.size(); ++s) {
+    const auto legacy = runEngine(wl, fc, *legacy_scheds[s], false);
+    const auto incr = runEngine(wl, fc, *incr_scheds[s], true);
+    expectSameResult(legacy, incr, legacy_scheds[s]->name());
+  }
+}
+
+TEST_P(EngineEquivalence, AllSchedulersRackFabric) {
+  const auto wl =
+      dagWorkload(2000 + static_cast<std::uint64_t>(GetParam()), 8, 10);
+  fabric::FabricConfig fc = testing::unitFabric(8);
+  fc.rack.ports_per_rack = 4;
+  fc.rack.oversubscription = 2.0;
+  const auto legacy_scheds = allSchedulers(wl);
+  const auto incr_scheds = allSchedulers(wl);
+  for (std::size_t s = 0; s < legacy_scheds.size(); ++s) {
+    const auto legacy = runEngine(wl, fc, *legacy_scheds[s], false);
+    const auto incr = runEngine(wl, fc, *incr_scheds[s], true);
+    expectSameResult(legacy, incr, legacy_scheds[s]->name());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineEquivalence, ::testing::Range(0, 4));
+
+// Same scheduler object used for a legacy run then an incremental run:
+// reset() must clear all persistent/tracking state between engines.
+TEST(EngineEquivalence, ResetClearsPersistentStateAcrossEngines) {
+  const auto wl = dagWorkload(42, 5, 8);
+  const auto fc = testing::unitFabric(5);
+  sched::DClasConfig dcfg;
+  dcfg.first_threshold = 8;
+  dcfg.exp_factor = 4;
+  dcfg.num_queues = 4;
+  dcfg.sync_interval = 0.5;
+  sched::DClasScheduler sched(dcfg);
+  const auto legacy = runEngine(wl, fc, sched, false);
+  const auto incr = runEngine(wl, fc, sched, true);
+  const auto legacy2 = runEngine(wl, fc, sched, false);
+  expectSameResult(legacy, incr, "shared-instance");
+  expectSameResult(legacy, legacy2, "legacy-rerun");
+}
+
+// On a Facebook-mix workload with Δ > 0, sync-boundary wake-ups with no
+// demotion must be classified as reuse rounds — the core perf claim.
+TEST(EngineEquivalence, DelayedDClasActuallyReusesAllocations) {
+  workload::FacebookConfig cfg;
+  cfg.num_jobs = 60;
+  cfg.num_ports = 20;
+  cfg.seed = 5;
+  cfg.mean_interarrival = 0.3;
+  const auto wl = workload::generateFacebookWorkload(cfg);
+  const fabric::FabricConfig fc{20, util::kGbps};
+  sched::DClasConfig dcfg;
+  dcfg.sync_interval = 0.05;
+  sched::DClasScheduler sched(dcfg);
+  sim::SimOptions opts;
+  opts.incremental_engine = true;
+  const auto result = sim::runSimulation(wl, fc, sched, opts);
+  EXPECT_GT(result.reused_allocations, 0u);
+  EXPECT_EQ(result.allocation_rounds,
+            result.allocate_calls + result.reused_allocations);
+  EXPECT_GT(result.heap_rebuilds, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// D-CLAS incremental queue state vs full-rebuild oracle
+// ---------------------------------------------------------------------------
+
+/// Forwards everything to an inner DClasScheduler and, after every
+/// allocation round, checks the incrementally maintained queues against
+/// the from-scratch partition+sort oracle.
+class QueueOracleScheduler final : public sim::Scheduler {
+ public:
+  explicit QueueOracleScheduler(sched::DClasConfig config) : inner_(config) {}
+
+  std::string name() const override { return "queue-oracle"; }
+  void reset(const fabric::Fabric& fabric) override { inner_.reset(fabric); }
+  void onCoflowFinished(const sim::SimView& view, std::size_t ci) override {
+    inner_.onCoflowFinished(view, ci);
+  }
+  void onFlowStarted(const sim::SimView& view, std::size_t fi) override {
+    inner_.onFlowStarted(view, fi);
+  }
+  void onFlowCompleted(const sim::SimView& view, std::size_t fi) override {
+    inner_.onFlowCompleted(view, fi);
+  }
+  std::uint64_t scheduleEpoch(const sim::SimView& view) override {
+    return inner_.scheduleEpoch(view);
+  }
+  void allocate(const sim::SimView& view, std::vector<util::Rate>& rates) override {
+    inner_.allocate(view, rates);
+    ++rounds_checked_;
+    ASSERT_TRUE(inner_.tracking(view)) << "round " << rounds_checked_;
+    EXPECT_EQ(inner_.queueSnapshot(), inner_.referenceQueueSnapshot(view))
+        << "round " << rounds_checked_;
+  }
+  util::Seconds nextWakeup(const sim::SimView& view) override {
+    return inner_.nextWakeup(view);
+  }
+  std::size_t roundsChecked() const { return rounds_checked_; }
+
+ private:
+  sched::DClasScheduler inner_;
+  std::size_t rounds_checked_ = 0;
+};
+
+class DClasQueueOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(DClasQueueOracle, IncrementalQueuesMatchRebuild) {
+  // Small thresholds + waves + Δ variants drive plenty of arrivals,
+  // demotions (instant and boundary-delayed), and completions.
+  const auto wl =
+      dagWorkload(3000 + static_cast<std::uint64_t>(GetParam()), 6, 12);
+  const auto fc = testing::unitFabric(6);
+  for (const util::Seconds delta : {0.0, 0.3}) {
+    sched::DClasConfig dcfg;
+    dcfg.first_threshold = 4;
+    dcfg.exp_factor = 3;
+    dcfg.num_queues = 5;
+    dcfg.sync_interval = delta;
+    QueueOracleScheduler oracle(dcfg);
+    sim::SimOptions opts;
+    opts.incremental_engine = true;
+    const auto result = sim::runSimulation(wl, fc, oracle, opts);
+    EXPECT_EQ(result.coflows.size(), wl.coflowCount());
+    EXPECT_GT(oracle.roundsChecked(), 0u);
+  }
+}
+
+TEST_P(DClasQueueOracle, StrictPolicyQueuesMatchRebuild) {
+  const auto wl =
+      dagWorkload(4000 + static_cast<std::uint64_t>(GetParam()), 6, 10);
+  const auto fc = testing::unitFabric(6);
+  sched::DClasConfig dcfg;
+  dcfg.first_threshold = 4;
+  dcfg.exp_factor = 3;
+  dcfg.num_queues = 5;
+  dcfg.policy = sched::DClasConfig::QueuePolicy::kStrictPriority;
+  QueueOracleScheduler oracle(dcfg);
+  sim::SimOptions opts;
+  opts.incremental_engine = true;
+  const auto result = sim::runSimulation(wl, fc, oracle, opts);
+  EXPECT_EQ(result.coflows.size(), wl.coflowCount());
+  EXPECT_GT(oracle.roundsChecked(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DClasQueueOracle, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace aalo

@@ -2,6 +2,7 @@
 //
 //   aalo_sim --trace PATH [--sched LIST] [--ports-per-rack N]
 //            [--oversubscription X] [--delta SEC] [--csv PATH] [--jobs N]
+//            [--stats]
 //
 // PATH may be an aalo-trace file or a public coflow-benchmark trace
 // (e.g. FB2010-1Hr-150-0.txt) — the format is auto-detected.
@@ -16,6 +17,11 @@
 // --jobs N runs the schedulers concurrently on N threads (0 = all
 // hardware threads). Each run is independent, and results are reported in
 // --sched order, so the output is identical to --jobs 1.
+//
+// --stats adds the incremental-engine counters to the summary table:
+// allocate calls, reused allocations (rounds served from the installed
+// rates via the scheduleEpoch handshake), and completion-predictor
+// rebuilds.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -51,7 +57,7 @@ namespace {
   std::fprintf(stderr,
                "usage: aalo_sim --trace PATH [--sched LIST] [--ports-per-rack N]\n"
                "                [--oversubscription X] [--delta SEC] [--csv PATH]\n"
-               "                [--jobs N]\n");
+               "                [--jobs N] [--stats]\n");
   std::exit(2);
 }
 
@@ -133,6 +139,7 @@ int main(int argc, char** argv) {
   double oversubscription = 1.0;
   double delta = 0.0;
   int jobs = 1;
+  bool stats = false;
 
   for (int i = 1; i < argc; ++i) {
     auto needValue = [&](const char* flag) -> const char* {
@@ -156,6 +163,8 @@ int main(int argc, char** argv) {
       delta = std::atof(needValue("--delta"));
     } else if (!std::strcmp(argv[i], "--jobs")) {
       jobs = std::atoi(needValue("--jobs"));
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      stats = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       usage();
@@ -226,7 +235,12 @@ int main(int argc, char** argv) {
   };
   const std::vector<sim::SimResult> results = sim::runBatch(batch, bopts);
 
-  util::Table table({"scheduler", "avg CCT", "p95 CCT", "makespan", "rounds"});
+  std::vector<std::string> columns = {"scheduler", "avg CCT", "p95 CCT", "makespan",
+                                      "rounds"};
+  if (stats) {
+    columns.insert(columns.end(), {"allocs", "reused", "rebuilds"});
+  }
+  util::Table table(columns);
   for (const auto& result : results) {
     util::Summary cct;
     for (const auto& rec : result.coflows) {
@@ -237,10 +251,16 @@ int main(int argc, char** argv) {
             << rec.bytes << ',' << rec.width << '\n';
       }
     }
-    table.addRow({result.scheduler, util::formatSeconds(cct.mean()),
-                  util::formatSeconds(cct.percentile(95)),
-                  util::formatSeconds(result.makespan),
-                  std::to_string(result.allocation_rounds)});
+    std::vector<std::string> row = {result.scheduler, util::formatSeconds(cct.mean()),
+                                    util::formatSeconds(cct.percentile(95)),
+                                    util::formatSeconds(result.makespan),
+                                    std::to_string(result.allocation_rounds)};
+    if (stats) {
+      row.push_back(std::to_string(result.allocate_calls));
+      row.push_back(std::to_string(result.reused_allocations));
+      row.push_back(std::to_string(result.heap_rebuilds));
+    }
+    table.addRow(std::move(row));
   }
   table.print(std::cout);
   return 0;

@@ -4,22 +4,44 @@
 #
 #   tools/bench_record.sh [build-dir] [output-json]
 #
-# Defaults: build-dir = build, output = BENCH_micro.json (repo root).
-# Builds bench_micro if needed, then runs it with 3 repetitions and
+# Defaults: build-dir = build-release (the "release" CMake preset),
+# output = BENCH_micro.json (repo root). Configures and builds
+# bench_micro if needed, then runs it with 3 repetitions and
 # aggregate-only reporting (median/mean/stddev per benchmark) to damp
 # scheduler noise. Compare against the committed BENCH_micro.json:
 #
 #   git diff -- BENCH_micro.json
+#
+# Recording from an unoptimized build would poison the trajectory, so a
+# build dir whose CMAKE_BUILD_TYPE is not Release/RelWithDebInfo is
+# refused. Set AALO_BENCH_ALLOW_UNOPTIMIZED=1 to record anyway (the
+# JSON will still reflect the slow build — don't commit it).
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build"}
+build_dir=${1:-"$repo_root/build-release"}
 out=${2:-"$repo_root/BENCH_micro.json"}
 
-if [ ! -x "$build_dir/bench/bench_micro" ]; then
-  cmake -B "$build_dir" -S "$repo_root"
-  cmake --build "$build_dir" -j --target bench_micro
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 fi
+
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")
+case "$build_type" in
+  Release|RelWithDebInfo) ;;
+  *)
+    if [ "${AALO_BENCH_ALLOW_UNOPTIMIZED:-0}" != "1" ]; then
+      echo "bench_record: refusing to record from '$build_dir'" >&2
+      echo "bench_record: CMAKE_BUILD_TYPE is '${build_type:-unset}', need Release or RelWithDebInfo" >&2
+      echo "bench_record: use 'cmake --preset release && cmake --build --preset release'," >&2
+      echo "bench_record: or set AALO_BENCH_ALLOW_UNOPTIMIZED=1 to override" >&2
+      exit 1
+    fi
+    echo "bench_record: WARNING recording from unoptimized build ($build_type)" >&2
+    ;;
+esac
+
+cmake --build "$build_dir" -j --target bench_micro
 
 "$build_dir/bench/bench_micro" \
   --benchmark_repetitions=3 \
