@@ -1,15 +1,25 @@
 // Figure 14: Aalo at scale.
 //  (a) Real coordination rounds over loopback TCP: one coordinator thread
-//      serving N emulated daemons (each receiving a 100-coflow schedule
-//      and answering with a size report). The paper measured 8ms at 100
-//      daemons up to 992ms at 100,000 (EC2, 100 machines); here every
+//      serving N emulated daemons (each receiving the round's schedule
+//      frame and answering with a size report). The paper measured 8ms at
+//      100 daemons up to 992ms at 100,000 (EC2, 100 machines); here every
 //      daemon shares one host, so absolute numbers differ but the linear
-//      growth in N is the result.
+//      growth in N is the result. Both coordination data paths are
+//      measured side by side: the rebuild-the-world oracle (full
+//      broadcasts + full reports) and the default delta-coded path
+//      (kScheduleDelta heartbeats, changed-coflows-only reports), with
+//      bytes-on-wire per round recorded for each.
 //  (b) Simulation: the price of stale coordination — Aalo's improvement
 //      over per-flow fairness as Δ grows.
+//
+// `--json PATH` skips panel (b) and records panel (a) at N ∈ {100, 1000}
+// as machine-readable JSON (see tools/bench_net_record.sh).
 #include <sys/epoll.h>
 
 #include <chrono>
+#include <cstring>
+#include <limits>
+#include <fstream>
 #include <unordered_map>
 
 #include "bench/common.h"
@@ -22,15 +32,29 @@ using namespace aalo;
 
 namespace {
 
+struct RoundCost {
+  double avg_fanout_seconds = -1;  ///< First to last delivery per round.
+  double down_bytes_per_round = 0; ///< Broadcast bytes, all daemons.
+  double up_bytes_per_round = 0;   ///< Size-report bytes, all daemons.
+};
+
 /// Runs `rounds` coordination rounds against a live Coordinator with
 /// `num_daemons` emulated daemons and returns the average time from a
 /// round's first schedule delivery to its last (the broadcast fan-out
-/// cost the paper plots).
-double measureRounds(std::size_t num_daemons, int rounds) {
+/// cost the paper plots) plus the bytes crossing the wire per round.
+/// Every round 5 of the 100 coflows grow, each on a rotating 1-in-20
+/// subset of the daemons — the steady state the delta path is designed
+/// for: a handful of changed coflows per Δ against a standing
+/// population, with most machines seeing no change at all that Δ. Full
+/// mode reports and broadcasts everything every Δ regardless (the
+/// pre-delta data path); delta mode sends changed-only reports with the
+/// real daemon's keepalive pacing for idle ticks.
+RoundCost measureRounds(std::size_t num_daemons, int rounds, bool full_mode) {
   runtime::CoordinatorConfig ccfg;
   // Rounds must not overlap or send backlogs compound — the paper makes
   // the same point: "Δ must be increased for Aalo to scale" (§7.6).
   ccfg.sync_interval = std::max(0.050, static_cast<double>(num_daemons) * 100e-6);
+  ccfg.full_broadcasts = full_mode;
   runtime::Coordinator coordinator(ccfg);
   coordinator.start();
 
@@ -47,17 +71,69 @@ double measureRounds(std::size_t num_daemons, int rounds) {
   };
   std::unordered_map<std::uint64_t, EpochTimes> epochs;
 
+  // Byte accounting is restricted to the measured epoch window so the
+  // settle phase (connects, per-peer snapshots) does not pollute the
+  // steady-state numbers.
+  std::uint64_t window_begin = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t window_end = std::numeric_limits<std::uint64_t>::max();
+  double bytes_down = 0, bytes_up = 0;
+
+  // Per-daemon absolute local sizes (what a real daemon accumulates).
+  std::vector<std::vector<double>> local(num_daemons,
+                                         std::vector<double>(coflows.size(), 0));
+
   net::EventLoop loop;
   std::vector<std::unique_ptr<net::Connection>> daemons;
   daemons.reserve(num_daemons);
   std::uint64_t max_full_epoch = 0;
+
+  // One size report from daemon `d`, mirroring runtime::Daemon: full
+  // mode reports every coflow every Δ; delta mode reports only the
+  // coflows whose local bytes changed, and an idle tick is suppressed
+  // entirely save for an empty keepalive every 3rd Δ (the daemon's
+  // report_keepalive_intervals default). Replies happen inline, so the
+  // timed window is the full round on this host: schedule deliveries
+  // with the daemons' report encode/send work serialized between them —
+  // the same end-to-end per-Δ cost the paper's Fig. 14 plots.
+  std::vector<int> ticks_since_report(num_daemons, 0);
+  auto sendReport = [&](std::size_t d, std::uint64_t epoch, bool in_window) {
+    const bool has_traffic = d % 20 == epoch % 20;
+    net::Message report;
+    report.type = net::MessageType::kSizeReport;
+    report.daemon_id = d;
+    report.epoch = epoch;  // Echo, as a live daemon would.
+    for (std::size_t i = 0; i < coflows.size(); ++i) {
+      const bool changed = has_traffic && i % 20 == epoch % 20;
+      if (changed) local[d][i] += 10 * util::kMB;
+      if (full_mode || changed) {
+        report.sizes.push_back(net::CoflowSize{coflows[i], local[d][i]});
+      }
+    }
+    if (!full_mode && report.sizes.empty() &&
+        ++ticks_since_report[d] < 3) {
+      return;  // Suppressed, exactly as the real daemon would.
+    }
+    ticks_since_report[d] = 0;
+    net::Buffer out;
+    net::encodeMessage(report, out);
+    if (in_window) bytes_up += static_cast<double>(out.readableBytes());
+    daemons[d]->sendFrame(out);
+  };
+
   for (std::size_t d = 0; d < num_daemons; ++d) {
     net::Fd fd = net::connectTcp(coordinator.port());
     auto conn = std::make_unique<net::Connection>(
         loop, std::move(fd),
         [&, d](net::Buffer& payload) {
+          const auto frame_bytes = static_cast<double>(payload.readableBytes());
           const auto msg = net::decodeMessage(payload);
-          if (msg.type != net::MessageType::kScheduleUpdate) return;
+          if (msg.type != net::MessageType::kScheduleUpdate &&
+              msg.type != net::MessageType::kScheduleDelta) {
+            return;
+          }
+          const bool in_window =
+              msg.epoch >= window_begin && msg.epoch < window_end;
+          if (in_window) bytes_down += frame_bytes;
           auto& times = epochs[msg.epoch];
           const auto now = Clock::now();
           if (times.count == 0) times.first = now;
@@ -65,16 +141,7 @@ double measureRounds(std::size_t num_daemons, int rounds) {
           if (++times.count == num_daemons && msg.epoch > max_full_epoch) {
             max_full_epoch = msg.epoch;
           }
-          // Answer with this daemon's size report, like a real round.
-          net::Message report;
-          report.type = net::MessageType::kSizeReport;
-          report.daemon_id = d;
-          for (const auto& id : coflows) {
-            report.sizes.push_back(net::CoflowSize{id, 1e6});
-          }
-          net::Buffer out;
-          net::encodeMessage(report, out);
-          daemons[d]->sendFrame(out);
+          sendReport(d, msg.epoch, in_window);
         },
         net::Connection::CloseHandler{});
     daemons.push_back(std::move(conn));
@@ -94,6 +161,8 @@ double measureRounds(std::size_t num_daemons, int rounds) {
   }
   const std::uint64_t start_epoch = max_full_epoch + 2;
   const std::uint64_t end_epoch = start_epoch + static_cast<std::uint64_t>(rounds);
+  window_begin = start_epoch;
+  window_end = end_epoch;
   while (max_full_epoch < end_epoch && Clock::now() < deadline) {
     loop.runOnce(std::chrono::milliseconds(5));
   }
@@ -108,12 +177,83 @@ double measureRounds(std::size_t num_daemons, int rounds) {
   }
   daemons.clear();
   coordinator.stop();
-  return counted > 0 ? total / counted : -1;
+  RoundCost cost;
+  cost.avg_fanout_seconds = counted > 0 ? total / counted : -1;
+  cost.down_bytes_per_round = bytes_down / rounds;
+  cost.up_bytes_per_round = bytes_up / rounds;
+  return cost;
+}
+
+std::string formatBytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1e3);
+  }
+  return buf;
+}
+
+/// `--json PATH` mode: the A/B record the acceptance criteria cite
+/// (BENCH_net.json) — both modes at N ∈ {100, 1000}, 15 rounds each.
+int recordJson(const char* path) {
+  const int rounds = 15;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "fig14: cannot open %s\n", path);
+    return 1;
+  }
+  out << "{\n  \"bench\": \"fig14_coordination_data_path\",\n"
+      << "  \"rounds\": " << rounds << ",\n  \"coflows\": 100,\n"
+      << "  \"changed_per_round\": 5,\n  \"results\": [";
+  bool first = true;
+  std::unordered_map<std::string, RoundCost> by_key;
+  for (const std::size_t n : {100ul, 1000ul}) {
+    for (const bool full : {true, false}) {
+      const RoundCost cost = measureRounds(n, rounds, full);
+      const std::string mode = full ? "full" : "delta";
+      by_key[mode + std::to_string(n)] = cost;
+      out << (first ? "" : ",") << "\n    {\"daemons\": " << n
+          << ", \"mode\": \"" << mode
+          << "\", \"avg_round_s\": " << cost.avg_fanout_seconds
+          << ", \"down_bytes_per_round\": " << cost.down_bytes_per_round
+          << ", \"up_bytes_per_round\": " << cost.up_bytes_per_round << "}";
+      first = false;
+      std::fprintf(stderr, "  [%s %4zu daemons] round %s, down %s, up %s\n",
+                   mode.c_str(), n,
+                   util::formatSeconds(cost.avg_fanout_seconds).c_str(),
+                   formatBytes(cost.down_bytes_per_round).c_str(),
+                   formatBytes(cost.up_bytes_per_round).c_str());
+    }
+  }
+  const auto& full1k = by_key["full1000"];
+  const auto& delta1k = by_key["delta1000"];
+  const double speedup = delta1k.avg_fanout_seconds > 0
+                             ? full1k.avg_fanout_seconds / delta1k.avg_fanout_seconds
+                             : -1;
+  const double wire_total_full =
+      full1k.down_bytes_per_round + full1k.up_bytes_per_round;
+  const double wire_total_delta =
+      delta1k.down_bytes_per_round + delta1k.up_bytes_per_round;
+  const double wire_ratio =
+      wire_total_delta > 0 ? wire_total_full / wire_total_delta : -1;
+  out << "\n  ],\n  \"round_time_speedup_1000\": " << speedup
+      << ",\n  \"wire_bytes_ratio_1000\": " << wire_ratio << "\n}\n";
+  std::fprintf(stderr,
+               "fig14: @1000 daemons delta is %.2fx faster per round, "
+               "%.1fx fewer bytes on the wire\n",
+               speedup, wire_ratio);
+  std::fprintf(stderr, "wrote %s\n", path);
+  return 0;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--json") == 0) {
+    return recordJson(argv[2]);
+  }
+
   bench::header(
       "Figure 14: scalability",
       "(a) coordination time grows ~linearly with daemon count (paper: "
@@ -122,12 +262,21 @@ int main() {
       "1.78x) and collapses past Δ=10s");
 
   std::printf("\nFigure 14a — real loopback coordination rounds "
-              "(100 coflows/update):\n");
-  util::Table rounds_table({"# emulated daemons", "avg round fan-out time"});
+              "(100 coflows, 5 changing per Δ), full vs delta data path:\n");
+  util::Table rounds_table({"# emulated daemons", "full round", "full wire/round",
+                            "delta round", "delta wire/round"});
   for (const std::size_t n : {100ul, 500ul, 1000ul, 2500ul, 5000ul}) {
-    const double avg = measureRounds(n, 15);
-    rounds_table.addRow({std::to_string(n),
-                         avg < 0 ? "timeout" : util::formatSeconds(avg)});
+    const RoundCost full = measureRounds(n, 15, true);
+    const RoundCost delta = measureRounds(n, 15, false);
+    rounds_table.addRow(
+        {std::to_string(n),
+         full.avg_fanout_seconds < 0 ? "timeout"
+                                     : util::formatSeconds(full.avg_fanout_seconds),
+         formatBytes(full.down_bytes_per_round + full.up_bytes_per_round),
+         delta.avg_fanout_seconds < 0
+             ? "timeout"
+             : util::formatSeconds(delta.avg_fanout_seconds),
+         formatBytes(delta.down_bytes_per_round + delta.up_bytes_per_round)});
     std::fprintf(stderr, "  [fanout %5zu daemons] done\n", n);
   }
   rounds_table.print(std::cout);

@@ -1,10 +1,15 @@
 // Microbenchmarks (google-benchmark): hot paths of the library —
-// water-filling allocation, one D-CLAS reschedule, wire codec, and the
-// end-to-end simulator event rate.
+// water-filling allocation, one D-CLAS reschedule, wire codec, the
+// delta-coded coordination path, and the end-to-end simulator event rate.
 #include <benchmark/benchmark.h>
 
+#include <sys/socket.h>
+
 #include "bench/common.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
 #include "net/protocol.h"
+#include "runtime/schedule_state.h"
 
 using namespace aalo;
 
@@ -99,6 +104,105 @@ void BM_ProtocolEncodeDecode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_ProtocolEncodeDecode)->Arg(100)->Arg(1000);
+
+// Steady-state delta frame: a handful of moved coflows plus a few
+// removals — what the coordinator actually encodes every Δ in delta mode
+// (compare BM_ProtocolEncodeDecode/100, the full-snapshot cost).
+void BM_EncodeScheduleDelta(benchmark::State& state) {
+  net::Message delta;
+  delta.type = net::MessageType::kScheduleDelta;
+  delta.epoch = 43;
+  delta.base_epoch = 42;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    delta.schedule.push_back(net::ScheduleEntry{{i, 0}, 1e6 * i, i % 10, true});
+  }
+  for (int i = 0; i < 3; ++i) delta.removals.push_back({1000 + i, 0});
+  net::Buffer buffer;
+  for (auto _ : state) {
+    buffer.clear();
+    net::encodeMessage(delta, buffer);
+    benchmark::DoNotOptimize(buffer.peek());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeScheduleDelta)->Arg(5)->Arg(100);
+
+// One report landing in the incrementally maintained ScheduleState: 5
+// changed coflows folded in (O(log n) queue moves) and the round's delta
+// drained — the coordinator's per-report hot path, vs. the legacy
+// rebuild which re-sorted all registered coflows every round.
+void BM_ReportApply(benchmark::State& state) {
+  const int num_coflows = static_cast<int>(state.range(0));
+  const sched::DClasConfig dclas;
+  runtime::ScheduleState sstate(dclas.thresholds(), 0);
+  util::Rng rng(23);
+  std::vector<coflow::CoflowId> ids;
+  std::vector<double> sizes;
+  for (int c = 0; c < num_coflows; ++c) {
+    const coflow::CoflowId id{c, 0};
+    sstate.registerCoflow(id);
+    ids.push_back(id);
+    sizes.push_back(rng.uniform(0, 100) * util::kMB);
+    sstate.applySize(0, id, sizes.back());
+  }
+  std::vector<net::ScheduleEntry> entries;
+  std::vector<coflow::CoflowId> removals;
+  sstate.buildDelta(entries, removals);  // Drain the warm-up churn.
+  std::size_t next = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 5; ++i) {
+      const std::size_t pick = next++ % ids.size();
+      sizes[pick] += 4 * util::kMB;
+      sstate.applySize(0, ids[pick], sizes[pick]);
+    }
+    sstate.buildDelta(entries, removals);
+    benchmark::DoNotOptimize(entries.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 5);
+}
+BENCHMARK(BM_ReportApply)->Arg(100)->Arg(1000);
+
+// Encode-once shared-buffer fan-out: one 100-coflow schedule frame sent
+// to N peers over loopback socketpairs. The payload bytes are queued by
+// reference on every connection (zero copies), so per-peer cost is the
+// frame header plus the writev.
+void BM_BroadcastFanout(benchmark::State& state) {
+  const std::size_t peers = static_cast<std::size_t>(state.range(0));
+  net::EventLoop loop;
+  std::vector<std::unique_ptr<net::Connection>> senders;
+  std::vector<std::unique_ptr<net::Connection>> receivers;
+  std::size_t received = 0;
+  for (std::size_t p = 0; p < peers; ++p) {
+    int fds[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds) != 0) {
+      state.SkipWithError("socketpair failed");
+      return;
+    }
+    senders.push_back(std::make_unique<net::Connection>(
+        loop, net::Fd(fds[0]), [](net::Buffer&) {},
+        net::Connection::CloseHandler{}));
+    receivers.push_back(std::make_unique<net::Connection>(
+        loop, net::Fd(fds[1]), [&received](net::Buffer&) { ++received; },
+        net::Connection::CloseHandler{}));
+  }
+  net::Message update;
+  update.type = net::MessageType::kScheduleUpdate;
+  update.epoch = 1;
+  for (int i = 0; i < 100; ++i) {
+    update.schedule.push_back(net::ScheduleEntry{{i, 0}, 1e6 * i, i % 10});
+  }
+  auto frame = std::make_shared<net::Buffer>();
+  net::encodeMessage(update, *frame);
+  const std::shared_ptr<const net::Buffer> shared = frame;
+  for (auto _ : state) {
+    received = 0;
+    for (auto& sender : senders) sender->sendFrame(shared);
+    while (received < peers) loop.runOnce(std::chrono::milliseconds(1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(peers));
+}
+BENCHMARK(BM_BroadcastFanout)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_SimulatorEndToEnd(benchmark::State& state) {
   const auto wl = bench::standardWorkload(static_cast<std::size_t>(state.range(0)),

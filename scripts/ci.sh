@@ -7,9 +7,10 @@
 #   scripts/ci.sh asan       # asan build, chaos suites only
 #   scripts/ci.sh tsan       # tsan build, BatchRunner gate + chaos suites
 #
-# The chaos suites (tests/chaos_test.cc, tests/runtime_robustness_test.cc)
-# carry the "chaos" ctest label; they are the ones that exercise the
-# fault-tolerance paths (reconnects, eviction, mangled frames) where
+# The chaos suites (tests/chaos_test.cc, tests/runtime_robustness_test.cc,
+# tests/coordination_equivalence_test.cc) carry the "chaos" ctest label;
+# they are the ones that exercise the fault-tolerance paths (reconnects,
+# eviction, mangled frames, delta/full data-path equivalence) where
 # sanitizers earn their keep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,14 +26,15 @@ run_default() {
   # float of seconds here (no '0.01x' multiplier suffix).
   cmake --build --preset default -j "$(nproc)" --target bench_micro
   ./build/bench/bench_micro --benchmark_min_time=0.01 \
-    --benchmark_filter='BM_SimulatorEndToEnd|BM_TraceReplay|BM_DClasReschedule/100'
+    --benchmark_filter='BM_SimulatorEndToEnd|BM_TraceReplay|BM_DClasReschedule/100|BM_EncodeScheduleDelta|BM_ReportApply/100|BM_BroadcastFanout/10'
 }
 
 run_asan() {
   echo "=== asan: engine equivalence + chaos-labelled suites ==="
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$(nproc)" \
-    --target chaos_test runtime_robustness_test engine_equivalence_test
+    --target chaos_test runtime_robustness_test engine_equivalence_test \
+             coordination_equivalence_test
   (cd build-asan && ctest -L chaos --output-on-failure -j "$(nproc)")
   (cd build-asan && ctest -R 'EngineEquivalence|DClasQueueOracle' \
     --output-on-failure -j "$(nproc)")

@@ -2,12 +2,23 @@
 
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 
 namespace aalo::net {
+
+namespace {
+
+/// Segments gathered into one writev call. Outgoing queues are almost
+/// always [staged header][shared payload] pairs, so a small batch covers
+/// the common case without approaching IOV_MAX.
+constexpr std::size_t kMaxIov = 16;
+
+}  // namespace
 
 Connection::Connection(EventLoop& loop, Fd fd, FrameHandler on_frame,
                        CloseHandler on_close)
@@ -27,10 +38,30 @@ void Connection::sendFrame(const Buffer& payload) {
   sendFrame(payload.readable());
 }
 
+Buffer& Connection::stagingTail() {
+  if (outgoing_.empty() || outgoing_.back().shared) outgoing_.emplace_back();
+  return outgoing_.back().owned;
+}
+
 void Connection::sendFrame(std::span<const std::uint8_t> payload) {
   if (closed_) return;
-  outgoing_.putU32(static_cast<std::uint32_t>(payload.size()));
-  outgoing_.append(payload);
+  Buffer& tail = stagingTail();
+  tail.putU32(static_cast<std::uint32_t>(payload.size()));
+  tail.append(payload);
+  pending_bytes_ += 4 + payload.size();
+  flush();
+}
+
+void Connection::sendFrame(std::shared_ptr<const Buffer> payload) {
+  if (closed_ || !payload) return;
+  const std::size_t len = payload->readableBytes();
+  stagingTail().putU32(static_cast<std::uint32_t>(len));
+  pending_bytes_ += 4 + len;
+  if (len > 0) {
+    Segment segment;
+    segment.shared = std::move(payload);
+    outgoing_.push_back(std::move(segment));
+  }
   flush();
 }
 
@@ -83,13 +114,36 @@ void Connection::handleReadable() {
 }
 
 void Connection::flush() {
-  while (!outgoing_.empty()) {
+  while (pending_bytes_ > 0) {
+    std::array<iovec, kMaxIov> iov;
+    std::size_t iov_count = 0;
+    for (const Segment& segment : outgoing_) {
+      if (iov_count == kMaxIov) break;
+      const auto bytes = segment.bytes();
+      if (bytes.empty()) continue;
+      iov[iov_count].iov_base = const_cast<std::uint8_t*>(bytes.data());
+      iov[iov_count].iov_len = bytes.size();
+      ++iov_count;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov.data();
+    msg.msg_iovlen = iov_count;
     // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE
     // (handled below as a close), never as a process-killing SIGPIPE.
-    const ssize_t n = ::send(fd_.get(), outgoing_.peek(),
-                             outgoing_.readableBytes(), MSG_NOSIGNAL);
+    const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      outgoing_.consume(static_cast<std::size_t>(n));
+      std::size_t left = static_cast<std::size_t>(n);
+      pending_bytes_ -= left;
+      while (left > 0) {
+        Segment& front = outgoing_.front();
+        const std::size_t take = std::min(left, front.bytes().size());
+        front.consume(take);
+        left -= take;
+        if (front.drained()) outgoing_.pop_front();
+      }
+      while (!outgoing_.empty() && outgoing_.front().drained()) {
+        outgoing_.pop_front();
+      }
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -97,11 +151,12 @@ void Connection::flush() {
     close();
     return;
   }
+  if (pending_bytes_ == 0) outgoing_.clear();
   updateInterest();
 }
 
 void Connection::updateInterest() {
-  const bool want_write = !outgoing_.empty();
+  const bool want_write = pending_bytes_ > 0;
   if (want_write == want_write_ || closed_) return;
   want_write_ = want_write;
   loop_.modify(fd_.get(), EPOLLIN | (want_write ? EPOLLOUT : 0u));
@@ -112,6 +167,10 @@ void Connection::close() {
   closed_ = true;
   loop_.remove(fd_.get());
   fd_.reset();
+  // Release shared broadcast buffers promptly: a dead peer must not pin
+  // the coordinator's encode scratch.
+  outgoing_.clear();
+  pending_bytes_ = 0;
   if (on_close_) on_close_();
 }
 

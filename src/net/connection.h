@@ -4,8 +4,20 @@
 // connection delivers complete payloads to its frame handler and flushes
 // queued writes as the socket drains (EPOLLOUT is armed only while data
 // is pending, so idle connections cost nothing).
+//
+// Two send paths:
+//  * sendFrame(span / Buffer) copies the payload into the connection's
+//    coalesced staging buffer — right for unicast messages built on the
+//    stack.
+//  * sendFrame(shared_ptr<const Buffer>) queues a *reference*: an
+//    N-peer broadcast serializes once and every connection writes the
+//    same bytes straight from the shared buffer (writev with the 4-byte
+//    length header), so fan-out does no per-peer payload copies. The
+//    buffer must not be mutated while any connection still holds it
+//    (check use_count() before reusing it as scratch).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 
@@ -35,12 +47,41 @@ class Connection {
   /// socket accepts immediately.
   void sendFrame(const Buffer& payload);
   void sendFrame(std::span<const std::uint8_t> payload);
+  /// Zero-copy variant: queues the length header plus a reference to
+  /// `payload`; the payload bytes are written directly from the shared
+  /// buffer and the reference is dropped once fully flushed.
+  void sendFrame(std::shared_ptr<const Buffer> payload);
 
   bool closed() const { return closed_; }
   int fd() const { return fd_.get(); }
-  std::size_t pendingBytes() const { return outgoing_.readableBytes(); }
+  std::size_t pendingBytes() const { return pending_bytes_; }
 
  private:
+  /// One queued slice of outgoing bytes: either locally staged (owned,
+  /// coalesces consecutive copied frames and headers) or a reference
+  /// into a shared broadcast buffer consumed via `shared_offset`.
+  struct Segment {
+    Buffer owned;
+    std::shared_ptr<const Buffer> shared;
+    std::size_t shared_offset = 0;
+
+    std::span<const std::uint8_t> bytes() const {
+      if (!shared) return owned.readable();
+      return shared->readable().subspan(shared_offset);
+    }
+    void consume(std::size_t n) {
+      if (!shared) {
+        owned.consume(n);
+      } else {
+        shared_offset += n;
+      }
+    }
+    bool drained() const { return bytes().empty(); }
+  };
+
+  /// Tail owned segment to stage copied bytes into (appends one if the
+  /// queue is empty or ends in a shared segment).
+  Buffer& stagingTail();
   void onEvents(std::uint32_t events);
   void handleReadable();
   void flush();
@@ -52,7 +93,8 @@ class Connection {
   FrameHandler on_frame_;
   CloseHandler on_close_;
   Buffer incoming_;
-  Buffer outgoing_;
+  std::deque<Segment> outgoing_;
+  std::size_t pending_bytes_ = 0;
   bool want_write_ = false;
   bool closed_ = false;
 };

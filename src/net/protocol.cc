@@ -57,13 +57,30 @@ void encodeMessage(const Message& message, Buffer& out) {
         out.putU8(e.on ? 1 : 0);
       }
       break;
+    case MessageType::kScheduleDelta:
+      out.putU64(message.epoch);
+      out.putU64(message.base_epoch);
+      out.putU32(static_cast<std::uint32_t>(message.schedule.size()));
+      for (const auto& e : message.schedule) {
+        putCoflowId(out, e.id);
+        out.putDouble(e.global_bytes);
+        out.putU32(static_cast<std::uint32_t>(e.queue));
+        out.putU8(e.on ? 1 : 0);
+      }
+      out.putU32(static_cast<std::uint32_t>(message.removals.size()));
+      for (const auto& id : message.removals) putCoflowId(out, id);
+      break;
+    case MessageType::kSnapshotRequest:
+      out.putU64(message.daemon_id);
+      out.putU64(message.epoch);
+      break;
   }
 }
 
 Message decodeMessage(Buffer& in) {
   Message message;
   const std::uint8_t raw_type = in.getU8();
-  if (raw_type < 1 || raw_type > 6) {
+  if (raw_type < 1 || raw_type > 8) {
     throw std::runtime_error("decodeMessage: unknown message type " +
                              std::to_string(raw_type));
   }
@@ -113,6 +130,30 @@ Message decodeMessage(Buffer& in) {
       }
       break;
     }
+    case MessageType::kScheduleDelta: {
+      message.epoch = in.getU64();
+      message.base_epoch = in.getU64();
+      const std::uint32_t n = in.getU32();
+      message.schedule.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        ScheduleEntry e;
+        e.id = getCoflowId(in);
+        e.global_bytes = in.getDouble();
+        e.queue = static_cast<std::int32_t>(in.getU32());
+        e.on = in.getU8() != 0;
+        message.schedule.push_back(e);
+      }
+      const std::uint32_t r = in.getU32();
+      message.removals.reserve(r);
+      for (std::uint32_t i = 0; i < r; ++i) {
+        message.removals.push_back(getCoflowId(in));
+      }
+      break;
+    }
+    case MessageType::kSnapshotRequest:
+      message.daemon_id = in.getU64();
+      message.epoch = in.getU64();
+      break;
   }
   if (!in.empty()) {
     throw std::runtime_error("decodeMessage: trailing bytes in frame");

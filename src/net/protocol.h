@@ -23,7 +23,17 @@ enum class MessageType : std::uint8_t {
   kRegisterReply = 3,     ///< coordinator -> client: assigned CoflowId.
   kUnregisterCoflow = 4,  ///< client -> coordinator: coflow completed.
   kSizeReport = 5,        ///< daemon -> coordinator: local attained bytes.
-  kScheduleUpdate = 6,    ///< coordinator -> daemons: global order.
+  kScheduleUpdate = 6,    ///< coordinator -> daemons: full schedule snapshot.
+  /// coordinator -> daemons: only the entries that moved queues, toggled
+  /// ON/OFF, or appeared since `base_epoch`, plus the coflows that
+  /// vanished (unregistered). An empty delta is an epoch-only heartbeat:
+  /// "the schedule you applied at base_epoch is still exact". A daemon
+  /// whose applied epoch != base_epoch has missed a broadcast and must
+  /// request a snapshot instead of applying.
+  kScheduleDelta = 7,
+  /// daemon -> coordinator: detected an epoch gap (or otherwise lost
+  /// schedule state); send a full kScheduleUpdate on the next round.
+  kSnapshotRequest = 8,
 };
 
 struct CoflowSize {
@@ -51,14 +61,20 @@ struct Message {
   MessageType type = MessageType::kHello;
   std::uint64_t daemon_id = 0;    ///< kHello / kSizeReport.
   std::uint64_t request_id = 0;   ///< kRegisterCoflow / kRegisterReply.
-  /// kScheduleUpdate: this broadcast's coordination round. kSizeReport:
-  /// the last epoch the daemon *applied* — the coordinator uses the echo
-  /// to detect a one-way link (reports arrive, broadcasts don't).
+  /// kScheduleUpdate / kScheduleDelta: this broadcast's coordination
+  /// round. kSizeReport / kSnapshotRequest: the last epoch the daemon
+  /// *applied* — the coordinator uses the echo to detect a one-way link
+  /// (reports arrive, broadcasts don't).
   std::uint64_t epoch = 0;
+  /// kScheduleDelta: the epoch this delta builds on. Applying it to any
+  /// other state would silently diverge, so a daemon at a different
+  /// applied epoch must fall back to a snapshot.
+  std::uint64_t base_epoch = 0;
   coflow::CoflowId coflow;        ///< kRegisterReply / kUnregisterCoflow.
   std::vector<coflow::CoflowId> parents;   ///< kRegisterCoflow.
   std::vector<CoflowSize> sizes;           ///< kSizeReport.
-  std::vector<ScheduleEntry> schedule;     ///< kScheduleUpdate.
+  std::vector<ScheduleEntry> schedule;     ///< kScheduleUpdate / kScheduleDelta.
+  std::vector<coflow::CoflowId> removals;  ///< kScheduleDelta: vanished coflows.
 };
 
 void encodeMessage(const Message& message, Buffer& out);

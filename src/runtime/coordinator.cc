@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <future>
 #include <vector>
 
 #include "net/protocol.h"
@@ -17,11 +18,23 @@ std::chrono::nanoseconds toNanos(util::Seconds s) {
   return std::chrono::nanoseconds(static_cast<std::int64_t>(s * 1e9));
 }
 
+/// Reusable shared encode buffer: cleared in place when no connection's
+/// send queue still references last round's bytes, replaced otherwise
+/// (the slow peer keeps writing from the old buffer undisturbed).
+net::Buffer& takeShared(std::shared_ptr<net::Buffer>& slot) {
+  if (slot && slot.use_count() == 1) {
+    slot->clear();
+  } else {
+    slot = std::make_shared<net::Buffer>();
+  }
+  return *slot;
+}
+
 }  // namespace
 
-Coordinator::Coordinator(CoordinatorConfig config) : config_(std::move(config)) {
-  thresholds_ = config_.dclas.thresholds();
-}
+Coordinator::Coordinator(CoordinatorConfig config)
+    : config_(std::move(config)),
+      state_(config_.dclas.thresholds(), config_.max_on_coflows) {}
 
 Coordinator::~Coordinator() { stop(); }
 
@@ -79,7 +92,7 @@ void Coordinator::dropPeer(std::uint64_t peer_key) {
   const auto it = peers_.find(peer_key);
   if (it == peers_.end()) return;
   if (it->second.is_daemon) {
-    reported_sizes_.erase(it->second.daemon_id);
+    state_.dropDaemon(it->second.daemon_id);
     daemon_count_.fetch_sub(1, std::memory_order_relaxed);
   }
   // Defer destruction: we may be inside this connection's own callback
@@ -172,7 +185,6 @@ void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
           peer.echoed_epoch = message.epoch;
           peer.last_echo_advance = now;
         }
-        auto& sizes = reported_sizes_[peer.daemon_id];
         for (const auto& s : message.sizes) {
           // Completed coflows must not resurface (tombstone); remember the
           // mention so the tombstone outlives every daemon still reporting.
@@ -181,7 +193,7 @@ void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
             tomb->second = now;
             continue;
           }
-          sizes[s.id] = s.bytes;
+          state_.applySize(peer.daemon_id, s.id, s.bytes);
         }
       }
       break;
@@ -196,8 +208,9 @@ void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
           id = id_generator_.newRootId();  // Malformed parents: fresh DAG.
         }
       }
-      registered_[id] = true;
-      registered_count_.store(registered_.size(), std::memory_order_relaxed);
+      state_.registerCoflow(id);
+      registered_count_.store(state_.registeredCount(),
+                              std::memory_order_relaxed);
       net::Message reply;
       reply.type = net::MessageType::kRegisterReply;
       reply.request_id = message.request_id;
@@ -208,11 +221,20 @@ void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
       break;
     }
     case net::MessageType::kUnregisterCoflow:
-      registered_.erase(message.coflow);
+      state_.unregisterCoflow(message.coflow);
       unregistered_[message.coflow] = now;
       tombstone_count_.store(unregistered_.size(), std::memory_order_relaxed);
-      registered_count_.store(registered_.size(), std::memory_order_relaxed);
-      for (auto& [daemon, sizes] : reported_sizes_) sizes.erase(message.coflow);
+      registered_count_.store(state_.registeredCount(),
+                              std::memory_order_relaxed);
+      break;
+    case net::MessageType::kSnapshotRequest:
+      // The daemon detected an epoch gap (dropped broadcast) or lost its
+      // schedule: serve a full snapshot on the next round instead of a
+      // delta it cannot apply.
+      if (peer.is_daemon) {
+        peer.needs_snapshot = true;
+        stats_.snapshot_requests.fetch_add(1, std::memory_order_relaxed);
+      }
       break;
     default:
       AALO_LOG_WARN << "coordinator: unexpected message type";
@@ -220,50 +242,31 @@ void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
 }
 
 void Coordinator::broadcastSchedule() {
-  // Aggregate: global size = sum of local observations (attained service
-  // only grows, so last-writer-wins per daemon is exact).
-  std::unordered_map<coflow::CoflowId, double> global;
-  for (const auto& [coflow_id, active] : registered_) {
-    if (active) global[coflow_id] = 0;
+  const std::uint64_t epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.full_broadcasts) {
+    broadcastFull(epoch);
+  } else {
+    broadcastDelta(epoch);
   }
-  for (const auto& [daemon, sizes] : reported_sizes_) {
-    for (const auto& [coflow_id, bytes] : sizes) {
-      // Two cases for a reported coflow we did not register ourselves:
-      // (a) it was explicitly unregistered — tombstoned, drop it; (b) we
-      // restarted and lost registration state (§3.2) — the daemons'
-      // reports re-establish it. Stored sizes are tombstone-filtered on
-      // arrival; the check here covers sizes stored before the unregister.
-      if (unregistered_.contains(coflow_id)) continue;
-      global[coflow_id] += bytes;
-    }
-  }
+}
 
+void Coordinator::broadcastFull(std::uint64_t epoch) {
+  // Oracle mode: rebuild the whole schedule from the stored reports every
+  // round (global size = sum of local observations; attained service only
+  // grows, so last-writer-wins per daemon is exact). The tombstone filter
+  // covers sizes stored before an unregister; fresh mentions are filtered
+  // on arrival.
   net::Message update;
   update.type = net::MessageType::kScheduleUpdate;
-  update.epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
-  update.schedule.reserve(global.size());
-  for (const auto& [coflow_id, bytes] : global) {
-    std::int32_t queue = 0;
-    while (queue < static_cast<std::int32_t>(thresholds_.size()) &&
-           bytes >= thresholds_[static_cast<std::size_t>(queue)]) {
-      ++queue;
-    }
-    update.schedule.push_back(net::ScheduleEntry{coflow_id, bytes, queue});
-  }
-  std::sort(update.schedule.begin(), update.schedule.end(),
-            [](const net::ScheduleEntry& a, const net::ScheduleEntry& b) {
-              if (a.queue != b.queue) return a.queue < b.queue;
-              return coflow::CoflowIdFifoLess{}(a.id, b.id);
-            });
-  // §6.2 explicit ON/OFF: gate everything past the concurrency budget.
-  if (config_.max_on_coflows > 0) {
-    for (std::size_t i = config_.max_on_coflows; i < update.schedule.size(); ++i) {
-      update.schedule[i].on = false;
-    }
-  }
+  update.epoch = epoch;
+  update.schedule.swap(entries_scratch_);
+  state_.legacySchedule(
+      [this](const coflow::CoflowId& id) { return unregistered_.contains(id); },
+      update.schedule);
 
-  net::Buffer out;
+  net::Buffer& out = takeShared(snapshot_scratch_);
   net::encodeMessage(update, out);
+  update.schedule.swap(entries_scratch_);  // Keep the capacity for reuse.
   // Snapshot the peer keys: a failing send may close a connection, whose
   // close handler erases it from peers_ — mutating the map mid-iteration.
   std::vector<std::uint64_t> keys;
@@ -275,9 +278,75 @@ void Coordinator::broadcastSchedule() {
     const auto it = peers_.find(key);
     if (it == peers_.end()) continue;
     if (it->second.connection && !it->second.connection->closed()) {
-      it->second.connection->sendFrame(out);
+      it->second.connection->sendFrame(snapshot_scratch_);
+      stats_.snapshot_broadcasts.fetch_add(1, std::memory_order_relaxed);
     }
   }
+}
+
+void Coordinator::broadcastDelta(std::uint64_t epoch) {
+  const bool changed = state_.buildDelta(entries_scratch_, removals_scratch_);
+
+  // Encode the delta once (an unchanged schedule encodes as an epoch-only
+  // heartbeat); the snapshot is encoded lazily — most rounds no peer
+  // needs one.
+  net::Message message;
+  message.type = net::MessageType::kScheduleDelta;
+  message.epoch = epoch;
+  message.base_epoch = epoch - 1;
+  message.schedule.swap(entries_scratch_);
+  message.removals.swap(removals_scratch_);
+  net::Buffer& delta_out = takeShared(delta_scratch_);
+  net::encodeMessage(message, delta_out);
+  message.schedule.swap(entries_scratch_);
+  message.removals.swap(removals_scratch_);
+  bool snapshot_encoded = false;
+
+  std::vector<std::uint64_t> keys;
+  keys.reserve(peers_.size());
+  for (const auto& [key, peer] : peers_) {
+    if (peer.is_daemon) keys.push_back(key);
+  }
+  for (const std::uint64_t key : keys) {
+    const auto it = peers_.find(key);
+    if (it == peers_.end()) continue;
+    Peer& peer = it->second;
+    if (!peer.connection || peer.connection->closed()) continue;
+    const bool want_snapshot =
+        peer.needs_snapshot ||
+        (config_.snapshot_every > 0 &&
+         peer.frames_since_snapshot >= config_.snapshot_every);
+    if (want_snapshot) {
+      if (!snapshot_encoded) {
+        message.type = net::MessageType::kScheduleUpdate;
+        message.base_epoch = 0;
+        message.removals.clear();
+        message.schedule.swap(entries_scratch_);
+        state_.snapshotEntries(message.schedule);
+        net::Buffer& snap_out = takeShared(snapshot_scratch_);
+        net::encodeMessage(message, snap_out);
+        message.schedule.swap(entries_scratch_);
+        snapshot_encoded = true;
+      }
+      peer.connection->sendFrame(snapshot_scratch_);
+      peer.needs_snapshot = false;
+      peer.frames_since_snapshot = 0;
+      stats_.snapshot_broadcasts.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      peer.connection->sendFrame(delta_scratch_);
+      ++peer.frames_since_snapshot;
+      (changed ? stats_.delta_broadcasts : stats_.broadcasts_suppressed)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::unordered_map<coflow::CoflowId, double> Coordinator::globalSizes() {
+  if (!running_.load(std::memory_order_relaxed)) return state_.globalSizes();
+  std::promise<std::unordered_map<coflow::CoflowId, double>> promise;
+  auto future = promise.get_future();
+  loop_.post([this, &promise] { promise.set_value(state_.globalSizes()); });
+  return future.get();
 }
 
 }  // namespace aalo::runtime

@@ -6,6 +6,14 @@
 // and independent of the number of coflows (§3.2): one report in and one
 // broadcast out per daemon per round.
 //
+// Delta-coded data path (default): size reports are folded into an
+// incrementally maintained ScheduleState as they arrive, and each round
+// broadcasts only what changed (kScheduleDelta) — an empty heartbeat when
+// nothing did — with per-peer full snapshots on connect, on request, and
+// every snapshot_every frames. The broadcast payload is encoded once and
+// fanned out zero-copy. full_broadcasts restores the rebuild-the-world
+// oracle path for A/B comparison.
+//
 // Fault tolerance (§3.2 hardening):
 //  * Liveness eviction — a daemon whose reports stop for N·Δ is dropped
 //    (connection closed, its reported sizes discarded) so a hung machine
@@ -29,6 +37,7 @@
 #include "net/connection.h"
 #include "net/event_loop.h"
 #include "runtime/robustness.h"
+#include "runtime/schedule_state.h"
 #include "sched/dclas.h"
 
 namespace aalo::runtime {
@@ -54,6 +63,16 @@ struct CoordinatorConfig {
   /// Collect an unregister tombstone after no report has mentioned the
   /// coflow for this many sync intervals. 0 keeps tombstones forever.
   int tombstone_gc_intervals = 50;
+  /// Delta mode: re-send a full schedule snapshot to each daemon after
+  /// this many consecutive delta/heartbeat frames, bounding how long a
+  /// daemon whose state silently diverged (e.g. bit corruption the frame
+  /// checks missed) can stay wrong. 0 = snapshots only on demand
+  /// (connect / kSnapshotRequest).
+  int snapshot_every = 20;
+  /// Oracle mode: rebuild and broadcast the full schedule every Δ exactly
+  /// as the pre-delta coordinator did. Deltas and suppression are
+  /// disabled; kept for A/B benchmarking and the equivalence tests.
+  bool full_broadcasts = false;
 };
 
 class Coordinator {
@@ -87,6 +106,10 @@ class Coordinator {
 
   const RobustnessStats& stats() const { return stats_; }
 
+  /// Test/diagnostic accessor: the coordinator's current global coflow
+  /// sizes. Thread-safe (hops onto the loop thread while running).
+  std::unordered_map<coflow::CoflowId, double> globalSizes();
+
  private:
   using TimePoint = net::EventLoop::Clock::time_point;
 
@@ -97,6 +120,11 @@ class Coordinator {
     TimePoint last_report{};        ///< Last Hello or size report.
     std::uint64_t echoed_epoch = 0; ///< Highest epoch echoed in a report.
     TimePoint last_echo_advance{};  ///< When echoed_epoch last grew.
+    /// Next broadcast to this peer must be a full snapshot: set at
+    /// connect (no base state to delta from) and on kSnapshotRequest.
+    bool needs_snapshot = true;
+    /// Frames sent since the last snapshot (periodic full refresh).
+    int frames_since_snapshot = 0;
   };
 
   void onAcceptable();
@@ -105,6 +133,8 @@ class Coordinator {
   void evictStalePeers(TimePoint now);
   void collectTombstones(TimePoint now);
   void broadcastSchedule();
+  void broadcastFull(std::uint64_t epoch);
+  void broadcastDelta(std::uint64_t epoch);
   void scheduleTick();
 
   CoordinatorConfig config_;
@@ -117,17 +147,24 @@ class Coordinator {
   // Loop-thread-only state.
   std::unordered_map<std::uint64_t, Peer> peers_;
   std::uint64_t next_peer_key_ = 1;
-  std::unordered_map<std::uint64_t,
-                     std::unordered_map<coflow::CoflowId, double>>
-      reported_sizes_;  // daemon_id -> coflow -> local bytes.
-  std::unordered_map<coflow::CoflowId, bool> registered_;
+  /// Incrementally maintained global sizes + queue assignments + sorted
+  /// schedule; also stores the raw per-daemon reports (the legacy oracle
+  /// rebuilds from those in full_broadcasts mode).
+  ScheduleState state_;
   /// Tombstones for explicit unregisters: daemons keep reporting absolute
   /// local sizes for completed coflows, and those must not resurface in
   /// schedules. Value = when a report last mentioned the coflow; GC'd by
   /// collectTombstones once every live daemon has pruned it.
   std::unordered_map<coflow::CoflowId, TimePoint> unregistered_;
   coflow::CoflowIdGenerator id_generator_;
-  std::vector<util::Bytes> thresholds_;
+  /// Broadcast scratch: schedule vectors and encode buffers reused across
+  /// rounds. The buffers are shared_ptr so N peers write the same bytes
+  /// (zero-copy fan-out); a buffer still referenced by a slow peer's send
+  /// queue is left alone and a fresh one is allocated (use_count check).
+  std::vector<net::ScheduleEntry> entries_scratch_;
+  std::vector<coflow::CoflowId> removals_scratch_;
+  std::shared_ptr<net::Buffer> delta_scratch_;
+  std::shared_ptr<net::Buffer> snapshot_scratch_;
 
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::size_t> daemon_count_{0};

@@ -55,6 +55,10 @@ bool Daemon::tryConnect() {
   conn_epoch_ = 0;
   seen_in_schedule_.clear();
   missed_schedules_.clear();
+  // The coordinator may be a restarted instance that knows nothing: the
+  // first report must re-teach it every absolute size (§3.2).
+  force_full_report_ = true;
+  reports_since_resync_ = 0;
   last_broadcast_ = net::EventLoop::Clock::now();
   next_backoff_ = config_.reconnect_interval;
   socket_connected_.store(true, std::memory_order_relaxed);
@@ -157,16 +161,64 @@ void Daemon::sendSizeReport() {
   // link: our reports arriving while this echo never advances means its
   // broadcasts are not reaching us.
   report.epoch = conn_epoch_;
+  bool full = config_.full_reports || force_full_report_;
+  if (!full && config_.resync_intervals > 0 &&
+      reports_since_resync_ + 1 >= config_.resync_intervals) {
+    full = true;
+  }
   {
     std::lock_guard lock(mutex_);
-    report.sizes.reserve(local_sent_.size());
-    for (const auto& [id, bytes] : local_sent_) {
-      report.sizes.push_back(net::CoflowSize{id, bytes});
+    if (full) {
+      report.sizes.reserve(local_sent_.size());
+      for (const auto& [id, bytes] : local_sent_) {
+        report.sizes.push_back(net::CoflowSize{id, bytes});
+      }
+    } else {
+      report.sizes.reserve(report_dirty_.size());
+      for (const auto& id : report_dirty_) {
+        // A dirty coflow may have been pruned since (completed): its
+        // absence from the report is exactly what the coordinator's
+        // tombstone expects.
+        const auto it = local_sent_.find(id);
+        if (it != local_sent_.end()) {
+          report.sizes.push_back(net::CoflowSize{id, it->second});
+        }
+      }
     }
+    report_dirty_.clear();
   }
-  net::Buffer out;
-  net::encodeMessage(report, out);
-  connection_->sendFrame(out);
+  // Nothing changed locally: suppress the frame entirely and let the
+  // keepalive cadence carry liveness + the epoch echo. The cadence must
+  // stay well under the coordinator's liveness_timeout_intervals (3 vs
+  // 10 by default) so an idle daemon is never mistaken for a dead one.
+  if (!full && report.sizes.empty() && config_.report_keepalive_intervals > 0 &&
+      ++ticks_since_report_ < config_.report_keepalive_intervals) {
+    stats_.reports_suppressed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ticks_since_report_ = 0;
+  if (full) {
+    force_full_report_ = false;
+    reports_since_resync_ = 0;
+    stats_.resync_reports.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++reports_since_resync_;
+    stats_.delta_reports.fetch_add(1, std::memory_order_relaxed);
+  }
+  encode_scratch_.clear();
+  net::encodeMessage(report, encode_scratch_);
+  connection_->sendFrame(encode_scratch_);
+}
+
+void Daemon::sendSnapshotRequest() {
+  if (!connection_ || connection_->closed()) return;
+  net::Message request;
+  request.type = net::MessageType::kSnapshotRequest;
+  request.daemon_id = config_.daemon_id;
+  request.epoch = conn_epoch_;
+  encode_scratch_.clear();
+  net::encodeMessage(request, encode_scratch_);
+  connection_->sendFrame(encode_scratch_);
 }
 
 void Daemon::onMessage(net::Buffer& payload) {
@@ -178,7 +230,14 @@ void Daemon::onMessage(net::Buffer& payload) {
     AALO_LOG_WARN << "daemon " << config_.daemon_id << ": bad frame: " << e.what();
     return;
   }
-  if (message.type != net::MessageType::kScheduleUpdate) return;
+  if (message.type == net::MessageType::kScheduleUpdate) {
+    applyScheduleUpdate(message);
+  } else if (message.type == net::MessageType::kScheduleDelta) {
+    applyScheduleDelta(message);
+  }
+}
+
+void Daemon::applyScheduleUpdate(const net::Message& message) {
   // Any broadcast — even a stale one — proves the coordinator->daemon
   // path is alive.
   last_broadcast_ = net::EventLoop::Clock::now();
@@ -188,24 +247,61 @@ void Daemon::onMessage(net::Buffer& payload) {
     stats_.old_epoch_ignored.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  conn_epoch_ = message.epoch;
-
-  std::unordered_set<coflow::CoflowId> scheduled_now;
-  scheduled_now.reserve(message.schedule.size());
-  for (const auto& e : message.schedule) scheduled_now.insert(e.id);
   {
     std::lock_guard lock(mutex_);
-    schedule_ = message.schedule;
     queue_of_.clear();
     on_.clear();
-    for (const auto& e : schedule_) {
+    for (const auto& e : message.schedule) {
       queue_of_[e.id] = e.queue;
       on_[e.id] = e.on;
     }
   }
-  pruneCompleted(scheduled_now);
-  for (const auto& e : message.schedule) seen_in_schedule_.insert(e.id);
-  last_epoch_.store(message.epoch, std::memory_order_relaxed);
+  finishApply(message.epoch);
+}
+
+void Daemon::applyScheduleDelta(const net::Message& message) {
+  if (message.epoch <= conn_epoch_) {
+    // Duplicated or reordered delta: old epochs never overwrite newer
+    // state — but the frame still proves the receive path is alive.
+    last_broadcast_ = net::EventLoop::Clock::now();
+    stats_.old_epoch_ignored.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (message.base_epoch != conn_epoch_) {
+    // Epoch gap: a broadcast between base_epoch and our applied state was
+    // lost, so this delta does not compose with what we have. Ask for a
+    // snapshot and force a full report (the coordinator may have
+    // restarted). last_broadcast_ is deliberately NOT advanced: a daemon
+    // fed only un-appliable deltas must still degrade to local-only mode.
+    stats_.schedule_gaps.fetch_add(1, std::memory_order_relaxed);
+    force_full_report_ = true;
+    sendSnapshotRequest();
+    return;
+  }
+  last_broadcast_ = net::EventLoop::Clock::now();
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& e : message.schedule) {
+      queue_of_[e.id] = e.queue;
+      on_[e.id] = e.on;
+    }
+    for (const auto& id : message.removals) {
+      queue_of_.erase(id);
+      on_.erase(id);
+    }
+  }
+  stats_.schedule_deltas_applied.fetch_add(1, std::memory_order_relaxed);
+  finishApply(message.epoch);
+}
+
+void Daemon::finishApply(std::uint64_t epoch) {
+  conn_epoch_ = epoch;
+  pruneCompleted();
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& kv : queue_of_) seen_in_schedule_.insert(kv.first);
+  }
+  last_epoch_.store(epoch, std::memory_order_relaxed);
   if (!schedule_fresh_.exchange(true, std::memory_order_relaxed)) {
     stats_.stale_recoveries.fetch_add(1, std::memory_order_relaxed);
     AALO_LOG_INFO << "daemon " << config_.daemon_id
@@ -213,8 +309,7 @@ void Daemon::onMessage(net::Buffer& payload) {
   }
 }
 
-void Daemon::pruneCompleted(
-    const std::unordered_set<coflow::CoflowId>& scheduled_now) {
+void Daemon::pruneCompleted() {
   std::lock_guard lock(mutex_);
   // A coflow this connection has seen scheduled that has now vanished was
   // unregistered at the coordinator: drop its local accounting so reports
@@ -222,7 +317,7 @@ void Daemon::pruneCompleted(
   // Coflows with a live local writer are kept — they are not done here,
   // and their reports keep the tombstone alive, which is correct.
   for (auto it = seen_in_schedule_.begin(); it != seen_in_schedule_.end();) {
-    if (scheduled_now.contains(*it)) {
+    if (queue_of_.contains(*it)) {
       ++it;
       continue;
     }
@@ -244,7 +339,7 @@ void Daemon::pruneCompleted(
   // triggering a premature prune.
   for (auto it = local_sent_.begin(); it != local_sent_.end();) {
     const coflow::CoflowId id = it->first;
-    if (scheduled_now.contains(id) || seen_in_schedule_.contains(id) ||
+    if (queue_of_.contains(id) || seen_in_schedule_.contains(id) ||
         active_writers_.contains(id)) {
       missed_schedules_.erase(id);
       ++it;
@@ -263,6 +358,7 @@ void Daemon::pruneCompleted(
 void Daemon::reportBytes(coflow::CoflowId id, util::Bytes delta) {
   std::lock_guard lock(mutex_);
   local_sent_[id] += delta;
+  report_dirty_.insert(id);
 }
 
 void Daemon::writerActive(coflow::CoflowId id, bool active) {
@@ -275,12 +371,7 @@ void Daemon::writerActive(coflow::CoflowId id, bool active) {
 int Daemon::localQueueLocked(coflow::CoflowId id) const {
   const auto it = local_sent_.find(id);
   const util::Bytes bytes = it == local_sent_.end() ? 0 : it->second;
-  int queue = 0;
-  while (queue < static_cast<int>(thresholds_.size()) &&
-         bytes >= thresholds_[static_cast<std::size_t>(queue)]) {
-    ++queue;
-  }
-  return queue;
+  return sched::queueForSize(thresholds_, bytes);
 }
 
 int Daemon::queueOf(coflow::CoflowId id) const {

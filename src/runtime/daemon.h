@@ -6,6 +6,12 @@
 // has never seen in a schedule are treated as highest priority (new ==
 // likely small, §3.2).
 //
+// Delta-coded data path (default): reports carry only the coflows whose
+// local bytes changed since the last report (absolute values, so each
+// report is self-sufficient per coflow), with periodic full resyncs;
+// schedule updates arrive as kScheduleDelta frames chained by epoch — a
+// detected gap triggers a kSnapshotRequest and a forced full report.
+//
 // Fault tolerance (§3.2 hardening):
 //  * Reconnects use exponential backoff with decorrelated jitter (seeded,
 //    so failure scenarios replay deterministically); absolute local sizes
@@ -67,6 +73,21 @@ struct DaemonConfig {
   /// config. Local bytes lower-bound the global size, so the local queue
   /// never promotes a coflow above what the global schedule would assign.
   sched::DClasConfig dclas;
+  /// Delta reports: every report carries only the coflows whose local
+  /// bytes changed since the previous one (absolute values), with a full
+  /// absolute resync every this many reports — the §3.2 safety net that
+  /// re-teaches a restarted coordinator. Forced resyncs (reconnect, epoch
+  /// gap) happen regardless. 0 = forced resyncs only.
+  int resync_intervals = 10;
+  /// Oracle mode: report every locally accounted coflow each Δ exactly as
+  /// the pre-delta daemon did. Kept for A/B benchmarking and the
+  /// equivalence tests.
+  bool full_reports = false;
+  /// Delta reports with no changed coflows are suppressed entirely,
+  /// except every this many ticks an empty keepalive still goes out so
+  /// the coordinator's liveness watchdog and epoch-echo keep working.
+  /// Must stay below liveness_timeout_intervals; 0 = report every Δ.
+  int report_keepalive_intervals = 3;
 };
 
 class Daemon {
@@ -121,13 +142,20 @@ class Daemon {
  private:
   void sendHello();
   void sendSizeReport();
+  void sendSnapshotRequest();
   void checkScheduleFreshness();
   void scheduleTick();
   void scheduleReconnect();
   bool tryConnect();
   void onMessage(net::Buffer& payload);
-  void pruneCompleted(
-      const std::unordered_set<coflow::CoflowId>& scheduled_now);
+  void applyScheduleUpdate(const net::Message& message);
+  void applyScheduleDelta(const net::Message& message);
+  /// Post-apply bookkeeping shared by snapshots and deltas: prune, track
+  /// seen coflows, publish the epoch, leave local-only mode.
+  void finishApply(std::uint64_t epoch);
+  /// GC of local accounting for completed coflows; membership in the
+  /// applied schedule is read from queue_of_.
+  void pruneCompleted();
   /// Local D-CLAS: discretize locally attained bytes. Needs mutex_ held.
   int localQueueLocked(coflow::CoflowId id) const;
 
@@ -147,6 +175,15 @@ class Daemon {
   util::Seconds next_backoff_ = 0;
   std::uint64_t conn_epoch_ = 0;  ///< Highest epoch applied this connection.
   net::EventLoop::Clock::time_point last_broadcast_{};
+  /// Next size report must carry every coflow absolutely: set on (re)
+  /// connect and on an epoch gap, so a restarted coordinator re-learns
+  /// within one report (§3.2).
+  bool force_full_report_ = true;
+  int reports_since_resync_ = 0;
+  /// Ticks since a report actually went out (keepalive suppression).
+  int ticks_since_report_ = 0;
+  /// Reusable encode buffer for outgoing reports/requests.
+  net::Buffer encode_scratch_;
   /// Coflows some schedule on the current connection contained; one that
   /// later disappears from the schedule has been unregistered and its
   /// local accounting can be pruned.
@@ -159,10 +196,12 @@ class Daemon {
 
   mutable std::mutex mutex_;
   std::unordered_map<coflow::CoflowId, util::Bytes> local_sent_;
+  /// Coflows whose local_sent_ changed since the last report (delta
+  /// reports carry only these, still as absolute values).
+  std::unordered_set<coflow::CoflowId> report_dirty_;
   std::unordered_map<coflow::CoflowId, int> active_writers_;
   std::unordered_map<coflow::CoflowId, std::int32_t> queue_of_;
   std::unordered_map<coflow::CoflowId, bool> on_;
-  std::vector<net::ScheduleEntry> schedule_;
 
   RobustnessStats stats_;
 };

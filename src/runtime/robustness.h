@@ -21,6 +21,10 @@ struct RobustnessStats {
   Counter daemons_evicted{0};       ///< Liveness timeouts (reports stopped).
   Counter one_way_evictions{0};     ///< Echoed epoch stuck: send path dead.
   Counter tombstones_collected{0};  ///< Unregister tombstones GC'd.
+  Counter delta_broadcasts{0};      ///< kScheduleDelta frames sent (non-empty).
+  Counter broadcasts_suppressed{0}; ///< Unchanged schedule: heartbeat only.
+  Counter snapshot_broadcasts{0};   ///< Full kScheduleUpdate frames sent.
+  Counter snapshot_requests{0};     ///< kSnapshotRequest frames honored.
 
   // Daemon.
   Counter reconnect_attempts{0};       ///< Dial attempts after a loss.
@@ -29,6 +33,11 @@ struct RobustnessStats {
   Counter stale_recoveries{0};         ///< Left local-only mode.
   Counter old_epoch_ignored{0};        ///< Dup/reordered broadcasts dropped.
   Counter completed_coflows_pruned{0}; ///< Local sizes GC'd after completion.
+  Counter delta_reports{0};            ///< Changed-coflows-only size reports.
+  Counter reports_suppressed{0};       ///< Empty reports not sent (keepalive pacing).
+  Counter resync_reports{0};           ///< Full absolute size reports.
+  Counter schedule_deltas_applied{0};  ///< kScheduleDelta frames applied.
+  Counter schedule_gaps{0};            ///< Delta base_epoch mismatch: snapshot asked.
 
   // Client.
   Counter rpc_retries{0};     ///< RPC attempts beyond the first.

@@ -96,12 +96,16 @@ void DClasScheduler::setThresholds(std::vector<util::Bytes> thresholds) {
   ++schedule_epoch_;
 }
 
+int queueForSize(std::span<const util::Bytes> thresholds, util::Bytes size) {
+  // Queue = count of thresholds <= size, i.e. the partition point where
+  // the ascending threshold ladder first exceeds the attained size.
+  return static_cast<int>(
+      std::upper_bound(thresholds.begin(), thresholds.end(), size) -
+      thresholds.begin());
+}
+
 int DClasScheduler::queueOf(util::Bytes known_size) const {
-  int q = 0;
-  while (q < static_cast<int>(thresholds_.size()) && known_size >= thresholds_[q]) {
-    ++q;
-  }
-  return q;
+  return queueForSize(thresholds_, known_size);
 }
 
 util::Bytes DClasScheduler::knownSize(std::size_t coflow_index) const {

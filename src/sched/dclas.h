@@ -27,6 +27,14 @@
 
 namespace aalo::sched {
 
+/// 0-based D-CLAS queue for an attained size given ascending upper
+/// `thresholds` (one fewer than the number of queues; the last queue's
+/// bound is implicit at infinity): the number of thresholds at or below
+/// `size`, found with a binary search. Shared by the simulator scheduler,
+/// the runtime coordinator, and the daemon's local fallback so all three
+/// discretize identically.
+int queueForSize(std::span<const util::Bytes> thresholds, util::Bytes size);
+
 struct DClasConfig {
   /// Number of priority queues K (>= 1). Ignored when explicit_thresholds
   /// is non-empty.

@@ -1,0 +1,389 @@
+// Delta/full equivalence for the coordination plane.
+//
+// The delta-coded data path (incremental ScheduleState, kScheduleDelta
+// broadcasts, delta size reports) must be *observably identical* to the
+// rebuild-the-world oracle it replaced: same global sizes, same queue
+// assignments, same ON/OFF gating, same fault-tolerance behavior — under
+// clean links and under seeded chaos (drops, reordering, duplication,
+// eviction and rejoin). These tests pin that equivalence from two sides:
+// a seeded fuzz of ScheduleState against its legacy rebuild oracle, and a
+// full multi-daemon scenario executed once per mode with every observable
+// compared at the end.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/chaos.h"
+#include "runtime/client.h"
+#include "runtime/coordinator.h"
+#include "runtime/daemon.h"
+#include "runtime/schedule_state.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace aalo::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+void waitFor(auto predicate, std::chrono::milliseconds timeout = 5000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!predicate() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_TRUE(predicate()) << "timed out";
+}
+
+// ---------------------------------------------------------------------------
+// ScheduleState vs the legacy rebuild oracle, and the delta chain vs the
+// snapshot: a seeded op soup (register / unregister / size reports from 4
+// daemons / daemon drops) where after every round
+//  * snapshotEntries() must equal legacySchedule() entry for entry, and
+//  * a mirror fed only by buildDelta() outputs must equal the snapshot.
+// All byte values are integer multiples of 1 KB so floating-point sums are
+// exact regardless of summation order.
+
+void fuzzScheduleState(std::uint64_t seed, std::size_t max_on) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " max_on=" + std::to_string(max_on));
+  const std::vector<util::Bytes> thresholds = {
+      1 * util::kMB, 10 * util::kMB, 100 * util::kMB, 1 * util::kGB};
+  ScheduleState state(thresholds, max_on);
+  util::Rng rng(seed);
+
+  std::vector<coflow::CoflowId> live;
+  std::int64_t next_external = 1;
+  // Absolute per-(daemon, coflow) sizes the fuzz has "reported" so far.
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<coflow::CoflowId, double>>
+      reported;
+
+  struct MirrorEntry {
+    int queue = 0;
+    bool on = true;
+  };
+  // What a daemon that only ever received the delta chain believes.
+  std::unordered_map<coflow::CoflowId, MirrorEntry> mirror;
+
+  std::vector<net::ScheduleEntry> delta, snapshot, legacy;
+  std::vector<coflow::CoflowId> removals;
+
+  for (int round = 0; round < 300; ++round) {
+    const int ops = static_cast<int>(rng.uniformInt(1, 5));
+    for (int op = 0; op < ops; ++op) {
+      const double pick = rng.uniform(0, 1);
+      if (pick < 0.20 || live.empty()) {
+        const coflow::CoflowId id{next_external++, 0};
+        state.registerCoflow(id);
+        live.push_back(id);
+      } else if (pick < 0.30) {
+        const auto idx = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+        const coflow::CoflowId id = live[idx];
+        state.unregisterCoflow(id);
+        for (auto& [daemon, sizes] : reported) sizes.erase(id);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      } else if (pick < 0.92) {
+        const auto idx = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(live.size()) - 1));
+        const auto daemon = static_cast<std::uint64_t>(rng.uniformInt(0, 3));
+        double& bytes = reported[daemon][live[idx]];
+        bytes += static_cast<double>(rng.uniformInt(1, 20000)) * util::kKB;
+        state.applySize(daemon, live[idx], bytes);
+      } else {
+        const auto daemon = static_cast<std::uint64_t>(rng.uniformInt(0, 3));
+        state.dropDaemon(daemon);
+        reported.erase(daemon);
+      }
+    }
+
+    // One coordination round: drain the delta into the mirror daemon.
+    state.buildDelta(delta, removals);
+    for (const auto& e : delta) mirror[e.id] = {e.queue, e.on};
+    for (const auto& id : removals) mirror.erase(id);
+
+    state.snapshotEntries(snapshot);
+    state.legacySchedule({}, legacy);
+
+    ASSERT_EQ(snapshot.size(), legacy.size()) << "round " << round;
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      EXPECT_EQ(snapshot[i].id, legacy[i].id) << "round " << round;
+      EXPECT_EQ(snapshot[i].queue, legacy[i].queue) << "round " << round;
+      EXPECT_EQ(snapshot[i].on, legacy[i].on) << "round " << round;
+      EXPECT_EQ(snapshot[i].global_bytes, legacy[i].global_bytes)
+          << "round " << round;
+    }
+
+    ASSERT_EQ(mirror.size(), snapshot.size()) << "round " << round;
+    for (const auto& e : snapshot) {
+      const auto it = mirror.find(e.id);
+      ASSERT_NE(it, mirror.end()) << "round " << round;
+      EXPECT_EQ(it->second.queue, e.queue) << "round " << round;
+      EXPECT_EQ(it->second.on, e.on) << "round " << round;
+    }
+    if (::testing::Test::HasFailure()) return;  // One bad round is enough.
+  }
+}
+
+TEST(CoordinationEquivalence, ScheduleStateMatchesLegacyOracle) {
+  fuzzScheduleState(1, 0);
+  fuzzScheduleState(2, 0);
+}
+
+TEST(CoordinationEquivalence, ScheduleStateMatchesLegacyOracleWithOnBudget) {
+  fuzzScheduleState(3, 5);
+  fuzzScheduleState(4, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Full scenario, once per mode: coordinator + a clean daemon + a daemon
+// behind a seeded lossy ChaosProxy; size ramp, a lossy window, a liveness
+// eviction and rejoin, and an unregister. Every observable the data path
+// exposes must come out identical in delta and full mode. All sizes are
+// integer bytes, so cross-mode double comparisons are exact.
+
+struct ScenarioResult {
+  std::unordered_map<coflow::CoflowId, double> global;
+  int d1_queue_a = -1, d2_queue_a = -1;
+  bool d1_on_a = false, d2_on_a = false;
+  std::uint64_t evicted = 0;
+};
+
+ScenarioResult runScenario(bool full_mode) {
+  ScenarioResult result;
+
+  CoordinatorConfig ccfg;
+  ccfg.sync_interval = 0.005;
+  ccfg.dclas.num_queues = 4;
+  ccfg.dclas.first_threshold = 1 * util::kMB;
+  ccfg.dclas.exp_factor = 10;
+  ccfg.liveness_timeout_intervals = 50;  // Lossy reports must never evict.
+  ccfg.one_way_timeout_intervals = 200;
+  ccfg.full_broadcasts = full_mode;
+  ccfg.snapshot_every = 8;
+  Coordinator coordinator(ccfg);
+  coordinator.start();
+
+  DaemonConfig base;
+  base.coordinator_port = coordinator.port();
+  base.sync_interval = 0.005;
+  base.num_queues = 4;
+  base.dclas = ccfg.dclas;
+  base.full_reports = full_mode;
+  base.resync_intervals = 7;
+  base.reconnect_interval = 0.02;
+
+  DaemonConfig d1cfg = base;
+  d1cfg.daemon_id = 1;
+  Daemon d1(d1cfg);
+  d1.start();
+
+  // d2 talks through the chaos proxy; the link starts clean so the
+  // handshake is deterministic, mangling begins later.
+  net::ChaosProxyConfig pcfg;
+  pcfg.upstream_port = coordinator.port();
+  pcfg.seed = 1234;
+  net::ChaosProxy proxy(pcfg);
+  proxy.start();
+
+  DaemonConfig d2cfg = base;
+  d2cfg.daemon_id = 2;
+  d2cfg.coordinator_port = proxy.port();
+  Daemon d2(d2cfg);
+  d2.start();
+
+  waitFor([&] { return coordinator.daemonCount() == 2; });
+
+  AaloClient client(coordinator.port());
+  const auto a = client.registerCoflow();
+  const auto b = client.registerCoflow();
+
+  // Ramp: a reaches 8 MB split across both daemons (queue 1), b reaches
+  // 16 MB on d2 alone (queue 2).
+  for (int step = 0; step < 8; ++step) {
+    d1.reportBytes(a, 500 * util::kKB);
+    d2.reportBytes(a, 500 * util::kKB);
+    d2.reportBytes(b, 2 * util::kMB);
+    std::this_thread::sleep_for(10ms);
+  }
+  waitFor([&] {
+    const auto global = coordinator.globalSizes();
+    const auto a_it = global.find(a);
+    const auto b_it = global.find(b);
+    return a_it != global.end() && a_it->second == 8 * util::kMB &&
+           b_it != global.end() && b_it->second == 16 * util::kMB;
+  });
+  waitFor([&] {
+    return d1.queueOf(a) == 1 && d2.queueOf(a) == 1 && d1.queueOf(b) == 2 &&
+           d2.queueOf(b) == 2;
+  });
+
+  // Lossy window: broadcasts to d2 are dropped / reordered / duplicated.
+  // Delta mode must detect the gaps and repair itself with snapshots;
+  // full mode just re-applies newer epochs.
+  net::ChaosPolicy lossy_down;
+  lossy_down.drop = 0.25;
+  lossy_down.reorder = 0.2;
+  lossy_down.duplicate = 0.2;
+  net::ChaosPolicy lossy_up;
+  lossy_up.duplicate = 0.1;
+  proxy.setPolicies(lossy_up, lossy_down);
+  if (full_mode) {
+    std::this_thread::sleep_for(200ms);
+  } else {
+    waitFor([&] { return d2.stats().schedule_gaps.load() >= 1; });
+    waitFor([&] { return coordinator.stats().snapshot_requests.load() >= 1; });
+  }
+  proxy.setPolicies({}, {});
+  // Re-applied schedules must not have moved anything.
+  waitFor([&] { return d2.queueOf(a) == 1 && d2.queueOf(b) == 2; });
+
+  // Liveness eviction: d2's reports stop (uplink blackholed) until the
+  // coordinator drops it and subtracts its contributions...
+  net::ChaosPolicy blackhole_up;
+  blackhole_up.blackhole = true;
+  proxy.setPolicies(blackhole_up, {});
+  waitFor([&] { return coordinator.stats().daemons_evicted.load() == 1; });
+  waitFor([&] {
+    const auto global = coordinator.globalSizes();
+    const auto a_it = global.find(a);
+    return a_it != global.end() && a_it->second == 4 * util::kMB;
+  });
+  // ...then the link heals, any half-dead reconnect is severed, and the
+  // rejoining daemon's forced full report re-teaches the absolute sizes.
+  proxy.setPolicies({}, {});
+  proxy.killLink();
+  waitFor([&] { return coordinator.daemonCount() == 2; });
+  waitFor([&] {
+    const auto global = coordinator.globalSizes();
+    const auto a_it = global.find(a);
+    const auto b_it = global.find(b);
+    return a_it != global.end() && a_it->second == 8 * util::kMB &&
+           b_it != global.end() && b_it->second == 16 * util::kMB;
+  });
+  waitFor([&] { return d2.queueOf(a) == 1 && d2.queueOf(b) == 2; });
+
+  // Unregister b: it must vanish from the coordinator (tombstoned) and
+  // both daemons must prune its local accounting (queue falls back to 0).
+  client.unregisterCoflow(b);
+  waitFor([&] { return !coordinator.globalSizes().contains(b); });
+  waitFor([&] { return d1.queueOf(b) == 0 && d2.queueOf(b) == 0; });
+
+  if (!full_mode) {
+    // The delta machinery must actually have carried the scenario.
+    EXPECT_GT(coordinator.stats().delta_broadcasts.load(), 0u);
+    EXPECT_GT(coordinator.stats().broadcasts_suppressed.load(), 0u);
+    EXPECT_GT(coordinator.stats().snapshot_broadcasts.load(), 0u);
+    EXPECT_GT(d2.stats().schedule_deltas_applied.load(), 0u);
+    EXPECT_GT(d1.stats().delta_reports.load(), 0u);
+    EXPECT_GE(d1.stats().resync_reports.load(), 1u);
+  } else {
+    // Oracle mode must not have used the delta path at all.
+    EXPECT_EQ(coordinator.stats().delta_broadcasts.load(), 0u);
+    EXPECT_EQ(coordinator.stats().broadcasts_suppressed.load(), 0u);
+    EXPECT_EQ(d2.stats().schedule_gaps.load(), 0u);
+    EXPECT_EQ(d1.stats().delta_reports.load(), 0u);
+  }
+
+  result.global = coordinator.globalSizes();
+  result.d1_queue_a = d1.queueOf(a);
+  result.d2_queue_a = d2.queueOf(a);
+  result.d1_on_a = d1.isOn(a);
+  result.d2_on_a = d2.isOn(a);
+  result.evicted = coordinator.stats().daemons_evicted.load();
+
+  d2.stop();
+  d1.stop();
+  proxy.stop();
+  coordinator.stop();
+  return result;
+}
+
+TEST(CoordinationEquivalence, DeltaModeMatchesFullModeUnderChaos) {
+  const ScenarioResult full = runScenario(true);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+  const ScenarioResult delta = runScenario(false);
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  EXPECT_EQ(full.global.size(), delta.global.size());
+  for (const auto& [id, bytes] : full.global) {
+    const auto it = delta.global.find(id);
+    ASSERT_NE(it, delta.global.end());
+    EXPECT_EQ(it->second, bytes);  // Integer bytes: exact across modes.
+  }
+  EXPECT_EQ(full.d1_queue_a, delta.d1_queue_a);
+  EXPECT_EQ(full.d2_queue_a, delta.d2_queue_a);
+  EXPECT_EQ(full.d1_on_a, delta.d1_on_a);
+  EXPECT_EQ(full.d2_on_a, delta.d2_on_a);
+  EXPECT_EQ(full.evicted, delta.evicted);
+}
+
+// ---------------------------------------------------------------------------
+// §3.2 restart guarantee under delta reports: with the periodic resync
+// effectively disabled, reconnecting to a restarted (amnesiac)
+// coordinator must force exactly one full report that re-teaches every
+// absolute size — the queue jumps straight to its true value, not through
+// the intermediate queues.
+
+TEST(CoordinationEquivalence, RestartedCoordinatorIsRetaughtByOneForcedResync) {
+  CoordinatorConfig ccfg;
+  ccfg.sync_interval = 0.005;
+  ccfg.dclas.num_queues = 4;
+  ccfg.dclas.first_threshold = 1 * util::kMB;
+  ccfg.dclas.exp_factor = 10;
+  auto coordinator = std::make_unique<Coordinator>(ccfg);
+  coordinator->start();
+  const std::uint16_t port = coordinator->port();
+
+  DaemonConfig dcfg;
+  dcfg.coordinator_port = port;
+  dcfg.daemon_id = 9;
+  dcfg.sync_interval = 0.005;
+  dcfg.num_queues = 4;
+  dcfg.dclas = ccfg.dclas;
+  dcfg.resync_intervals = 100000;  // Periodic resync out of the picture.
+  dcfg.reconnect_interval = 0.02;
+  Daemon daemon(dcfg);
+  daemon.start();
+
+  AaloClient client(port);
+  const auto big = client.registerCoflow();
+  daemon.reportBytes(big, 50 * util::kMB);  // Queue 2 (1 MB / 10 MB / 100 MB).
+  waitFor([&] {
+    const auto global = coordinator->globalSizes();
+    const auto it = global.find(big);
+    return it != global.end() && it->second == 50 * util::kMB;
+  });
+  waitFor([&] { return daemon.queueOf(big) == 2; });
+  const std::uint64_t resyncs_before = daemon.stats().resync_reports.load();
+
+  // Coordinator dies and a blank replacement comes up on the same port:
+  // no registrations, no sizes, no tombstones.
+  coordinator.reset();
+  ccfg.port = port;
+  Coordinator reborn(ccfg);
+  reborn.start();
+
+  // The reconnect-forced resync re-teaches the exact absolute size; the
+  // coflow goes straight back to queue 2 (no climb through queue 0/1 —
+  // queueOf is the max of local and global knowledge throughout).
+  waitFor([&] {
+    const auto global = reborn.globalSizes();
+    const auto it = global.find(big);
+    return it != global.end() && it->second == 50 * util::kMB;
+  });
+  EXPECT_EQ(daemon.queueOf(big), 2);
+  // Exactly one forced full report did the re-teaching.
+  EXPECT_EQ(daemon.stats().resync_reports.load(), resyncs_before + 1);
+  EXPECT_GE(daemon.stats().reconnects.load(), 2u);
+
+  daemon.stop();
+  reborn.stop();
+}
+
+}  // namespace
+}  // namespace aalo::runtime

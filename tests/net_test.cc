@@ -100,6 +100,29 @@ TEST(Protocol, AllMessageTypesRoundTrip) {
     m.schedule = {{{1, 0}, 1e6, 0}, {{2, 0}, 2.5e9, 3}};
     messages.push_back(m);
   }
+  {
+    Message m;
+    m.type = MessageType::kScheduleDelta;
+    m.epoch = 100;
+    m.base_epoch = 99;
+    m.schedule = {{{3, 1}, 5e7, 2, false}};
+    m.removals = {{1, 0}, {2, 0}};
+    messages.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MessageType::kScheduleDelta;  // Heartbeat: empty delta.
+    m.epoch = 101;
+    m.base_epoch = 100;
+    messages.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MessageType::kSnapshotRequest;
+    m.daemon_id = 4;
+    m.epoch = 83;
+    messages.push_back(m);
+  }
 
   for (const Message& m : messages) {
     Buffer buffer;
@@ -109,11 +132,77 @@ TEST(Protocol, AllMessageTypesRoundTrip) {
     EXPECT_EQ(decoded.daemon_id, m.daemon_id);
     EXPECT_EQ(decoded.request_id, m.request_id);
     EXPECT_EQ(decoded.epoch, m.epoch);
+    EXPECT_EQ(decoded.base_epoch, m.base_epoch);
     EXPECT_EQ(decoded.coflow, m.coflow);
     EXPECT_EQ(decoded.parents, m.parents);
     EXPECT_EQ(decoded.sizes, m.sizes);
     EXPECT_EQ(decoded.schedule, m.schedule);
+    EXPECT_EQ(decoded.removals, m.removals);
   }
+}
+
+// Golden bytes: the kScheduleDelta layout is a cross-version compatibility
+// contract (mixed coordinator/daemon versions during a rolling restart),
+// so an accidental field reorder must fail loudly, not just round-trip.
+TEST(Protocol, ScheduleDeltaGoldenWireFormat) {
+  Message m;
+  m.type = MessageType::kScheduleDelta;
+  m.epoch = 3;
+  m.base_epoch = 2;
+  m.schedule = {{{1, 2}, 1.5, 4, true}};
+  m.removals = {{7, 0}};
+  Buffer buffer;
+  encodeMessage(m, buffer);
+
+  const std::uint8_t expected[] = {
+      0x07,                                            // type
+      0x03, 0, 0, 0, 0, 0, 0, 0,                       // epoch = 3
+      0x02, 0, 0, 0, 0, 0, 0, 0,                       // base_epoch = 2
+      0x01, 0, 0, 0,                                   // 1 entry
+      0x01, 0, 0, 0, 0, 0, 0, 0,                       // id.external = 1
+      0x02, 0, 0, 0,                                   // id.internal = 2
+      0, 0, 0, 0, 0, 0, 0xF8, 0x3F,                    // bytes = 1.5
+      0x04, 0, 0, 0,                                   // queue = 4
+      0x01,                                            // on
+      0x01, 0, 0, 0,                                   // 1 removal
+      0x07, 0, 0, 0, 0, 0, 0, 0,                       // removal.external = 7
+      0x00, 0, 0, 0,                                   // removal.internal = 0
+  };
+  const auto view = buffer.readable();
+  ASSERT_EQ(view.size(), sizeof(expected));
+  for (std::size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(view[i], expected[i]) << "byte " << i;
+  }
+
+  const Message decoded = decodeMessage(buffer);
+  EXPECT_EQ(decoded.epoch, 3u);
+  EXPECT_EQ(decoded.base_epoch, 2u);
+  EXPECT_EQ(decoded.schedule, m.schedule);
+  EXPECT_EQ(decoded.removals, m.removals);
+}
+
+TEST(Protocol, RejectsTruncatedScheduleDelta) {
+  Message m;
+  m.type = MessageType::kScheduleDelta;
+  m.epoch = 10;
+  m.base_epoch = 9;
+  m.schedule = {{{1, 0}, 2e6, 1, true}, {{2, 0}, 3e9, 5, false}};
+  m.removals = {{3, 0}};
+  Buffer full;
+  encodeMessage(m, full);
+  const auto bytes = full.readable();
+  // Every proper prefix must be rejected (truncation => underrun), never
+  // silently decoded as a shorter delta.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    Buffer truncated;
+    truncated.append(bytes.data(), len);
+    EXPECT_THROW(decodeMessage(truncated), std::exception) << "length " << len;
+  }
+  // And one extra byte is trailing garbage.
+  Buffer extended;
+  extended.append(bytes.data(), bytes.size());
+  extended.putU8(0);
+  EXPECT_THROW(decodeMessage(extended), std::runtime_error);
 }
 
 TEST(Protocol, RejectsUnknownTypeAndTrailingBytes) {
@@ -266,6 +355,86 @@ TEST_F(ConnectionFixture, LargeFrameSurvivesPartialWrites) {
   client.sendFrame(std::span<const std::uint8_t>(blob));
   pump(loop, [&] { return got == blob.size(); }, 5000);
   EXPECT_EQ(got, blob.size());
+}
+
+TEST_F(ConnectionFixture, SharedFrameDeliversAndReleasesBuffer) {
+  EventLoop loop;
+  std::vector<std::string> got;
+  Connection server(loop, std::move(server_fd_),
+                    [&](Buffer& p) { got.push_back(p.getString()); }, {});
+  Connection client(loop, std::move(client_fd_), {}, {});
+
+  auto shared = std::make_shared<Buffer>();
+  shared->putString("broadcast-payload");
+  client.sendFrame(std::shared_ptr<const Buffer>(shared));
+  pump(loop, [&] { return !got.empty(); });
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "broadcast-payload");
+  // Fully flushed: the connection must have dropped its reference so the
+  // sender can reuse the buffer as scratch (use_count()==1 check).
+  pump(loop, [&] { return shared.use_count() == 1; });
+  EXPECT_EQ(shared.use_count(), 1);
+  EXPECT_EQ(client.pendingBytes(), 0u);
+}
+
+TEST_F(ConnectionFixture, SharedAndCopiedFramesInterleaveInOrder) {
+  EventLoop loop;
+  std::vector<std::string> got;
+  Connection server(loop, std::move(server_fd_),
+                    [&](Buffer& p) { got.push_back(p.getString()); }, {});
+  Connection client(loop, std::move(client_fd_), {}, {});
+
+  auto shared = std::make_shared<Buffer>();
+  shared->putString("two");
+  Buffer first, third;
+  first.putString("one");
+  third.putString("three");
+  client.sendFrame(first);
+  client.sendFrame(std::shared_ptr<const Buffer>(shared));
+  client.sendFrame(third);
+  pump(loop, [&] { return got.size() == 3; });
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "one");
+  EXPECT_EQ(got[1], "two");
+  EXPECT_EQ(got[2], "three");
+}
+
+TEST_F(ConnectionFixture, SharedFrameFanoutToManyPeers) {
+  EventLoop loop;
+  constexpr int kPeers = 8;
+  // One listener, kPeers client connections: every peer must receive the
+  // same bytes from a single shared encode.
+  auto [listener, port] = listenTcp(0);
+  std::vector<std::unique_ptr<Connection>> senders;
+  std::vector<std::unique_ptr<Connection>> receivers;
+  int received = 0;
+  for (int i = 0; i < kPeers; ++i) {
+    Fd client = connectTcp(port);
+    Fd server;
+    for (int t = 0; t < 100 && !server.valid(); ++t) {
+      server = acceptTcp(listener.get());
+      if (!server.valid()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(server.valid());
+    receivers.push_back(std::make_unique<Connection>(
+        loop, std::move(client),
+        [&](Buffer& p) {
+          EXPECT_EQ(p.getString(), "fanout");
+          ++received;
+        },
+        nullptr));
+    senders.push_back(
+        std::make_unique<Connection>(loop, std::move(server), nullptr, nullptr));
+  }
+  auto shared = std::make_shared<Buffer>();
+  shared->putString("fanout");
+  for (auto& sender : senders) {
+    sender->sendFrame(std::shared_ptr<const Buffer>(shared));
+  }
+  pump(loop, [&] { return received == kPeers; });
+  EXPECT_EQ(received, kPeers);
+  pump(loop, [&] { return shared.use_count() == 1; });
+  EXPECT_EQ(shared.use_count(), 1);
 }
 
 TEST_F(ConnectionFixture, PeerCloseTriggersHandler) {

@@ -2,10 +2,13 @@
 //
 //   aalo_coordinator [--port P] [--delta MS] [--queues K] [--q1 BYTES]
 //                    [--factor E] [--max-on N] [--liveness-timeout N]
-//                    [--one-way-timeout N] [--tombstone-gc N] [--verbose]
+//                    [--one-way-timeout N] [--tombstone-gc N]
+//                    [--snapshot-every N] [--full-broadcasts] [--verbose]
 //
 // The three timeout flags are in units of sync intervals (N * delta); 0
-// disables the corresponding watchdog.
+// disables the corresponding watchdog. --snapshot-every bounds how many
+// consecutive delta frames a daemon sees before a full schedule refresh;
+// --full-broadcasts disables the delta path entirely (oracle mode).
 //
 // Prints one status line per second (daemons, registered coflows, epoch).
 // Terminate with SIGINT/SIGTERM.
@@ -34,7 +37,8 @@ void onSignal(int) { g_stop = true; }
                "usage: aalo_coordinator [--port P] [--delta MS] [--queues K]\n"
                "                        [--q1 BYTES] [--factor E] [--max-on N]\n"
                "                        [--liveness-timeout N] [--one-way-timeout N]\n"
-               "                        [--tombstone-gc N] [--verbose]\n");
+               "                        [--tombstone-gc N] [--snapshot-every N]\n"
+               "                        [--full-broadcasts] [--verbose]\n");
   std::exit(2);
 }
 
@@ -69,6 +73,10 @@ int main(int argc, char** argv) {
       cfg.one_way_timeout_intervals = std::atoi(needValue("--one-way-timeout"));
     } else if (!std::strcmp(argv[i], "--tombstone-gc")) {
       cfg.tombstone_gc_intervals = std::atoi(needValue("--tombstone-gc"));
+    } else if (!std::strcmp(argv[i], "--snapshot-every")) {
+      cfg.snapshot_every = std::atoi(needValue("--snapshot-every"));
+    } else if (!std::strcmp(argv[i], "--full-broadcasts")) {
+      cfg.full_broadcasts = true;
     } else if (!std::strcmp(argv[i], "--verbose")) {
       util::setLogLevel(util::LogLevel::kInfo);
     } else {

@@ -7,6 +7,7 @@
 //               [--duration SEC]
 //               [--reconnect MS] [--reconnect-max-backoff MS]
 //               [--stale-intervals N]
+//               [--resync-intervals N] [--full-reports]
 //               [--chaos-seed S] [--chaos-drop P] [--chaos-dup P]
 //               [--chaos-reorder P] [--chaos-corrupt P] [--chaos-truncate P]
 //               [--chaos-delay P] [--chaos-split BYTES]
@@ -47,6 +48,7 @@ void onSignal(int) { g_stop = true; }
                "                   [--duration SEC]\n"
                "                   [--reconnect MS] [--reconnect-max-backoff MS]\n"
                "                   [--stale-intervals N]\n"
+               "                   [--resync-intervals N] [--full-reports]\n"
                "                   [--chaos-seed S] [--chaos-drop P] [--chaos-dup P]\n"
                "                   [--chaos-reorder P] [--chaos-corrupt P]\n"
                "                   [--chaos-truncate P] [--chaos-delay P]\n"
@@ -95,6 +97,10 @@ int main(int argc, char** argv) {
           std::atof(needValue("--reconnect-max-backoff")) * util::kMillisecond;
     } else if (!std::strcmp(argv[i], "--stale-intervals")) {
       cfg.stale_after_intervals = std::atoi(needValue("--stale-intervals"));
+    } else if (!std::strcmp(argv[i], "--resync-intervals")) {
+      cfg.resync_intervals = std::atoi(needValue("--resync-intervals"));
+    } else if (!std::strcmp(argv[i], "--full-reports")) {
+      cfg.full_reports = true;
     } else if (!std::strcmp(argv[i], "--chaos-seed")) {
       chaos_seed = std::strtoull(needValue("--chaos-seed"), nullptr, 10);
       use_chaos = true;

@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Records the coordination data-path A/B (full vs delta mode, real
+# loopback sockets, panel (a) of the Figure 14 bench) as JSON so
+# successive PRs can diff round times and bytes-on-wire.
+#
+#   tools/bench_net_record.sh [build-dir] [output-json]
+#
+# Defaults: build-dir = build-release (the "release" CMake preset),
+# output = BENCH_net.json (repo root). Compare against the committed
+# BENCH_net.json:
+#
+#   git diff -- BENCH_net.json
+#
+# Recording from an unoptimized build would poison the trajectory, so a
+# build dir whose CMAKE_BUILD_TYPE is not Release/RelWithDebInfo is
+# refused. Set AALO_BENCH_ALLOW_UNOPTIMIZED=1 to record anyway (the
+# JSON will still reflect the slow build — don't commit it).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-release"}
+out=${2:-"$repo_root/BENCH_net.json"}
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+fi
+
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt")
+case "$build_type" in
+  Release|RelWithDebInfo) ;;
+  *)
+    if [ "${AALO_BENCH_ALLOW_UNOPTIMIZED:-0}" != "1" ]; then
+      echo "bench_net_record: refusing to record from '$build_dir'" >&2
+      echo "bench_net_record: CMAKE_BUILD_TYPE is '${build_type:-unset}', need Release or RelWithDebInfo" >&2
+      echo "bench_net_record: use 'cmake --preset release && cmake --build --preset release'," >&2
+      echo "bench_net_record: or set AALO_BENCH_ALLOW_UNOPTIMIZED=1 to override" >&2
+      exit 1
+    fi
+    echo "bench_net_record: WARNING recording from unoptimized build ($build_type)" >&2
+    ;;
+esac
+
+cmake --build "$build_dir" -j --target bench_fig14_scalability
+
+"$build_dir/bench/bench_fig14_scalability" --json "$out"
+
+echo "wrote $out" >&2
