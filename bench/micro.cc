@@ -9,6 +9,7 @@
 #include "net/connection.h"
 #include "net/event_loop.h"
 #include "net/protocol.h"
+#include "obs/metrics.h"
 #include "runtime/schedule_state.h"
 
 using namespace aalo;
@@ -216,6 +217,76 @@ void BM_SimulatorEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatorEndToEnd)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+// Instrumented A/B for BM_SimulatorEndToEnd: identical run with
+// SimOptions::metrics set, so every result is folded into a live
+// obs::Registry. The acceptance bar for the observability layer is <2%
+// overhead versus the stub (metrics == nullptr) variant above.
+void BM_SimulatorEndToEndMetrics(benchmark::State& state) {
+  const auto wl = bench::standardWorkload(static_cast<std::size_t>(state.range(0)),
+                                          40, 99);
+  obs::Registry registry;
+  sim::SimOptions opts;
+  opts.metrics = &registry;
+  for (auto _ : state) {
+    auto aalo = bench::makeAalo();
+    const auto result =
+        sim::runSimulation(wl, bench::standardFabric(), *aalo, opts);
+    benchmark::DoNotOptimize(result.makespan);
+    state.counters["rounds"] = static_cast<double>(result.allocation_rounds);
+  }
+}
+BENCHMARK(BM_SimulatorEndToEndMetrics)
+    ->Arg(50)
+    ->Arg(150)
+    ->Unit(benchmark::kMillisecond);
+
+// Raw cost of the metrics primitives: the per-increment price paid at
+// every instrumented site (counter add, histogram observe, gauge set) and
+// the cold-path exposition renders. Counter/histogram numbers are the
+// hot-path contract — they must stay in the few-nanosecond range for the
+// <2% end-to-end bound to hold.
+void BM_MetricsOverhead(benchmark::State& state) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("bench_counter_total", "bench");
+  obs::Gauge& gauge = registry.gauge("bench_gauge", "bench");
+  obs::LatencyHistogram& histogram =
+      registry.histogram("bench_seconds", "bench", obs::HistogramOptions{});
+  const int mode = static_cast<int>(state.range(0));
+  double x = 1e-6;
+  for (auto _ : state) {
+    switch (mode) {
+      case 0:
+        counter.fetch_add(1);
+        break;
+      case 1:
+        histogram.observe(x);
+        x = x * 1.7 + 1e-9;
+        if (x > 1.0) x = 1e-6;
+        break;
+      case 2:
+        gauge.set(x);
+        x += 1.0;
+        break;
+      case 3: {
+        const std::string text = registry.renderPrometheus();
+        benchmark::DoNotOptimize(text.data());
+        break;
+      }
+      default: {
+        const std::string json = registry.renderJson();
+        benchmark::DoNotOptimize(json.data());
+        break;
+      }
+    }
+  }
+  static const char* const kModes[] = {"counter_add", "histogram_observe",
+                                       "gauge_set", "render_prometheus",
+                                       "render_json"};
+  state.SetLabel(kModes[mode]);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsOverhead)->DenseRange(0, 4);
 
 // Figure 8-style trace replay: the Facebook-like mix under Aalo with a
 // non-zero coordination interval Δ (arg = Δ in milliseconds), plus

@@ -21,11 +21,12 @@ constexpr std::size_t kMaxIov = 16;
 }  // namespace
 
 Connection::Connection(EventLoop& loop, Fd fd, FrameHandler on_frame,
-                       CloseHandler on_close)
+                       CloseHandler on_close, ConnMetrics* metrics)
     : loop_(loop),
       fd_(std::move(fd)),
       on_frame_(std::move(on_frame)),
-      on_close_(std::move(on_close)) {
+      on_close_(std::move(on_close)),
+      metrics_(metrics != nullptr ? metrics : &ConnMetrics::dummy()) {
   loop_.add(fd_.get(), EPOLLIN,
             [this](std::uint32_t events) { onEvents(events); });
 }
@@ -49,6 +50,8 @@ void Connection::sendFrame(std::span<const std::uint8_t> payload) {
   tail.putU32(static_cast<std::uint32_t>(payload.size()));
   tail.append(payload);
   pending_bytes_ += 4 + payload.size();
+  metrics_->frames_out.fetch_add(1);
+  metrics_->bytes_out.fetch_add(4 + payload.size());
   flush();
 }
 
@@ -57,6 +60,8 @@ void Connection::sendFrame(std::shared_ptr<const Buffer> payload) {
   const std::size_t len = payload->readableBytes();
   stagingTail().putU32(static_cast<std::uint32_t>(len));
   pending_bytes_ += 4 + len;
+  metrics_->frames_out.fetch_add(1);
+  metrics_->bytes_out.fetch_add(4 + len);
   if (len > 0) {
     Segment segment;
     segment.shared = std::move(payload);
@@ -109,6 +114,8 @@ void Connection::handleReadable() {
     Buffer payload;
     payload.append(incoming_.peek(), len);
     incoming_.consume(len);
+    metrics_->frames_in.fetch_add(1);
+    metrics_->bytes_in.fetch_add(4 + static_cast<std::size_t>(len));
     on_frame_(payload);
   }
 }

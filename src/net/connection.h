@@ -23,6 +23,7 @@
 
 #include "net/buffer.h"
 #include "net/event_loop.h"
+#include "net/metrics.h"
 #include "net/socket.h"
 
 namespace aalo::net {
@@ -37,8 +38,11 @@ class Connection {
   using CloseHandler = std::function<void()>;
 
   /// Takes ownership of `fd` (already non-blocking) and registers with
-  /// the loop. Handlers run on the loop thread.
-  Connection(EventLoop& loop, Fd fd, FrameHandler on_frame, CloseHandler on_close);
+  /// the loop. Handlers run on the loop thread. `metrics` (optional)
+  /// aggregates wire counters across every connection sharing it; null
+  /// routes to the process-wide dummy sink so increments stay branch-free.
+  Connection(EventLoop& loop, Fd fd, FrameHandler on_frame, CloseHandler on_close,
+             ConnMetrics* metrics = nullptr);
   ~Connection();
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
@@ -92,6 +96,7 @@ class Connection {
   Fd fd_;
   FrameHandler on_frame_;
   CloseHandler on_close_;
+  ConnMetrics* metrics_;
   Buffer incoming_;
   std::deque<Segment> outgoing_;
   std::size_t pending_bytes_ = 0;

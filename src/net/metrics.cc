@@ -1,0 +1,22 @@
+#include "net/metrics.h"
+
+namespace aalo::net {
+
+ConnMetrics& ConnMetrics::dummy() {
+  static ConnMetrics sink;
+  return sink;
+}
+
+void registerConnMetrics(obs::Registry& registry, const ConnMetrics& metrics,
+                         const std::string& prefix) {
+  registry.attachCounter(prefix + "_net_frames_in_total",
+                         "Complete frames delivered", metrics.frames_in);
+  registry.attachCounter(prefix + "_net_frames_out_total", "Frames queued for send",
+                         metrics.frames_out);
+  registry.attachCounter(prefix + "_net_bytes_in_total",
+                         "Wire bytes received incl. headers", metrics.bytes_in);
+  registry.attachCounter(prefix + "_net_bytes_out_total",
+                         "Wire bytes queued incl. headers", metrics.bytes_out);
+}
+
+}  // namespace aalo::net

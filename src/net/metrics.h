@@ -1,0 +1,31 @@
+// Per-connection wire counters.
+//
+// A ConnMetrics instance is shared by every Connection a component owns
+// (one per coordinator, one per daemon, ...), so the counters aggregate
+// frames and bytes across the component's whole socket set. Connections
+// constructed without one write into a process-wide dummy sink — the
+// increment stays branch-free either way.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace aalo::net {
+
+struct ConnMetrics {
+  obs::Counter frames_in;   ///< Complete frames delivered to the handler.
+  obs::Counter frames_out;  ///< Frames queued for send.
+  obs::Counter bytes_in;    ///< Wire bytes received (headers included).
+  obs::Counter bytes_out;   ///< Wire bytes queued (headers included).
+
+  /// Shared sink for unmetered connections.
+  static ConnMetrics& dummy();
+};
+
+/// Attaches the four counters to `registry` under
+/// `<prefix>_net_{frames,bytes}_{in,out}_total`.
+void registerConnMetrics(obs::Registry& registry, const ConnMetrics& metrics,
+                         const std::string& prefix);
+
+}  // namespace aalo::net

@@ -1,0 +1,272 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace aalo::obs {
+
+std::string formatDouble(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, ptr);
+}
+
+namespace {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string sampleName(const std::string& family, const std::string& labels,
+                       const char* suffix = "", const std::string& extra_label = "") {
+  std::string out = family;
+  out += suffix;
+  std::string all = labels;
+  if (!extra_label.empty()) {
+    if (!all.empty()) all += ",";
+    all += extra_label;
+  }
+  if (!all.empty()) {
+    out += "{";
+    out += all;
+    out += "}";
+  }
+  return out;
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram(HistogramOptions options) {
+  if (options.num_bounds < 1) {
+    throw std::invalid_argument("LatencyHistogram: num_bounds must be >= 1");
+  }
+  if (options.first_bound <= 0 || options.growth <= 1.0) {
+    throw std::invalid_argument("LatencyHistogram: bounds must grow from > 0");
+  }
+  bounds_.reserve(static_cast<std::size_t>(options.num_bounds));
+  double b = options.first_bound;
+  for (int i = 0; i < options.num_bounds; ++i) {
+    bounds_.push_back(b);
+    b *= options.growth;
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void LatencyHistogram::observe(double v) noexcept {
+  // First bound >= v, i.e. the `le` bucket the sample lands in; past the
+  // ladder it falls into the +Inf overflow bucket.
+  const std::size_t idx = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  std::uint64_t next;
+  do {
+    next = std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + v);
+  } while (!sum_bits_.compare_exchange_weak(old, next, std::memory_order_relaxed));
+}
+
+std::vector<std::uint64_t> LatencyHistogram::bucketCounts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  return util::bucketQuantile(bounds_, bucketCounts(), q);
+}
+
+Registry::Entry& Registry::insert(const std::string& name, const std::string& labels,
+                                  Kind kind, const std::string& help) {
+  const std::string key = name + '\x01' + labels;
+  auto [it, inserted] = entries_.try_emplace(key);
+  Entry& e = it->second;
+  if (!inserted) {
+    if (e.kind != kind) {
+      throw std::logic_error("Registry: metric '" + name +
+                             "' re-registered with a different kind");
+    }
+    return e;
+  }
+  e.kind = kind;
+  e.family = name;
+  e.labels = labels;
+  e.help = help;
+  return e;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const std::string& labels) {
+  std::lock_guard lock(mutex_);
+  Entry& e = insert(name, labels, Kind::kCounter, help);
+  if (!e.counter && !e.counter_fn) e.counter = std::make_unique<Counter>();
+  if (!e.counter) {
+    throw std::logic_error("Registry: metric '" + name + "' is attached, not owned");
+  }
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const std::string& labels) {
+  std::lock_guard lock(mutex_);
+  Entry& e = insert(name, labels, Kind::kGauge, help);
+  if (!e.gauge && !e.gauge_fn) e.gauge = std::make_unique<Gauge>();
+  if (!e.gauge) {
+    throw std::logic_error("Registry: metric '" + name + "' is attached, not owned");
+  }
+  return *e.gauge;
+}
+
+LatencyHistogram& Registry::histogram(const std::string& name, const std::string& help,
+                                      HistogramOptions options,
+                                      const std::string& labels) {
+  std::lock_guard lock(mutex_);
+  Entry& e = insert(name, labels, Kind::kHistogram, help);
+  if (!e.histogram) e.histogram = std::make_unique<LatencyHistogram>(options);
+  return *e.histogram;
+}
+
+void Registry::attachCounter(const std::string& name, const std::string& help,
+                             std::function<std::uint64_t()> read,
+                             const std::string& labels) {
+  std::lock_guard lock(mutex_);
+  Entry& e = insert(name, labels, Kind::kCounter, help);
+  e.counter_fn = std::move(read);
+}
+
+void Registry::attachCounter(const std::string& name, const std::string& help,
+                             const Counter& c, const std::string& labels) {
+  attachCounter(name, help, [&c] { return c.load(); }, labels);
+}
+
+void Registry::attachGauge(const std::string& name, const std::string& help,
+                           std::function<double()> read, const std::string& labels) {
+  std::lock_guard lock(mutex_);
+  Entry& e = insert(name, labels, Kind::kGauge, help);
+  e.gauge_fn = std::move(read);
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::string Registry::renderPrometheus() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  std::string last_family;
+  for (const auto& [key, e] : entries_) {
+    if (e.family != last_family) {
+      last_family = e.family;
+      if (!e.help.empty()) {
+        out += "# HELP " + e.family + " " + e.help + "\n";
+      }
+      const char* type = e.kind == Kind::kCounter    ? "counter"
+                         : e.kind == Kind::kGauge    ? "gauge"
+                                                     : "histogram";
+      out += "# TYPE " + e.family + " " + type + "\n";
+    }
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += sampleName(e.family, e.labels) + " " +
+               std::to_string(e.counterValue()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += sampleName(e.family, e.labels) + " " + formatDouble(e.gaugeValue()) +
+               "\n";
+        break;
+      case Kind::kHistogram: {
+        const LatencyHistogram& h = *e.histogram;
+        const std::vector<std::uint64_t> counts = h.bucketCounts();
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cum += counts[i];
+          out += sampleName(e.family, e.labels, "_bucket",
+                            "le=\"" + formatDouble(h.bounds()[i]) + "\"") +
+                 " " + std::to_string(cum) + "\n";
+        }
+        cum += counts.back();
+        out += sampleName(e.family, e.labels, "_bucket", "le=\"+Inf\"") + " " +
+               std::to_string(cum) + "\n";
+        out += sampleName(e.family, e.labels, "_sum") + " " + formatDouble(h.sum()) +
+               "\n";
+        out += sampleName(e.family, e.labels, "_count") + " " +
+               std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::renderJson() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\n  \"context\": {\"format\": \"aalo-metrics\", \"version\": 1},\n";
+  out += "  \"metrics\": [\n";
+  bool first = true;
+  for (const auto& [key, e] : entries_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"name\": \"" + jsonEscape(e.family) + "\"";
+    if (!e.labels.empty()) {
+      out += ", \"labels\": \"" + jsonEscape(e.labels) + "\"";
+    }
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += ", \"type\": \"counter\", \"value\": " +
+               std::to_string(e.counterValue());
+        break;
+      case Kind::kGauge:
+        out += ", \"type\": \"gauge\", \"value\": " + formatDouble(e.gaugeValue());
+        break;
+      case Kind::kHistogram: {
+        const LatencyHistogram& h = *e.histogram;
+        out += ", \"type\": \"histogram\", \"count\": " + std::to_string(h.count()) +
+               ", \"sum\": " + formatDouble(h.sum()) +
+               ", \"p50\": " + formatDouble(h.quantile(0.50)) +
+               ", \"p95\": " + formatDouble(h.quantile(0.95)) +
+               ", \"p99\": " + formatDouble(h.quantile(0.99));
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool Registry::dumpFiles(const std::string& path) const {
+  // Render before opening: a render error must not leave an empty file.
+  const std::string prom = renderPrometheus();
+  const std::string json = renderJson();
+  std::ofstream prom_out(path, std::ios::trunc);
+  prom_out << prom;
+  std::ofstream json_out(path + ".json", std::ios::trunc);
+  json_out << json;
+  return prom_out.good() && json_out.good();
+}
+
+}  // namespace aalo::obs

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/protocol.h"
+#include "runtime/metrics.h"
 #include "util/log.h"
 
 namespace aalo::runtime {
@@ -21,20 +22,57 @@ std::chrono::nanoseconds toNanos(util::Seconds s) {
 /// Reusable shared encode buffer: cleared in place when no connection's
 /// send queue still references last round's bytes, replaced otherwise
 /// (the slow peer keeps writing from the old buffer undisturbed).
-net::Buffer& takeShared(std::shared_ptr<net::Buffer>& slot) {
+net::Buffer& takeShared(std::shared_ptr<net::Buffer>& slot, obs::Counter& reuse,
+                        obs::Counter& alloc) {
   if (slot && slot.use_count() == 1) {
     slot->clear();
+    reuse.fetch_add(1);
   } else {
     slot = std::make_shared<net::Buffer>();
+    alloc.fetch_add(1);
   }
   return *slot;
+}
+
+util::Seconds elapsedSeconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
 
 Coordinator::Coordinator(CoordinatorConfig config)
     : config_(std::move(config)),
-      state_(config_.dclas.thresholds(), config_.max_on_coflows) {}
+      state_(config_.dclas.thresholds(), config_.max_on_coflows) {
+  registerMetrics();
+}
+
+void Coordinator::registerMetrics() {
+  registerRobustnessStats(metrics_, stats_, "aalo_coordinator");
+  net::registerConnMetrics(metrics_, conn_metrics_, "aalo_coordinator");
+  round_duration_ = &metrics_.histogram("aalo_coordinator_round_duration_seconds",
+                                        "Coordination tick (evict + GC + broadcast)",
+                                        {.first_bound = 1e-6, .num_bounds = 24});
+  report_apply_ = &metrics_.histogram("aalo_coordinator_report_apply_seconds",
+                                      "Size-report fold into ScheduleState",
+                                      {.first_bound = 1e-7, .num_bounds = 24});
+  broadcast_bytes_ = &metrics_.counter("aalo_coordinator_broadcast_bytes_total",
+                                       "Schedule fan-out wire bytes incl. headers");
+  scratch_reuse_ = &metrics_.counter("aalo_coordinator_encode_scratch_reuse_total",
+                                     "Broadcast encode buffers cleared in place");
+  scratch_alloc_ = &metrics_.counter("aalo_coordinator_encode_scratch_alloc_total",
+                                     "Broadcast encode buffers reallocated");
+  metrics_.attachGauge("aalo_coordinator_daemons", "Daemons currently connected",
+                       [this] { return static_cast<double>(daemonCount()); });
+  metrics_.attachGauge("aalo_coordinator_registered_coflows",
+                       "Coflows currently registered",
+                       [this] { return static_cast<double>(registeredCoflows()); });
+  metrics_.attachGauge("aalo_coordinator_tombstones",
+                       "Unregister tombstones held (pre-GC)",
+                       [this] { return static_cast<double>(tombstoneCount()); });
+  metrics_.attachGauge("aalo_coordinator_epoch", "Completed coordination rounds",
+                       [this] { return static_cast<double>(epoch()); });
+}
 
 Coordinator::~Coordinator() { stop(); }
 
@@ -46,6 +84,9 @@ void Coordinator::start() {
   port_ = port;
   loop_.add(listener_.get(), EPOLLIN, [this](std::uint32_t) { onAcceptable(); });
   scheduleTick();
+  if (!config_.metrics_dump_path.empty() && config_.metrics_dump_interval > 0) {
+    scheduleMetricsDump();
+  }
   thread_ = std::thread([this] { loop_.run(); });
   AALO_LOG_INFO << "coordinator listening on 127.0.0.1:" << port_;
 }
@@ -62,14 +103,32 @@ void Coordinator::stop() {
   peers_.clear();
   if (listener_.valid()) loop_.remove(listener_.get());
   listener_.reset();
+  dumpMetrics();  // Final snapshot so short runs still leave evidence.
+}
+
+void Coordinator::scheduleMetricsDump() {
+  loop_.callAfter(toNanos(config_.metrics_dump_interval), [this] {
+    dumpMetrics();
+    if (running_.load(std::memory_order_relaxed)) scheduleMetricsDump();
+  });
+}
+
+void Coordinator::dumpMetrics() {
+  if (config_.metrics_dump_path.empty()) return;
+  if (!metrics_.dumpFiles(config_.metrics_dump_path)) {
+    AALO_LOG_WARN << "coordinator: failed to write metrics dump to "
+                  << config_.metrics_dump_path;
+  }
 }
 
 void Coordinator::scheduleTick() {
   loop_.callAfter(toNanos(config_.sync_interval), [this] {
+    const auto start = std::chrono::steady_clock::now();
     const TimePoint now = net::EventLoop::Clock::now();
     evictStalePeers(now);
     collectTombstones(now);
     broadcastSchedule();
+    round_duration_->observe(elapsedSeconds(start));
     if (running_.load(std::memory_order_relaxed)) scheduleTick();
   });
 }
@@ -83,7 +142,7 @@ void Coordinator::onAcceptable() {
     peer.connection = std::make_unique<net::Connection>(
         loop_, std::move(fd),
         [this, key](net::Buffer& payload) { onMessage(key, payload); },
-        [this, key] { dropPeer(key); });
+        [this, key] { dropPeer(key); }, &conn_metrics_);
     peers_.emplace(key, std::move(peer));
   }
 }
@@ -180,6 +239,7 @@ void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
       break;
     case net::MessageType::kSizeReport:
       if (peer.is_daemon) {
+        const auto apply_start = std::chrono::steady_clock::now();
         peer.last_report = now;
         if (message.epoch > peer.echoed_epoch) {
           peer.echoed_epoch = message.epoch;
@@ -195,6 +255,7 @@ void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
           }
           state_.applySize(peer.daemon_id, s.id, s.bytes);
         }
+        report_apply_->observe(elapsedSeconds(apply_start));
       }
       break;
     case net::MessageType::kRegisterCoflow: {
@@ -264,7 +325,7 @@ void Coordinator::broadcastFull(std::uint64_t epoch) {
       [this](const coflow::CoflowId& id) { return unregistered_.contains(id); },
       update.schedule);
 
-  net::Buffer& out = takeShared(snapshot_scratch_);
+  net::Buffer& out = takeShared(snapshot_scratch_, *scratch_reuse_, *scratch_alloc_);
   net::encodeMessage(update, out);
   update.schedule.swap(entries_scratch_);  // Keep the capacity for reuse.
   // Snapshot the peer keys: a failing send may close a connection, whose
@@ -279,6 +340,7 @@ void Coordinator::broadcastFull(std::uint64_t epoch) {
     if (it == peers_.end()) continue;
     if (it->second.connection && !it->second.connection->closed()) {
       it->second.connection->sendFrame(snapshot_scratch_);
+      broadcast_bytes_->fetch_add(4 + snapshot_scratch_->readableBytes());
       stats_.snapshot_broadcasts.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -296,7 +358,8 @@ void Coordinator::broadcastDelta(std::uint64_t epoch) {
   message.base_epoch = epoch - 1;
   message.schedule.swap(entries_scratch_);
   message.removals.swap(removals_scratch_);
-  net::Buffer& delta_out = takeShared(delta_scratch_);
+  net::Buffer& delta_out =
+      takeShared(delta_scratch_, *scratch_reuse_, *scratch_alloc_);
   net::encodeMessage(message, delta_out);
   message.schedule.swap(entries_scratch_);
   message.removals.swap(removals_scratch_);
@@ -323,17 +386,20 @@ void Coordinator::broadcastDelta(std::uint64_t epoch) {
         message.removals.clear();
         message.schedule.swap(entries_scratch_);
         state_.snapshotEntries(message.schedule);
-        net::Buffer& snap_out = takeShared(snapshot_scratch_);
+        net::Buffer& snap_out =
+            takeShared(snapshot_scratch_, *scratch_reuse_, *scratch_alloc_);
         net::encodeMessage(message, snap_out);
         message.schedule.swap(entries_scratch_);
         snapshot_encoded = true;
       }
       peer.connection->sendFrame(snapshot_scratch_);
+      broadcast_bytes_->fetch_add(4 + snapshot_scratch_->readableBytes());
       peer.needs_snapshot = false;
       peer.frames_since_snapshot = 0;
       stats_.snapshot_broadcasts.fetch_add(1, std::memory_order_relaxed);
     } else {
       peer.connection->sendFrame(delta_scratch_);
+      broadcast_bytes_->fetch_add(4 + delta_scratch_->readableBytes());
       ++peer.frames_since_snapshot;
       (changed ? stats_.delta_broadcasts : stats_.broadcasts_suppressed)
           .fetch_add(1, std::memory_order_relaxed);

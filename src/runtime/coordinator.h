@@ -33,9 +33,13 @@
 #include <thread>
 #include <unordered_map>
 
+#include <string>
+
 #include "coflow/id_generator.h"
 #include "net/connection.h"
 #include "net/event_loop.h"
+#include "net/metrics.h"
+#include "obs/metrics.h"
 #include "runtime/robustness.h"
 #include "runtime/schedule_state.h"
 #include "sched/dclas.h"
@@ -73,6 +77,11 @@ struct CoordinatorConfig {
   /// as the pre-delta coordinator did. Deltas and suppression are
   /// disabled; kept for A/B benchmarking and the equivalence tests.
   bool full_broadcasts = false;
+  /// Observability: when non-empty, the metrics registry is written to
+  /// this path (Prometheus text; JSON alongside at `<path>.json`) every
+  /// metrics_dump_interval on the loop thread, plus once at stop().
+  std::string metrics_dump_path;
+  util::Seconds metrics_dump_interval = 1.0;
 };
 
 class Coordinator {
@@ -106,6 +115,11 @@ class Coordinator {
 
   const RobustnessStats& stats() const { return stats_; }
 
+  /// Full observability registry: robustness counters, wire counters,
+  /// round-duration / report-apply histograms, lifecycle gauges.
+  /// Instruments are registered at construction; rendering is thread-safe.
+  const obs::Registry& metrics() const { return metrics_; }
+
   /// Test/diagnostic accessor: the coordinator's current global coflow
   /// sizes. Thread-safe (hops onto the loop thread while running).
   std::unordered_map<coflow::CoflowId, double> globalSizes();
@@ -136,6 +150,9 @@ class Coordinator {
   void broadcastFull(std::uint64_t epoch);
   void broadcastDelta(std::uint64_t epoch);
   void scheduleTick();
+  void registerMetrics();
+  void scheduleMetricsDump();
+  void dumpMetrics();
 
   CoordinatorConfig config_;
   net::EventLoop loop_;
@@ -172,6 +189,16 @@ class Coordinator {
   std::atomic<std::size_t> tombstone_count_{0};
   std::atomic<bool> running_{false};
   RobustnessStats stats_;
+
+  // Observability (registered once in the constructor; histogram/counter
+  // pointers stay valid — registry entries never move).
+  obs::Registry metrics_;
+  net::ConnMetrics conn_metrics_;
+  obs::LatencyHistogram* round_duration_ = nullptr;
+  obs::LatencyHistogram* report_apply_ = nullptr;
+  obs::Counter* broadcast_bytes_ = nullptr;
+  obs::Counter* scratch_reuse_ = nullptr;
+  obs::Counter* scratch_alloc_ = nullptr;
 };
 
 }  // namespace aalo::runtime

@@ -6,6 +6,7 @@
 #include <limits>
 #include <system_error>
 
+#include "runtime/metrics.h"
 #include "util/log.h"
 
 namespace aalo::runtime {
@@ -29,6 +30,24 @@ Daemon::Daemon(DaemonConfig config)
       thresholds_(config_.dclas.thresholds()),
       backoff_rng_(backoffSeed(config_)) {
   next_backoff_ = config_.reconnect_interval;
+  registerMetrics();
+}
+
+void Daemon::registerMetrics() {
+  registerRobustnessStats(metrics_, stats_, "aalo_daemon");
+  net::registerConnMetrics(metrics_, conn_metrics_, "aalo_daemon");
+  scratch_reuse_ = &metrics_.counter("aalo_daemon_encode_scratch_reuse_total",
+                                     "Outgoing frames encoded into the reused buffer");
+  metrics_.attachGauge("aalo_daemon_epoch", "Last schedule epoch applied",
+                       [this] { return static_cast<double>(lastEpoch()); });
+  metrics_.attachGauge("aalo_daemon_connected",
+                       "1 when the socket is up and the schedule fresh",
+                       [this] { return connected() ? 1.0 : 0.0; });
+  metrics_.attachGauge("aalo_daemon_local_coflows",
+                       "Coflows with locally accounted bytes", [this] {
+                         std::lock_guard lock(mutex_);
+                         return static_cast<double>(local_sent_.size());
+                       });
 }
 
 Daemon::~Daemon() { stop(); }
@@ -48,7 +67,8 @@ bool Daemon::tryConnect() {
         AALO_LOG_WARN << "daemon " << config_.daemon_id
                       << ": lost coordinator; data path falls back to fair sharing";
         scheduleReconnect();
-      });
+      },
+      &conn_metrics_);
   // Fresh connection: expect epochs from scratch (the coordinator may have
   // restarted and reset its round counter) and give the schedule a full
   // staleness budget before degrading.
@@ -207,6 +227,7 @@ void Daemon::sendSizeReport() {
   }
   encode_scratch_.clear();
   net::encodeMessage(report, encode_scratch_);
+  scratch_reuse_->fetch_add(1);
   connection_->sendFrame(encode_scratch_);
 }
 
@@ -218,6 +239,7 @@ void Daemon::sendSnapshotRequest() {
   request.epoch = conn_epoch_;
   encode_scratch_.clear();
   net::encodeMessage(request, encode_scratch_);
+  scratch_reuse_->fetch_add(1);
   connection_->sendFrame(encode_scratch_);
 }
 

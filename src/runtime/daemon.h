@@ -38,7 +38,9 @@
 #include "coflow/ids.h"
 #include "net/connection.h"
 #include "net/event_loop.h"
+#include "net/metrics.h"
 #include "net/protocol.h"
+#include "obs/metrics.h"
 #include "runtime/robustness.h"
 #include "sched/dclas.h"
 #include "util/rng.h"
@@ -139,6 +141,11 @@ class Daemon {
 
   const RobustnessStats& stats() const { return stats_; }
 
+  /// Observability registry: robustness counters (`aalo_daemon_*`), wire
+  /// counters, encode-scratch reuse, lifecycle gauges. Rendering is
+  /// thread-safe, so callers may dump it from any thread.
+  const obs::Registry& metrics() const { return metrics_; }
+
  private:
   void sendHello();
   void sendSizeReport();
@@ -158,6 +165,7 @@ class Daemon {
   void pruneCompleted();
   /// Local D-CLAS: discretize locally attained bytes. Needs mutex_ held.
   int localQueueLocked(coflow::CoflowId id) const;
+  void registerMetrics();
 
   DaemonConfig config_;
   std::vector<util::Bytes> thresholds_;  ///< From config_.dclas, immutable.
@@ -204,6 +212,11 @@ class Daemon {
   std::unordered_map<coflow::CoflowId, bool> on_;
 
   RobustnessStats stats_;
+
+  // Observability (registered once in the constructor).
+  obs::Registry metrics_;
+  net::ConnMetrics conn_metrics_;
+  obs::Counter* scratch_reuse_ = nullptr;
 };
 
 }  // namespace aalo::runtime

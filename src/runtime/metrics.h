@@ -1,0 +1,20 @@
+// Registry bridging for the control-plane stats structs.
+//
+// registerRobustnessStats attaches every RobustnessStats counter to a
+// registry under `<prefix>_<field>_total` (e.g. the coordinator publishes
+// `aalo_coordinator_daemons_evicted_total`). The struct stays the single
+// source of truth — the registry holds read callbacks, so no counter
+// loses coverage and no call site changes.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "runtime/robustness.h"
+
+namespace aalo::runtime {
+
+void registerRobustnessStats(obs::Registry& registry, const RobustnessStats& stats,
+                             const std::string& prefix);
+
+}  // namespace aalo::runtime

@@ -6,13 +6,17 @@
 // exactly once", "the client reconnected") instead of sleeping and hoping.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+
+#include "obs/metrics.h"
 
 namespace aalo::runtime {
 
 struct RobustnessStats {
-  using Counter = std::atomic<std::uint64_t>;
+  /// Sharded relaxed-atomic counter (obs layer); same fetch_add/load
+  /// surface the call sites always used, now false-sharing-free and
+  /// attachable to an obs::Registry (see runtime/metrics.h).
+  using Counter = obs::Counter;
 
   // Shared.
   Counter malformed_frames{0};  ///< Frames that failed to decode.

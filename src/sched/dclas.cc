@@ -431,13 +431,30 @@ void DClasScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>&
   maybeSync(view);
   if (tracked_index_ == nullptr) {
     allocateReference(view, rates);
-    return;
-  }
-  if (config_.policy == DClasConfig::QueuePolicy::kStrictPriority) {
+  } else if (config_.policy == DClasConfig::QueuePolicy::kStrictPriority) {
     allocateStrict(view, rates);
   } else {
     allocateWeighted(view, rates);
   }
+  if (telemetry_ != nullptr) recordTelemetry(view, rates);
+}
+
+void DClasScheduler::recordTelemetry(const sim::SimView& view,
+                                     const std::vector<util::Rate>& rates) {
+  DClasQueueSample sample;
+  sample.now = view.now;
+  const std::size_t k = thresholds_.size() + 1;
+  sample.occupancy.assign(k, 0);
+  sample.queue_rates.assign(k, 0.0);
+  for (const ActiveCoflow& g : activeGroups(view, groups_scratch_)) {
+    const int q = queueOf(knownSize(g.coflow_index));
+    util::Rate rate = 0;
+    for (const std::size_t fi : g.flow_indices) rate += rates[fi];
+    ++sample.occupancy[static_cast<std::size_t>(q)];
+    sample.queue_rates[static_cast<std::size_t>(q)] += rate;
+    sample.coflow_queues.emplace_back(g.coflow_index, q);
+  }
+  telemetry_->record(std::move(sample));
 }
 
 void DClasScheduler::allocateStrict(const sim::SimView& view,

@@ -61,6 +61,31 @@ struct DClasConfig {
   std::vector<util::Bytes> thresholds() const;
 };
 
+/// One post-allocation snapshot of queue state. Recorded only while a
+/// telemetry sink is attached (one branch per allocation round, nothing
+/// per-increment), so production runs pay effectively nothing.
+struct DClasQueueSample {
+  util::Seconds now = 0;
+  /// Coflows per queue (index = 0-based queue).
+  std::vector<std::size_t> occupancy;
+  /// Aggregate allocated rate per queue (sum over members' flows).
+  std::vector<util::Rate> queue_rates;
+  /// (coflow_index, queue) for every active coflow at this round.
+  std::vector<std::pair<std::size_t, int>> coflow_queues;
+};
+
+/// Sample sink for the starvation-freedom / monotonicity invariant tests
+/// and the aalo_sim per-queue occupancy metrics.
+class DClasTelemetry {
+ public:
+  void record(DClasQueueSample sample) { samples_.push_back(std::move(sample)); }
+  const std::vector<DClasQueueSample>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<DClasQueueSample> samples_;
+};
+
 class DClasScheduler final : public sim::Scheduler {
  public:
   explicit DClasScheduler(DClasConfig config = {});
@@ -85,6 +110,11 @@ class DClasScheduler final : public sim::Scheduler {
   /// (§8); coflows are re-binned on the next allocation round.
   void setThresholds(std::vector<util::Bytes> thresholds);
   const std::vector<util::Bytes>& thresholds() const { return thresholds_; }
+
+  /// Attaches (or detaches, with nullptr) a telemetry sink; every
+  /// allocation round then records a DClasQueueSample after rates are
+  /// installed. Not owned; must outlive the scheduler or be detached.
+  void setTelemetry(DClasTelemetry* telemetry) { telemetry_ = telemetry; }
 
   // ---- Test support --------------------------------------------------
   /// Whether the persistent queue state currently mirrors `view`'s active
@@ -157,6 +187,8 @@ class DClasScheduler final : public sim::Scheduler {
                                fabric::ResidualCapacity& residual,
                                std::vector<util::Rate>& rates, util::Rate drained,
                                std::vector<std::pair<std::size_t, util::Rate>>& out);
+  void recordTelemetry(const sim::SimView& view,
+                       const std::vector<util::Rate>& rates);
 
   DClasConfig config_;
   std::vector<util::Bytes> thresholds_;  ///< Size num_queues - 1.
@@ -182,6 +214,7 @@ class DClasScheduler final : public sim::Scheduler {
   /// where it is unchanged.
   std::uint64_t schedule_epoch_ = 1;
   double cached_total_weight_ = -1.0;
+  DClasTelemetry* telemetry_ = nullptr;
 
   /// Reusable allocation-round buffers (hot path).
   fabric::MaxMinScratch scratch_;

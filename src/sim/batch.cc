@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sim/metrics.h"
+
 namespace aalo::sim {
 
 namespace {
@@ -92,6 +94,11 @@ std::vector<SimResult> runBatch(const std::vector<BatchJob>& jobs,
   std::vector<SimResult> results;
   results.reserve(outcomes.size());
   for (JobOutcome& out : outcomes) results.push_back(std::move(out.result));
+  if (options.metrics != nullptr) {
+    for (const SimResult& result : results) {
+      recordSimResult(*options.metrics, result);
+    }
+  }
   return results;
 }
 

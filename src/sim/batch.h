@@ -50,6 +50,11 @@ struct BatchOptions {
   std::function<void(std::size_t index, const BatchJob& job,
                      const SimResult& result, double wall_seconds)>
       on_done;
+  /// Observability: when set, every job's result is folded into this
+  /// registry (sim::recordSimResult) after the pool drains, in submission
+  /// order. Leave the jobs' own SimOptions::metrics null to avoid double
+  /// counting.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Runs every job and returns results indexed exactly like `jobs`.

@@ -1,0 +1,17 @@
+// Registry bridging for simulation results.
+//
+// recordSimResult folds one run's engine totals and completion times into
+// a registry under the `aalo_sim_*` families, labeled by scheduler name
+// so sweep runs (aalo_sim --jobs, the batch runner) keep per-scheduler
+// series apart. Recording happens once per run, after the engine
+// finishes — the hot loop never touches the registry.
+#pragma once
+
+#include "obs/metrics.h"
+#include "sim/records.h"
+
+namespace aalo::sim {
+
+void recordSimResult(obs::Registry& registry, const SimResult& result);
+
+}  // namespace aalo::sim

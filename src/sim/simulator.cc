@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/metrics.h"
 #include "util/units.h"
 
 namespace aalo::sim {
@@ -610,7 +611,9 @@ Simulator::Simulator(fabric::FabricConfig fabric_config, Scheduler& scheduler,
 
 SimResult Simulator::run(const coflow::Workload& workload) {
   Run run(fabric_config_, scheduler_, options_, workload);
-  return run.execute();
+  SimResult result = run.execute();
+  if (options_.metrics != nullptr) recordSimResult(*options_.metrics, result);
+  return result;
 }
 
 SimResult runSimulation(const coflow::Workload& workload,

@@ -12,6 +12,7 @@
 
 #include "coflow/spec.h"
 #include "fabric/fabric.h"
+#include "obs/metrics.h"
 #include "sim/records.h"
 #include "sim/scheduler.h"
 
@@ -31,6 +32,11 @@ struct SimOptions {
   /// the per-flow scheduler hooks — it is retained as the equivalence
   /// oracle (tests/engine_equivalence_test.cc).
   bool incremental_engine = true;
+  /// Observability: when set, engine totals and the CCT distribution are
+  /// folded into this registry (aalo_sim_* families, scheduler-labeled)
+  /// after the run — see sim/metrics.h. Not owned; the hot loop never
+  /// touches it.
+  obs::Registry* metrics = nullptr;
 };
 
 class Simulator {

@@ -94,6 +94,30 @@ std::vector<std::pair<double, double>> Cdf::logSpacedSteps(std::size_t points) c
   return steps;
 }
 
+double bucketQuantile(std::span<const double> upper_bounds,
+                      std::span<const std::uint64_t> counts, double q) {
+  if (counts.size() != upper_bounds.size() + 1) {
+    throw std::invalid_argument("bucketQuantile: counts must be bounds + overflow");
+  }
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile out of range");
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+    const auto c = static_cast<double>(counts[i]);
+    if (cum + c >= rank && c > 0.0) {
+      const double lo = i == 0 ? 0.0 : upper_bounds[i - 1];
+      const double frac = (rank - cum) / c;
+      return lo + frac * (upper_bounds[i] - lo);
+    }
+    cum += c;
+  }
+  // Overflow bucket: no finite upper edge to interpolate toward.
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
 double safeRatio(double numerator, double denominator) {
   if (std::fabs(denominator) < 1e-12) return 0.0;
   return numerator / denominator;

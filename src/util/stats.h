@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -60,5 +62,15 @@ class Cdf {
 
 /// Ratio of two means guarded against division by ~zero.
 double safeRatio(double numerator, double denominator);
+
+/// Quantile estimate from bucketed counts (histogram order statistics).
+/// `upper_bounds` are the ascending finite bucket bounds; `counts` holds
+/// one per bound plus a final overflow bucket (counts.size() ==
+/// upper_bounds.size() + 1). Linear interpolation inside the landing
+/// bucket (the first bucket interpolates from 0); a quantile landing in
+/// the overflow bucket clamps to the last finite bound. q in [0, 1].
+/// Returns 0 when the histogram is empty.
+double bucketQuantile(std::span<const double> upper_bounds,
+                      std::span<const std::uint64_t> counts, double q);
 
 }  // namespace aalo::util

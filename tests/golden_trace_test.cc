@@ -1,0 +1,102 @@
+// Golden-trace regression suite: a canned 200-coflow Facebook-style trace
+// (tests/data/golden_200.trace, generated once with
+// `aalo_tracegen --kind fb --jobs 200 --ports 40 --seed 4242`) replayed
+// under five schedulers, with average and p95 CCT pinned to 17
+// significant digits. Any change to scheduler arithmetic, the event
+// engine, or trace parsing that shifts a completion time by more than
+// 1e-9 (relative) fails here — the whole build uses -ffp-contract=off so
+// the pins hold across build types and sanitizer presets.
+//
+// To regenerate after an *intentional* behavior change, run the suite
+// with AALO_PRINT_GOLDEN=1 and paste the printed table.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "sched/dclas.h"
+#include "sched/fair.h"
+#include "sched/fifo_lm.h"
+#include "sched/las.h"
+#include "sched/varys.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+#include "workload/trace_io.h"
+
+#ifndef AALO_TEST_DATA_DIR
+#error "AALO_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace aalo {
+namespace {
+
+struct GoldenRow {
+  const char* scheduler;
+  double avg_cct;
+  double p95_cct;
+};
+
+// Pinned on the seed build (see header comment for regeneration).
+constexpr GoldenRow kGolden[] = {
+    {"dclas", 4.4955040551873768, 22.881402995937474},
+    {"fair", 6.0374573147352715, 32.933152432343739},
+    {"varys", 3.6908135518936405, 20.119416646283426},
+    {"fifo_lm", 10.915010822223874, 30.528219939735365},
+    {"las", 6.4864594029344014, 38.462545230646569},
+};
+
+std::unique_ptr<sim::Scheduler> makeScheduler(const std::string& name,
+                                              const coflow::Workload& wl) {
+  if (name == "dclas") return std::make_unique<sched::DClasScheduler>();
+  if (name == "fair") return std::make_unique<sched::PerFlowFairScheduler>();
+  if (name == "varys") return std::make_unique<sched::VarysScheduler>();
+  if (name == "fifo_lm") {
+    // Same derivation as tools/aalo_sim.cc: heavy threshold at the 80th
+    // size percentile, 2 s quantum.
+    util::Summary sizes;
+    for (const auto& job : wl.jobs) {
+      for (const auto& c : job.coflows) sizes.add(c.totalBytes());
+    }
+    sched::FifoLmConfig cfg;
+    cfg.heavy_threshold = sizes.percentile(80);
+    cfg.quantum = 2.0;
+    return std::make_unique<sched::FifoLmScheduler>(cfg);
+  }
+  if (name == "las") {
+    sched::LasConfig cfg;
+    cfg.quantum = 2.0;
+    return std::make_unique<sched::DecentralizedLasScheduler>(cfg);
+  }
+  throw std::invalid_argument("unknown golden scheduler " + name);
+}
+
+TEST(GoldenTrace, PinnedCctPerScheduler) {
+  const std::string path = std::string(AALO_TEST_DATA_DIR) + "/golden_200.trace";
+  const coflow::Workload wl = workload::readTraceFile(path);
+  ASSERT_EQ(wl.coflowCount(), 200u);
+  ASSERT_EQ(wl.num_ports, 40);
+
+  const bool print = std::getenv("AALO_PRINT_GOLDEN") != nullptr;
+  for (const GoldenRow& row : kGolden) {
+    auto scheduler = makeScheduler(row.scheduler, wl);
+    const sim::SimResult result = sim::runSimulation(
+        wl, fabric::FabricConfig{wl.num_ports, util::kGbps}, *scheduler);
+    ASSERT_EQ(result.coflows.size(), 200u) << row.scheduler;
+    util::Summary cct;
+    for (const auto& rec : result.coflows) cct.add(rec.cct());
+    if (print) {
+      std::printf("    {\"%s\", %.17g, %.17g},\n", row.scheduler, cct.mean(),
+                  cct.percentile(95));
+      continue;
+    }
+    const double tol_avg = 1e-9 * row.avg_cct;
+    const double tol_p95 = 1e-9 * row.p95_cct;
+    EXPECT_NEAR(cct.mean(), row.avg_cct, tol_avg) << row.scheduler;
+    EXPECT_NEAR(cct.percentile(95), row.p95_cct, tol_p95) << row.scheduler;
+  }
+}
+
+}  // namespace
+}  // namespace aalo

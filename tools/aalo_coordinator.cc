@@ -3,12 +3,17 @@
 //   aalo_coordinator [--port P] [--delta MS] [--queues K] [--q1 BYTES]
 //                    [--factor E] [--max-on N] [--liveness-timeout N]
 //                    [--one-way-timeout N] [--tombstone-gc N]
-//                    [--snapshot-every N] [--full-broadcasts] [--verbose]
+//                    [--snapshot-every N] [--full-broadcasts]
+//                    [--metrics-dump PATH] [--metrics-interval SECONDS]
+//                    [--verbose]
 //
 // The three timeout flags are in units of sync intervals (N * delta); 0
 // disables the corresponding watchdog. --snapshot-every bounds how many
 // consecutive delta frames a daemon sees before a full schedule refresh;
 // --full-broadcasts disables the delta path entirely (oracle mode).
+// --metrics-dump writes the observability registry (Prometheus text, plus
+// JSON at PATH.json) every --metrics-interval seconds and once at
+// shutdown.
 //
 // Prints one status line per second (daemons, registered coflows, epoch).
 // Terminate with SIGINT/SIGTERM.
@@ -38,7 +43,8 @@ void onSignal(int) { g_stop = true; }
                "                        [--q1 BYTES] [--factor E] [--max-on N]\n"
                "                        [--liveness-timeout N] [--one-way-timeout N]\n"
                "                        [--tombstone-gc N] [--snapshot-every N]\n"
-               "                        [--full-broadcasts] [--verbose]\n");
+               "                        [--full-broadcasts] [--metrics-dump PATH]\n"
+               "                        [--metrics-interval SECONDS] [--verbose]\n");
   std::exit(2);
 }
 
@@ -77,6 +83,10 @@ int main(int argc, char** argv) {
       cfg.snapshot_every = std::atoi(needValue("--snapshot-every"));
     } else if (!std::strcmp(argv[i], "--full-broadcasts")) {
       cfg.full_broadcasts = true;
+    } else if (!std::strcmp(argv[i], "--metrics-dump")) {
+      cfg.metrics_dump_path = needValue("--metrics-dump");
+    } else if (!std::strcmp(argv[i], "--metrics-interval")) {
+      cfg.metrics_dump_interval = std::atof(needValue("--metrics-interval"));
     } else if (!std::strcmp(argv[i], "--verbose")) {
       util::setLogLevel(util::LogLevel::kInfo);
     } else {

@@ -8,9 +8,14 @@
 //               [--reconnect MS] [--reconnect-max-backoff MS]
 //               [--stale-intervals N]
 //               [--resync-intervals N] [--full-reports]
+//               [--metrics-dump PATH] [--metrics-interval SECONDS]
 //               [--chaos-seed S] [--chaos-drop P] [--chaos-dup P]
 //               [--chaos-reorder P] [--chaos-corrupt P] [--chaos-truncate P]
 //               [--chaos-delay P] [--chaos-split BYTES]
+//
+// --metrics-dump writes the daemon's observability registry (Prometheus
+// text, plus JSON at PATH.json) every --metrics-interval seconds (default
+// 1) and once at shutdown.
 //
 // Any --chaos-* flag interposes a net::ChaosProxy between this daemon and
 // the coordinator: the daemon dials the proxy, the proxy relays (and
@@ -49,6 +54,7 @@ void onSignal(int) { g_stop = true; }
                "                   [--reconnect MS] [--reconnect-max-backoff MS]\n"
                "                   [--stale-intervals N]\n"
                "                   [--resync-intervals N] [--full-reports]\n"
+               "                   [--metrics-dump PATH] [--metrics-interval SECONDS]\n"
                "                   [--chaos-seed S] [--chaos-drop P] [--chaos-dup P]\n"
                "                   [--chaos-reorder P] [--chaos-corrupt P]\n"
                "                   [--chaos-truncate P] [--chaos-delay P]\n"
@@ -67,6 +73,8 @@ int main(int argc, char** argv) {
   bool use_chaos = false;
   net::ChaosPolicy chaos;
   std::uint64_t chaos_seed = 1;
+  std::string metrics_dump_path;
+  double metrics_interval = 1.0;
 
   for (int i = 1; i < argc; ++i) {
     auto needValue = [&](const char* flag) -> const char* {
@@ -101,6 +109,10 @@ int main(int argc, char** argv) {
       cfg.resync_intervals = std::atoi(needValue("--resync-intervals"));
     } else if (!std::strcmp(argv[i], "--full-reports")) {
       cfg.full_reports = true;
+    } else if (!std::strcmp(argv[i], "--metrics-dump")) {
+      metrics_dump_path = needValue("--metrics-dump");
+    } else if (!std::strcmp(argv[i], "--metrics-interval")) {
+      metrics_interval = std::atof(needValue("--metrics-interval"));
     } else if (!std::strcmp(argv[i], "--chaos-seed")) {
       chaos_seed = std::strtoull(needValue("--chaos-seed"), nullptr, 10);
       use_chaos = true;
@@ -171,6 +183,7 @@ int main(int argc, char** argv) {
   }
 
   const auto start = std::chrono::steady_clock::now();
+  double next_dump = metrics_interval;
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     for (std::size_t c = 0; c < ids.size(); ++c) {
@@ -180,6 +193,11 @@ int main(int argc, char** argv) {
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    if (!metrics_dump_path.empty() && metrics_interval > 0 &&
+        elapsed >= next_dump) {
+      daemon.metrics().dumpFiles(metrics_dump_path);
+      next_dump = elapsed + metrics_interval;
+    }
     if (duration > 0 && elapsed >= duration) break;
     if (!ids.empty() && std::fmod(elapsed, 1.0) < 0.1) {
       std::printf("t=%.0fs epoch=%llu queues:", elapsed,
@@ -190,6 +208,7 @@ int main(int argc, char** argv) {
     }
   }
   daemon.stop();
+  if (!metrics_dump_path.empty()) daemon.metrics().dumpFiles(metrics_dump_path);
   const auto& dstats = daemon.stats();
   std::printf("reconnects=%llu stale_transitions=%llu old_epoch_ignored=%llu\n",
               static_cast<unsigned long long>(dstats.reconnect_attempts.load()),

@@ -2,7 +2,7 @@
 //
 //   aalo_sim --trace PATH [--sched LIST] [--ports-per-rack N]
 //            [--oversubscription X] [--delta SEC] [--csv PATH] [--jobs N]
-//            [--stats]
+//            [--stats] [--metrics-dump PATH]
 //
 // PATH may be an aalo-trace file or a public coflow-benchmark trace
 // (e.g. FB2010-1Hr-150-0.txt) — the format is auto-detected.
@@ -22,8 +22,15 @@
 // allocate calls, reused allocations (rounds served from the installed
 // rates via the scheduleEpoch handshake), and completion-predictor
 // rebuilds.
+//
+// --metrics-dump writes the per-scheduler observability registry
+// (Prometheus text, plus JSON at PATH.json) after the batch completes:
+// rounds, allocation reuse, heap rebuilds, CCT histograms, and — for the
+// D-CLAS schedulers — per-queue occupancy sampled at every allocation
+// round.
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -32,6 +39,7 @@
 #include <vector>
 
 #include "analysis/compare.h"
+#include "obs/metrics.h"
 #include "sched/adaptive.h"
 #include "sched/clas.h"
 #include "sched/dclas.h"
@@ -57,7 +65,7 @@ namespace {
   std::fprintf(stderr,
                "usage: aalo_sim --trace PATH [--sched LIST] [--ports-per-rack N]\n"
                "                [--oversubscription X] [--delta SEC] [--csv PATH]\n"
-               "                [--jobs N] [--stats]\n");
+               "                [--jobs N] [--stats] [--metrics-dump PATH]\n");
   std::exit(2);
 }
 
@@ -129,6 +137,31 @@ std::unique_ptr<sim::Scheduler> makeScheduler(const std::string& name,
   usage();
 }
 
+/// Folds a run's per-round queue samples into the registry: an occupancy
+/// histogram and a non-empty-round counter per (scheduler, queue).
+void bridgeQueueTelemetry(obs::Registry& registry, const std::string& scheduler,
+                          const sched::DClasTelemetry& telemetry) {
+  if (telemetry.samples().empty()) return;
+  const std::size_t k = telemetry.samples().front().occupancy.size();
+  for (std::size_t q = 0; q < k; ++q) {
+    const std::string labels = "scheduler=\"" + scheduler + "\",queue=\"" +
+                               std::to_string(q) + "\"";
+    obs::LatencyHistogram& occupancy = registry.histogram(
+        "aalo_sim_queue_occupancy",
+        "Coflows resident in the D-CLAS queue, sampled every allocation round.",
+        obs::HistogramOptions{.first_bound = 1.0, .growth = 2.0, .num_bounds = 12},
+        labels);
+    obs::Counter& nonempty = registry.counter(
+        "aalo_sim_queue_nonempty_rounds_total",
+        "Allocation rounds in which the D-CLAS queue held at least one coflow.",
+        labels);
+    for (const auto& sample : telemetry.samples()) {
+      occupancy.observe(static_cast<double>(sample.occupancy[q]));
+      if (sample.occupancy[q] > 0) nonempty.fetch_add(1);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,6 +173,7 @@ int main(int argc, char** argv) {
   double delta = 0.0;
   int jobs = 1;
   bool stats = false;
+  std::string metrics_dump_path;
 
   for (int i = 1; i < argc; ++i) {
     auto needValue = [&](const char* flag) -> const char* {
@@ -165,6 +199,8 @@ int main(int argc, char** argv) {
       jobs = std::atoi(needValue("--jobs"));
     } else if (!std::strcmp(argv[i], "--stats")) {
       stats = true;
+    } else if (!std::strcmp(argv[i], "--metrics-dump")) {
+      metrics_dump_path = needValue("--metrics-dump");
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       usage();
@@ -218,17 +254,36 @@ int main(int argc, char** argv) {
   // One BatchJob per scheduler; --jobs threads run them concurrently.
   // Results come back in --sched order, so CSV and table output match a
   // serial run exactly.
+  // With --metrics-dump every job gets a telemetry sink (deque: stable
+  // addresses). Only the D-CLAS schedulers actually feed theirs; each
+  // worker thread touches only its own sink.
+  obs::Registry registry;
+  std::deque<sched::DClasTelemetry> telemetry;
   std::vector<sim::BatchJob> batch;
   for (const std::string& name : sched_names) {
+    sched::DClasTelemetry* sink = nullptr;
+    if (!metrics_dump_path.empty()) {
+      telemetry.emplace_back();
+      sink = &telemetry.back();
+    }
     sim::BatchJob job;
     job.label = name;
     job.workload = &wl;
     job.fabric = fc;
-    job.make_scheduler = [&wl, name, delta] { return makeScheduler(name, wl, delta); };
+    job.make_scheduler = [&wl, name, delta, sink] {
+      auto scheduler = makeScheduler(name, wl, delta);
+      if (sink != nullptr) {
+        if (auto* dclas = dynamic_cast<sched::DClasScheduler*>(scheduler.get())) {
+          dclas->setTelemetry(sink);
+        }
+      }
+      return scheduler;
+    };
     batch.push_back(std::move(job));
   }
   sim::BatchOptions bopts;
   bopts.num_threads = jobs;
+  if (!metrics_dump_path.empty()) bopts.metrics = &registry;
   bopts.on_done = [](std::size_t /*index*/, const sim::BatchJob& /*job*/,
                      const sim::SimResult& result, double wall) {
     std::fprintf(stderr, "finished %s (%.1fs wall)\n", result.scheduler.c_str(), wall);
@@ -263,5 +318,14 @@ int main(int argc, char** argv) {
     table.addRow(std::move(row));
   }
   table.print(std::cout);
+
+  if (!metrics_dump_path.empty()) {
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      bridgeQueueTelemetry(registry, results[j].scheduler, telemetry[j]);
+    }
+    registry.dumpFiles(metrics_dump_path);
+    std::fprintf(stderr, "metrics written to %s and %s.json\n",
+                 metrics_dump_path.c_str(), metrics_dump_path.c_str());
+  }
   return 0;
 }

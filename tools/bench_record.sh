@@ -8,7 +8,11 @@
 # output = BENCH_micro.json (repo root). Configures and builds
 # bench_micro if needed, then runs it with 3 repetitions and
 # aggregate-only reporting (median/mean/stddev per benchmark) to damp
-# scheduler noise. Compare against the committed BENCH_micro.json:
+# scheduler noise. Repetitions are randomly interleaved across
+# benchmarks: on a single-core box a monotone slow drift otherwise
+# lands entirely on whichever benchmark registers later, which skews
+# paired A/B comparisons (e.g. BM_SimulatorEndToEnd vs its Metrics
+# twin). Compare against the committed BENCH_micro.json:
 #
 #   git diff -- BENCH_micro.json
 #
@@ -45,6 +49,7 @@ cmake --build "$build_dir" -j --target bench_micro
 
 "$build_dir/bench/bench_micro" \
   --benchmark_repetitions=3 \
+  --benchmark_enable_random_interleaving=true \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json \
   --benchmark_out_format=json \
