@@ -11,6 +11,7 @@
 #include "net/protocol.h"
 #include "obs/metrics.h"
 #include "runtime/schedule_state.h"
+#include "sim/calendar.h"
 
 using namespace aalo;
 
@@ -43,7 +44,7 @@ void BM_DClasReschedule(benchmark::State& state) {
 
   // Hand-build a frozen mid-simulation view.
   std::vector<sim::CoflowState> coflows;
-  std::vector<sim::FlowState> flows;
+  sim::FlowArena flows;
   std::vector<std::size_t> active;
   util::Rng rng(13);
   for (std::size_t c = 0; c < num_coflows; ++c) {
@@ -61,9 +62,8 @@ void BM_DClasReschedule(benchmark::State& state) {
       fs.size = 1e9;
       fs.sent = rng.uniform(0, 5e8);
       fs.started = true;
-      cs.flow_indices.push_back(flows.size());
-      active.push_back(flows.size());
-      flows.push_back(fs);
+      cs.flow_indices.push_back(flows.push(fs));
+      active.push_back(cs.flow_indices.back());
     }
     coflows.push_back(std::move(cs));
   }
@@ -214,6 +214,9 @@ void BM_SimulatorEndToEnd(benchmark::State& state) {
         sim::runSimulation(wl, bench::standardFabric(), *aalo);
     benchmark::DoNotOptimize(result.makespan);
     state.counters["rounds"] = static_cast<double>(result.allocation_rounds);
+    state.counters["allocs"] = static_cast<double>(result.allocate_calls);
+    state.counters["events"] = static_cast<double>(result.events_processed);
+    state.counters["rekeys"] = static_cast<double>(result.heap_rekeys);
   }
 }
 BENCHMARK(BM_SimulatorEndToEnd)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
@@ -288,6 +291,83 @@ void BM_MetricsOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsOverhead)->DenseRange(0, 4);
 
+// Raw event-calendar churn: one membership-change round's worth of
+// invalidate + re-push against a standing population of range(0) keyed
+// flows, followed by the round's peek / drain / compaction hooks. This is
+// the fixed per-round calendar overhead the event-driven engine pays in
+// exchange for dropping the O(active) completion scan; items processed
+// counts re-keyed flows, so the ns/item rate is the marginal re-key cost.
+void BM_EventHeap(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  sim::EventCalendar calendar;
+  calendar.reset(flows);
+  // Deterministic key stream (no RNG in the timed loop): keys land in
+  // [1, 2) so pushes interleave instead of appending in sorted order.
+  std::uint64_t lcg = 0x9E3779B97F4A7C15ull;
+  const auto next_key = [&lcg]() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return 1.0 + static_cast<double>(lcg >> 11) * 0x1.0p-53;
+  };
+  for (std::size_t fi = 0; fi < flows; ++fi) {
+    calendar.pushCompletion(fi, next_key());
+    calendar.pushSnap(fi, next_key());
+  }
+  std::vector<std::uint32_t> due;
+  const std::size_t burst = std::max<std::size_t>(1, flows / 8);
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < burst; ++i) {
+      const std::size_t fi = cursor++ % flows;
+      calendar.invalidate(fi);
+      calendar.pushCompletion(fi, next_key());
+      calendar.pushSnap(fi, next_key());
+    }
+    benchmark::DoNotOptimize(calendar.nextCompletion());
+    calendar.drainSnapDue(0.5, due);  // Below every key: the common no-op gate.
+    calendar.compactIfBloated();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(burst));
+}
+BENCHMARK(BM_EventHeap)->Arg(64)->Arg(512)->Arg(4096);
+
+// The engine's integration sweep in isolation: pass 1 is the vectorizable
+// min/add over the slot-packed SoA columns, pass 2 scatters the deltas
+// into per-coflow totals — byte-for-byte the loop in executeIncremental.
+// Sizes are set far above what the sweep can drain during the bench, so
+// the min never clamps and every iteration does identical work.
+void BM_SoAIntegrate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(31);
+  std::vector<util::Rate> rate_col(n);
+  std::vector<util::Bytes> size_col(n), sent_col(n, 0.0), delta_col(n);
+  std::vector<std::uint32_t> slot_coflow(n);
+  std::vector<util::Bytes> coflow_sent(n / 16 + 1, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    rate_col[k] = rng.uniform(0, util::kGbps / 8);
+    size_col[k] = 1e18;
+    slot_coflow[k] = static_cast<std::uint32_t>(k / 16);
+  }
+  const util::Seconds dt = 1e-3;
+  for (auto _ : state) {
+    const util::Rate* __restrict rate = rate_col.data();
+    const util::Bytes* __restrict size = size_col.data();
+    util::Bytes* __restrict sent = sent_col.data();
+    util::Bytes* __restrict delta = delta_col.data();
+    for (std::size_t k = 0; k < n; ++k) {
+      const util::Bytes d = std::min(rate[k] * dt, size[k] - sent[k]);
+      sent[k] += d;
+      delta[k] = d;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      coflow_sent[slot_coflow[k]] += delta[k];
+    }
+    benchmark::DoNotOptimize(sent_col.data());
+    benchmark::DoNotOptimize(coflow_sent.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SoAIntegrate)->Arg(64)->Arg(512)->Arg(4096);
+
 // Figure 8-style trace replay: the Facebook-like mix under Aalo with a
 // non-zero coordination interval Δ (arg = Δ in milliseconds), plus
 // per-flow fair sharing as the prior-free baseline (arg = 0). With
@@ -307,6 +387,40 @@ void BM_TraceReplay(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceReplay)->Arg(0)->Arg(100)->Unit(benchmark::kMillisecond);
+
+// Scale stressor for the event calendar: a 100k-coflow Facebook-shaped
+// trace (same generator as tools/aalo_tracegen --kind fb --coflows
+// 100000) replayed end to end under Aalo with Δ = 100 ms. Width is
+// capped at 6x6 senders/receivers — the fb shape keeps its size and
+// length distributions but the tail coflows stop carrying 300+ flows
+// each, which bounds the run at roughly one allocation per flow arrival
+// and one per completion. (The caps must keep sender x receiver above
+// the generator's wide-coflow width floor of 51, so 8 x 8 is the
+// tightest square choice.) One iteration per run: this is a
+// tens-of-seconds soak, recorded for trend, not for tight medians.
+void BM_TraceReplayLarge(benchmark::State& state) {
+  workload::FacebookConfig cfg;
+  cfg.num_jobs = static_cast<std::size_t>(state.range(0)) * 1000;
+  cfg.num_ports = 40;
+  cfg.seed = 99;
+  cfg.mean_interarrival = 2.0;
+  cfg.sender_cap = 8;
+  cfg.receiver_cap = 8;
+  const auto wl = workload::generateFacebookWorkload(cfg);
+  sim::SimOptions opts;
+  opts.max_rounds = 40'000'000;
+  for (auto _ : state) {
+    auto aalo = bench::makeAalo(0.5);
+    const auto result =
+        sim::runSimulation(wl, bench::standardFabric(), *aalo, opts);
+    benchmark::DoNotOptimize(result.makespan);
+    state.counters["rounds"] = static_cast<double>(result.allocation_rounds);
+    state.counters["allocs"] = static_cast<double>(result.allocate_calls);
+    state.counters["events"] = static_cast<double>(result.events_processed);
+    state.counters["rekeys"] = static_cast<double>(result.heap_rekeys);
+  }
+}
+BENCHMARK(BM_TraceReplayLarge)->Arg(10)->Arg(100)->Iterations(1)->Unit(benchmark::kSecond);
 
 // A 6-job scheduler sweep through sim::runBatch at varying thread counts.
 // On a multi-core host throughput should scale near-linearly with the

@@ -3,10 +3,11 @@
 # metrics-labelled suites under AddressSanitizer+UBSan and
 # ThreadSanitizer, plus an optional line-coverage gate.
 #
-#   scripts/ci.sh            # default + asan + tsan
+#   scripts/ci.sh            # default + asan + tsan + perf-smoke
 #   scripts/ci.sh default    # just the default preset, full suite
 #   scripts/ci.sh asan       # asan build, chaos + metrics suites
 #   scripts/ci.sh tsan       # tsan build, BatchRunner/Obs gates + chaos
+#   scripts/ci.sh perf       # Release perf-smoke vs BENCH_micro.json
 #   scripts/ci.sh coverage   # gcovr line-coverage report (if installed)
 #
 # The chaos suites (tests/chaos_test.cc, tests/runtime_robustness_test.cc,
@@ -21,6 +22,10 @@ cd "$(dirname "$0")/.."
 
 # Minimum acceptable line coverage for the coverage step (percent).
 COVERAGE_FAIL_UNDER=70
+
+# Allowed slowdown of BM_SimulatorEndToEnd/50 relative to the recorded
+# baseline median in BENCH_micro.json before the perf-smoke step fails.
+PERF_SMOKE_TOLERANCE=1.5
 
 run_default() {
   echo "=== default: configure + build + full suite ==="
@@ -59,7 +64,8 @@ run_asan() {
              coordination_equivalence_test obs_test obs_invariant_test \
              obs_concurrency_test trace_fuzz_test golden_trace_test
   (cd build-asan && ctest -L chaos --output-on-failure -j "$(nproc)")
-  (cd build-asan && ctest -R 'EngineEquivalence|DClasQueueOracle' \
+  (cd build-asan && ctest \
+    -R 'EngineEquivalence|EngineFuzz|EventCalendarProperty|DClasQueueOracle' \
     --output-on-failure -j "$(nproc)")
   (cd build-asan && ctest -L metrics --output-on-failure -j "$(nproc)")
 }
@@ -70,6 +76,43 @@ run_tsan() {
   cmake --build --preset tsan -j "$(nproc)"
   ctest --preset tsan
   ctest --preset tsan-chaos
+}
+
+run_perf() {
+  echo "=== perf-smoke: BM_SimulatorEndToEnd/50 vs recorded baseline ==="
+  # Guard against silent end-to-end regressions: run the mid-size
+  # simulator benchmark from an optimized build and fail if its median
+  # exceeds PERF_SMOKE_TOLERANCE x the committed BENCH_micro.json
+  # median. The bench must run in Release — a debug build would always
+  # trip the gate.
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$(nproc)" --target bench_micro
+  ./build-release/bench/bench_micro \
+    --benchmark_filter='^BM_SimulatorEndToEnd/50$' \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json >build-release/perf_smoke.json
+  python3 - "$PERF_SMOKE_TOLERANCE" <<'EOF'
+import json, sys
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def median_ns(path):
+    doc = json.load(open(path))
+    for b in doc["benchmarks"]:
+        if b["name"] == "BM_SimulatorEndToEnd/50_median":
+            return b["real_time"] * UNIT_NS[b.get("time_unit", "ns")]
+    raise SystemExit(f"perf-smoke: no BM_SimulatorEndToEnd/50_median in {path}")
+
+tolerance = float(sys.argv[1])
+base = median_ns("BENCH_micro.json")
+cur = median_ns("build-release/perf_smoke.json")
+ratio = cur / base
+print(f"perf-smoke: median {cur / 1e6:.1f} ms vs baseline {base / 1e6:.1f} ms "
+      f"(ratio {ratio:.2f}, limit {tolerance:.2f})")
+if ratio > tolerance:
+    raise SystemExit("perf-smoke: FAIL — end-to-end benchmark regressed")
+EOF
 }
 
 run_coverage() {
@@ -94,8 +137,9 @@ case "${1:-all}" in
   default)  run_default ;;
   asan)     run_asan ;;
   tsan)     run_tsan ;;
+  perf)     run_perf ;;
   coverage) run_coverage ;;
-  all)      run_default; run_asan; run_tsan; run_coverage ;;
-  *) echo "usage: $0 [default|asan|tsan|coverage|all]" >&2; exit 2 ;;
+  all)      run_default; run_asan; run_tsan; run_perf; run_coverage ;;
+  *) echo "usage: $0 [default|asan|tsan|perf|coverage|all]" >&2; exit 2 ;;
 esac
 echo "ci: OK"

@@ -65,38 +65,6 @@ ResidualCapacity::ResidualCapacity(std::vector<util::Rate> ingress,
   }
 }
 
-util::Rate ResidualCapacity::available(coflow::PortId src, coflow::PortId dst) const {
-  util::Rate limit = std::min(ingress_[static_cast<std::size_t>(src)],
-                              egress_[static_cast<std::size_t>(dst)]);
-  if (fabric_ != nullptr && fabric_->crossRack(src, dst)) {
-    limit = std::min({limit, rack_up_[static_cast<std::size_t>(fabric_->rackOf(src))],
-                      rack_down_[static_cast<std::size_t>(fabric_->rackOf(dst))]});
-  }
-  return limit;
-}
-
-void ResidualCapacity::consume(coflow::PortId src, coflow::PortId dst, util::Rate rate) {
-  auto& in = ingress_[static_cast<std::size_t>(src)];
-  auto& out = egress_[static_cast<std::size_t>(dst)];
-  in = std::max(0.0, in - rate);
-  out = std::max(0.0, out - rate);
-  if (fabric_ != nullptr && fabric_->crossRack(src, dst)) {
-    auto& up = rack_up_[static_cast<std::size_t>(fabric_->rackOf(src))];
-    auto& down = rack_down_[static_cast<std::size_t>(fabric_->rackOf(dst))];
-    up = std::max(0.0, up - rate);
-    down = std::max(0.0, down - rate);
-  }
-}
-
-void ResidualCapacity::release(coflow::PortId src, coflow::PortId dst, util::Rate rate) {
-  ingress_[static_cast<std::size_t>(src)] += rate;
-  egress_[static_cast<std::size_t>(dst)] += rate;
-  if (fabric_ != nullptr && fabric_->crossRack(src, dst)) {
-    rack_up_[static_cast<std::size_t>(fabric_->rackOf(src))] += rate;
-    rack_down_[static_cast<std::size_t>(fabric_->rackOf(dst))] += rate;
-  }
-}
-
 bool ResidualCapacity::exhausted(util::Rate threshold) const {
   for (std::size_t p = 0; p < ingress_.size(); ++p) {
     if (ingress_[p] > threshold || egress_[p] > threshold) return false;

@@ -15,6 +15,7 @@
 //   ports_per_rack * port_capacity / oversubscription.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "coflow/ids.h"
@@ -90,6 +91,8 @@ class Fabric {
 /// racks.
 class ResidualCapacity {
  public:
+  /// Empty tracker; fill via assignFrom() (reusable scheduler scratch).
+  ResidualCapacity() = default;
   explicit ResidualCapacity(const Fabric& fabric, double scale = 1.0);
   ResidualCapacity(std::vector<util::Rate> ingress, std::vector<util::Rate> egress);
 
@@ -107,15 +110,60 @@ class ResidualCapacity {
   }
 
   /// Largest rate a single src->dst flow could still get (includes rack
-  /// links for cross-rack flows).
-  util::Rate available(coflow::PortId src, coflow::PortId dst) const;
+  /// links for cross-rack flows). Inline: this and consume() are the
+  /// innermost operations of every greedy scheduler pass.
+  util::Rate available(coflow::PortId src, coflow::PortId dst) const {
+    util::Rate limit = std::min(ingress_[static_cast<std::size_t>(src)],
+                                egress_[static_cast<std::size_t>(dst)]);
+    if (fabric_ != nullptr && fabric_->crossRack(src, dst)) {
+      limit = std::min({limit, rack_up_[static_cast<std::size_t>(fabric_->rackOf(src))],
+                        rack_down_[static_cast<std::size_t>(fabric_->rackOf(dst))]});
+    }
+    return limit;
+  }
 
   /// Removes `rate` from every resource the flow crosses. Clamps at zero
   /// (tiny negative residuals arise from floating-point water-filling).
-  void consume(coflow::PortId src, coflow::PortId dst, util::Rate rate);
+  void consume(coflow::PortId src, coflow::PortId dst, util::Rate rate) {
+    auto& in = ingress_[static_cast<std::size_t>(src)];
+    auto& out = egress_[static_cast<std::size_t>(dst)];
+    in = std::max(0.0, in - rate);
+    out = std::max(0.0, out - rate);
+    if (fabric_ != nullptr && fabric_->crossRack(src, dst)) {
+      auto& up = rack_up_[static_cast<std::size_t>(fabric_->rackOf(src))];
+      auto& down = rack_down_[static_cast<std::size_t>(fabric_->rackOf(dst))];
+      up = std::max(0.0, up - rate);
+      down = std::max(0.0, down - rate);
+    }
+  }
 
   /// Adds `rate` back (used when transplanting allocations between passes).
-  void release(coflow::PortId src, coflow::PortId dst, util::Rate rate);
+  void release(coflow::PortId src, coflow::PortId dst, util::Rate rate) {
+    ingress_[static_cast<std::size_t>(src)] += rate;
+    egress_[static_cast<std::size_t>(dst)] += rate;
+    if (fabric_ != nullptr && fabric_->crossRack(src, dst)) {
+      rack_up_[static_cast<std::size_t>(fabric_->rackOf(src))] += rate;
+      rack_down_[static_cast<std::size_t>(fabric_->rackOf(dst))] += rate;
+    }
+  }
+
+  /// Re-initializes from a fabric without reallocating (scratch reuse in
+  /// per-round scheduler passes).
+  void assignFrom(const Fabric& fabric, double scale = 1.0) {
+    fabric_ = fabric.hasRacks() ? &fabric : nullptr;
+    ingress_.assign(fabric.ingressCapacities().begin(), fabric.ingressCapacities().end());
+    egress_.assign(fabric.egressCapacities().begin(), fabric.egressCapacities().end());
+    rack_up_.assign(fabric.rackUplinkCapacities().begin(),
+                    fabric.rackUplinkCapacities().end());
+    rack_down_.assign(fabric.rackDownlinkCapacities().begin(),
+                      fabric.rackDownlinkCapacities().end());
+    if (scale != 1.0) {
+      for (auto& c : ingress_) c *= scale;
+      for (auto& c : egress_) c *= scale;
+      for (auto& c : rack_up_) c *= scale;
+      for (auto& c : rack_down_) c *= scale;
+    }
+  }
 
   /// True when every port has (numerically) zero residual on both sides.
   /// `threshold` bounds what counts as zero; the default kEps is absolute,

@@ -30,6 +30,21 @@ const std::vector<util::Rate>& maxMinAllocate(std::span<const Demand> demands,
     if (d.rate_cap < 0) throw std::invalid_argument("maxMinAllocate: negative rate cap");
   }
 
+  // Single unit-weight demand (the dominant shape of gainers-only passes
+  // over narrow coflows): one min over the flow's resources, no water
+  // level needed. Value-identical to the general path because x / 1.0 and
+  // 1.0 * x are exact, min-folding order cannot change a minimum, and the
+  // wsum columns are never touched.
+  if (n == 1 && demands[0].weight == 1.0) {
+    const Demand& d = demands[0];
+    if (d.rate_cap > 0.0) {
+      const util::Rate rate = std::min(residual.available(d.src, d.dst), d.rate_cap);
+      rates[0] = rate;
+      residual.consume(d.src, d.dst, rate);
+    }
+    return rates;
+  }
+
   const std::size_t racks =
       fabric != nullptr ? static_cast<std::size_t>(fabric->numRacks()) : 0;
   // Invariant: every wsum entry is zero between calls (touched entries are
@@ -59,7 +74,10 @@ const std::vector<util::Rate>& maxMinAllocate(std::span<const Demand> demands,
     c.src = static_cast<std::uint32_t>(d.src);
     c.dst = static_cast<std::uint32_t>(d.dst);
     c.weight = d.weight;
-    c.cap_level = d.rate_cap / d.weight;
+    // x / 1.0 == x bitwise; unit weight is the universal case here (every
+    // scheduler pass emits weight-1 demands), so skip the divide.
+    c.cap_level = d.weight == 1.0 ? d.rate_cap : d.rate_cap / d.weight;
+    c.rate_cap = d.rate_cap;
     if (scratch.wsum_in[c.src] == 0.0) scratch.touched_in.push_back(c.src);
     if (scratch.wsum_out[c.dst] == 0.0) scratch.touched_out.push_back(c.dst);
     scratch.wsum_in[c.src] += d.weight;
@@ -143,9 +161,9 @@ const std::vector<util::Rate>& maxMinAllocate(std::span<const Demand> demands,
       }
       // Current level against mid-pass residual/weights, mirroring the
       // reference's per-candidate recomputation.
-      double level =
-          std::min(residual.ingress(demands[i].src) / scratch.wsum_in[c.src],
-                   residual.egress(demands[i].dst) / scratch.wsum_out[c.dst]);
+      double level = std::min(
+          residual.ingress(static_cast<coflow::PortId>(c.src)) / scratch.wsum_in[c.src],
+          residual.egress(static_cast<coflow::PortId>(c.dst)) / scratch.wsum_out[c.dst]);
       level = std::min(level, c.cap_level);
       if (c.up_rack >= 0) {
         level = std::min(
@@ -159,9 +177,10 @@ const std::vector<util::Rate>& maxMinAllocate(std::span<const Demand> demands,
         scratch.unfrozen[live++] = i;
         continue;
       }
-      const util::Rate rate = std::min(c.weight * min_level, demands[i].rate_cap);
+      const util::Rate rate = std::min(c.weight * min_level, c.rate_cap);
       rates[i] = rate;
-      residual.consume(demands[i].src, demands[i].dst, rate);
+      residual.consume(static_cast<coflow::PortId>(c.src),
+                       static_cast<coflow::PortId>(c.dst), rate);
       scratch.wsum_in[c.src] -= c.weight;
       scratch.wsum_out[c.dst] -= c.weight;
       if (c.up_rack >= 0) {

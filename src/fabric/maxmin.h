@@ -62,6 +62,7 @@ struct MaxMinScratch {
     std::int32_t down_rack = -1;  ///< Destination rack, or -1.
     double weight = 1.0;
     double cap_level = 0.0;  ///< rate_cap / weight.
+    double rate_cap = 0.0;   ///< Verbatim copy (freeze pass stays on ctx lines).
   };
   std::vector<DemandCtx> ctx;
   std::vector<double> wsum_in, wsum_out, wsum_up, wsum_down;

@@ -16,12 +16,15 @@ std::vector<ActiveCoflow> groupActiveByCoflow(const sim::SimView& view) {
   std::vector<ActiveCoflow> groups;
   std::unordered_map<std::size_t, std::size_t> group_of;  // coflow idx -> groups idx
   for (const std::size_t fi : *view.active_flows) {
-    const std::size_t ci = view.flow(fi).coflow_index;
-    auto [it, inserted] = group_of.try_emplace(ci, groups.size());
+    const sim::FlowState f = view.flow(fi);
+    auto [it, inserted] = group_of.try_emplace(f.coflow_index, groups.size());
     if (inserted) {
-      groups.push_back(ActiveCoflow{ci, {}});
+      groups.push_back(ActiveCoflow{f.coflow_index, {}, {}, {}});
     }
-    groups[it->second].flow_indices.push_back(fi);
+    ActiveCoflow& g = groups[it->second];
+    g.flow_indices.push_back(fi);
+    g.srcs.push_back(f.src);
+    g.dsts.push_back(f.dst);
   }
   return groups;
 }

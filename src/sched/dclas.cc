@@ -1,5 +1,6 @@
 #include "sched/dclas.h"
 
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -7,6 +8,18 @@
 #include "coflow/ids.h"
 
 namespace aalo::sched {
+
+namespace {
+
+util::Rate drainedThreshold(const fabric::Fabric& fabric) {
+  // A residual is drained once no port can carry more than this; relative
+  // to capacity because each water-filling pass leaves FP dust behind.
+  util::Rate max_cap = 0;
+  for (const util::Rate c : fabric.ingressCapacities()) max_cap = std::max(max_cap, c);
+  return util::kEps * max_cap;
+}
+
+}  // namespace
 
 double DClasConfig::queueWeight(int q) const {
   const int k = explicit_thresholds.empty()
@@ -57,7 +70,7 @@ std::string DClasScheduler::name() const {
 }
 
 void DClasScheduler::reset(const fabric::Fabric& fabric) {
-  (void)fabric;
+  drained_threshold_ = drainedThreshold(fabric);
   known_sent_.clear();
   last_sync_boundary_ = -1;
   tracked_index_ = nullptr;
@@ -359,11 +372,14 @@ void DClasScheduler::allocateCoflowGainers(const sim::SimView& view,
   // useful work at a fraction of the cost of the full-width call.
   scratch_.demands.clear();
   gainers_scratch_.clear();
-  for (const std::size_t fi : group.flow_indices) {
-    const sim::FlowState& f = view.flow(fi);
-    if (residual.available(f.src, f.dst) > drained) {
-      scratch_.demands.push_back(fabric::Demand{f.src, f.dst, 1.0, fabric::kUncapped});
-      gainers_scratch_.push_back(fi);
+  const coflow::PortId* src = group.srcs.data();
+  const coflow::PortId* dst = group.dsts.data();
+  const std::size_t m = group.flow_indices.size();
+  for (std::size_t j = 0; j < m; ++j) {
+    if (residual.available(src[j], dst[j]) > drained) {
+      scratch_.demands.push_back(
+          fabric::Demand{src[j], dst[j], 1.0, fabric::kUncapped});
+      gainers_scratch_.push_back(group.flow_indices[j]);
     }
   }
   if (gainers_scratch_.empty()) return;
@@ -379,10 +395,11 @@ void DClasScheduler::countDemand(const sim::SimView& view, std::vector<int>& in_
   const auto ports = static_cast<std::size_t>(view.fabric->numPorts());
   in_demand.assign(ports, 0);
   out_demand.assign(ports, 0);
+  const coflow::PortId* src = view.flows->src_port.data();
+  const coflow::PortId* dst = view.flows->dst_port.data();
   for (const std::size_t fi : *view.active_flows) {
-    const sim::FlowState& f = view.flow(fi);
-    ++in_demand[static_cast<std::size_t>(f.src)];
-    ++out_demand[static_cast<std::size_t>(f.dst)];
+    ++in_demand[static_cast<std::size_t>(src[fi])];
+    ++out_demand[static_cast<std::size_t>(dst[fi])];
   }
 }
 
@@ -397,11 +414,14 @@ void DClasScheduler::allocateCoflowRecording(
   // inputs that dirty the queue when they change — so replays stay exact.
   scratch_.demands.clear();
   gainers_scratch_.clear();
-  for (const std::size_t fi : group.flow_indices) {
-    const sim::FlowState& f = view.flow(fi);
-    if (residual.available(f.src, f.dst) > drained) {
-      scratch_.demands.push_back(fabric::Demand{f.src, f.dst, 1.0, fabric::kUncapped});
-      gainers_scratch_.push_back(fi);
+  const coflow::PortId* src = group.srcs.data();
+  const coflow::PortId* dst = group.dsts.data();
+  const std::size_t m = group.flow_indices.size();
+  for (std::size_t j = 0; j < m; ++j) {
+    if (residual.available(src[j], dst[j]) > drained) {
+      scratch_.demands.push_back(
+          fabric::Demand{src[j], dst[j], 1.0, fabric::kUncapped});
+      gainers_scratch_.push_back(group.flow_indices[j]);
     }
   }
   if (gainers_scratch_.empty()) return;
@@ -413,18 +433,6 @@ void DClasScheduler::allocateCoflowRecording(
     out.emplace_back(fi, shares[k]);
   }
 }
-
-namespace {
-
-util::Rate drainedThreshold(const fabric::Fabric& fabric) {
-  // A residual is drained once no port can carry more than this; relative
-  // to capacity because each water-filling pass leaves FP dust behind.
-  util::Rate max_cap = 0;
-  for (const util::Rate c : fabric.ingressCapacities()) max_cap = std::max(max_cap, c);
-  return util::kEps * max_cap;
-}
-
-}  // namespace
 
 void DClasScheduler::allocate(const sim::SimView& view, std::vector<util::Rate>& rates) {
   ensureTracking(view);
@@ -462,8 +470,10 @@ void DClasScheduler::allocateStrict(const sim::SimView& view,
   // Priority-ordered greedy over the persistent queues: inherently work
   // conserving. No rate caching — the residual threads through every
   // queue, so one dirty queue would invalidate everything after it.
-  const util::Rate drained = drainedThreshold(*view.fabric);
-  fabric::ResidualCapacity residual(*view.fabric);
+  const util::Rate drained =
+      drained_threshold_ >= 0 ? drained_threshold_ : drainedThreshold(*view.fabric);
+  residual_scratch_.assignFrom(*view.fabric);
+  fabric::ResidualCapacity& residual = residual_scratch_;
   for (const QueueState& q : queues_) {
     if (demandDrained(residual, in_demand_, out_demand_, drained)) break;
     for (const std::size_t ci : q.members) {
@@ -498,15 +508,18 @@ void DClasScheduler::allocateWeighted(const sim::SimView& view,
     cached_total_weight_ = total_weight;
   }
 
-  const util::Rate drained = drainedThreshold(*view.fabric);
+  const util::Rate drained =
+      drained_threshold_ >= 0 ? drained_threshold_ : drainedThreshold(*view.fabric);
   const auto ports = static_cast<std::size_t>(view.fabric->numPorts());
-  fabric::ResidualCapacity leftover(*view.fabric, 0.0);
+  leftover_scratch_.assignFrom(*view.fabric, 0.0);
+  fabric::ResidualCapacity& leftover = leftover_scratch_;
   for (int qi = 0; qi < k; ++qi) {
     QueueState& q = queues_[static_cast<std::size_t>(qi)];
     if (q.members.empty()) continue;
     if (q.dirty) {
       const double share = config_.queueWeight(qi) / total_weight;
-      fabric::ResidualCapacity queue_residual(*view.fabric, share);
+      residual_scratch_.assignFrom(*view.fabric, share);
+      fabric::ResidualCapacity& queue_residual = residual_scratch_;
       q.cached_rates.clear();
       for (const std::size_t ci : q.members) {
         allocateCoflowRecording(view, *view.active_index->groupFor(ci),

@@ -214,6 +214,8 @@ class DClasScheduler final : public sim::Scheduler {
   /// where it is unchanged.
   std::uint64_t schedule_epoch_ = 1;
   double cached_total_weight_ = -1.0;
+  /// kEps * max ingress capacity, cached at reset(); -1 until seen.
+  util::Rate drained_threshold_ = -1.0;
   DClasTelemetry* telemetry_ = nullptr;
 
   /// Reusable allocation-round buffers (hot path).
@@ -222,6 +224,8 @@ class DClasScheduler final : public sim::Scheduler {
   std::vector<ActiveCoflow> groups_scratch_;
   std::vector<std::vector<std::size_t>> queue_members_;
   std::vector<int> in_demand_scratch_, out_demand_scratch_;
+  /// Reusable residual trackers (avoid four vector allocations per pass).
+  fabric::ResidualCapacity residual_scratch_, leftover_scratch_;
 };
 
 }  // namespace aalo::sched

@@ -61,6 +61,14 @@ struct SimResult {
   /// rates) was rebuilt — one per allocation install under the
   /// incremental engine, 0 under the legacy engine.
   std::size_t heap_rebuilds = 0;
+  /// Calendar events consumed by the event-driven engine: completion
+  /// predictions the clock landed on plus snap-gate firings. 0 under the
+  /// legacy engine.
+  std::size_t events_processed = 0;
+  /// Per-flow timing predictions (re)pushed onto the event calendar.
+  /// Allocation reuse keeps this near the number of genuine rate changes
+  /// rather than rounds x active flows. 0 under the legacy engine.
+  std::size_t heap_rekeys = 0;
 };
 
 }  // namespace aalo::sim

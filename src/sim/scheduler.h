@@ -22,7 +22,9 @@ struct SimView {
   util::Seconds now = 0;
   const fabric::Fabric* fabric = nullptr;
   const std::vector<CoflowState>* coflows = nullptr;
-  const std::vector<FlowState>* flows = nullptr;
+  /// Struct-of-arrays flow store; hot paths read its columns directly
+  /// (flows->src_port[i], flows->sent_bytes[i], ...).
+  const FlowArena* flows = nullptr;
   /// Indices (into *flows) of started, unfinished flows.
   const std::vector<std::size_t>* active_flows = nullptr;
   /// Active flows grouped by coflow, maintained incrementally by the
@@ -36,7 +38,10 @@ struct SimView {
   const std::vector<util::Rate>* coflow_rates = nullptr;
 
   const CoflowState& coflow(std::size_t i) const { return (*coflows)[i]; }
-  const FlowState& flow(std::size_t i) const { return (*flows)[i]; }
+  /// Value snapshot of flow `i`, gathered from the arena columns. Callers
+  /// binding `const FlowState& f = view.flow(i)` keep compiling via
+  /// lifetime extension; per-field column reads are cheaper in hot loops.
+  FlowState flow(std::size_t i) const { return flows->get(i); }
 };
 
 class Scheduler {

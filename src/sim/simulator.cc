@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/calendar.h"
 #include "sim/metrics.h"
 #include "util/units.h"
 
@@ -60,7 +61,12 @@ class Run {
   SimResult executeLegacy();
   SimResult executeIncremental();
   void installAllocation(const SimView& view);
+  void rekeyFlow(std::size_t fi, util::Bytes remaining, util::Bytes slack);
   void sweepCompletions();
+
+  static util::Bytes slackFor(util::Bytes size) {
+    return std::max(kCompletionSlackBytes, 1e-9 * size);
+  }
 
   fabric::Fabric fabric_;
   Scheduler& scheduler_;
@@ -69,7 +75,7 @@ class Run {
   const bool incremental_;
 
   std::vector<CoflowState> coflows_;
-  std::vector<FlowState> flows_;
+  FlowArena flows_;
   std::vector<std::size_t> active_flows_;
   ActiveCoflowIndex active_index_;
   std::vector<util::Rate> rates_;
@@ -90,11 +96,24 @@ class Run {
   // --- Incremental-engine state --------------------------------------
   // Per-coflow aggregate installed rate (SimView::coflow_rates).
   std::vector<util::Rate> coflow_rate_;
-  // Conservative earliest time any active flow becomes snap-eligible
-  // (remaining within completion slack) — the gate for running the
-  // completion sweep. Rebuilt at install, re-derived from survivors
-  // after each sweep; the prediction errs early, never late.
-  util::Seconds min_detect_ = kInfTime;
+  // Flow-completion / snap-eligibility predictions (see calendar.h).
+  EventCalendar calendar_;
+  // Slot-packed mirrors of the active flows, aligned with active_flows_
+  // (slot k describes flow active_flows_[k]; swap-removed in lockstep).
+  // Between installs slot_sent_ is the *canonical* attained service of
+  // active flows — the arena column is synced at install rounds (before
+  // the scheduler reads it) and at completions, which the scheduleEpoch
+  // contract already permits. Packing turns the per-round integration
+  // into contiguous, branch-light passes the compiler vectorizes.
+  std::vector<util::Rate> slot_rate_;
+  std::vector<util::Bytes> slot_sent_;
+  std::vector<util::Bytes> slot_size_;
+  std::vector<util::Bytes> slot_delta_;
+  std::vector<std::uint32_t> slot_coflow_;
+  std::vector<std::size_t> slot_of_;     ///< flow index -> current slot.
+  std::vector<std::uint32_t> snap_due_;  ///< drainSnapDue scratch.
+  std::vector<std::uint32_t> completion_due_;  ///< collectCompletionsNear scratch.
+  std::vector<std::uint32_t> changed_slots_;   ///< installAllocation scratch.
   bool installed_ = false;
   std::uint64_t installed_index_epoch_ = 0;
   std::uint64_t installed_sched_epoch_ = 0;
@@ -119,15 +138,13 @@ void Run::buildState() {
       cs.job = job.id;
       cs.spec_arrival = job.arrival + spec.arrival_offset;
       for (const coflow::FlowSpec& fs : spec.flows) {
-        const std::size_t fi = flows_.size();
         FlowState f;
-        f.id = static_cast<coflow::FlowId>(fi);
+        f.id = static_cast<coflow::FlowId>(flows_.size());
         f.coflow_index = ci;
         f.src = fs.src;
         f.dst = fs.dst;
         f.size = fs.bytes;
-        flows_.push_back(f);
-        cs.flow_indices.push_back(fi);
+        cs.flow_indices.push_back(flows_.push(f));
       }
       coflows_.push_back(std::move(cs));
     }
@@ -194,13 +211,26 @@ void Run::releaseCoflow(std::size_t ci) {
 }
 
 void Run::releaseFlow(std::size_t fi) {
-  FlowState& f = flows_[fi];
-  f.started = true;
-  f.release_time = now_;
+  flows_.started[fi] = 1;
+  flows_.release_time[fi] = now_;
   active_flows_.push_back(fi);
-  active_index_.addFlow(f.coflow_index, fi);
-  coflows_[f.coflow_index].size_released += f.size;
-  if (incremental_) scheduler_.onFlowStarted(makeView(), fi);
+  active_index_.addFlow(flows_.coflow_of[fi], fi, flows_.src_port[fi],
+                        flows_.dst_port[fi]);
+  coflows_[flows_.coflow_of[fi]].size_released += flows_.size_bytes[fi];
+  if (incremental_) {
+    slot_of_[fi] = slot_rate_.size();
+    slot_rate_.push_back(flows_.rate[fi]);
+    slot_sent_.push_back(flows_.sent_bytes[fi]);
+    slot_size_.push_back(flows_.size_bytes[fi]);
+    slot_delta_.push_back(0.0);
+    slot_coflow_.push_back(flows_.coflow_of[fi]);
+    // Flows born inside the completion slack (zero/dust sizes) never get
+    // a rate change to re-key them — arm the sweep gate here, exactly as
+    // the legacy engine's unconditional sweep would catch them.
+    const util::Bytes remaining = flows_.size_bytes[fi] - flows_.sent_bytes[fi];
+    if (remaining <= slackFor(flows_.size_bytes[fi])) calendar_.pushSnap(fi, now_);
+    scheduler_.onFlowStarted(makeView(), fi);
+  }
 }
 
 void Run::finishCoflow(std::size_t ci) {
@@ -240,13 +270,15 @@ void Run::verifyAllocation() const {
   std::vector<util::Rate> up(racks, 0.0);
   std::vector<util::Rate> down(racks, 0.0);
   for (const std::size_t fi : active_flows_) {
-    const FlowState& f = flows_[fi];
-    if (f.rate < 0) throw std::logic_error("Simulator: negative rate from scheduler");
-    in[static_cast<std::size_t>(f.src)] += f.rate;
-    out[static_cast<std::size_t>(f.dst)] += f.rate;
-    if (racks > 0 && fabric_.crossRack(f.src, f.dst)) {
-      up[static_cast<std::size_t>(fabric_.rackOf(f.src))] += f.rate;
-      down[static_cast<std::size_t>(fabric_.rackOf(f.dst))] += f.rate;
+    const util::Rate rate = flows_.rate[fi];
+    if (rate < 0) throw std::logic_error("Simulator: negative rate from scheduler");
+    const coflow::PortId src = flows_.src_port[fi];
+    const coflow::PortId dst = flows_.dst_port[fi];
+    in[static_cast<std::size_t>(src)] += rate;
+    out[static_cast<std::size_t>(dst)] += rate;
+    if (racks > 0 && fabric_.crossRack(src, dst)) {
+      up[static_cast<std::size_t>(fabric_.rackOf(src))] += rate;
+      down[static_cast<std::size_t>(fabric_.rackOf(dst))] += rate;
     }
   }
   const double tol = 1e-6;
@@ -293,16 +325,16 @@ SimResult Run::executeLegacy() {
     const SimView view = makeView();
     scheduler_.allocate(view, rates_);
     for (const std::size_t fi : active_flows_) {
-      flows_[fi].rate = std::max(0.0, rates_[fi]);
+      flows_.rate[fi] = std::max(0.0, rates_[fi]);
     }
     if (options_.verify_allocations) verifyAllocation();
 
     // Earliest next state change.
     util::Seconds t_next = timeline_.empty() ? kInfTime : timeline_.top().time;
     for (const std::size_t fi : active_flows_) {
-      const FlowState& f = flows_[fi];
-      if (f.rate > util::kEps) {
-        t_next = std::min(t_next, now_ + (f.size - f.sent) / f.rate);
+      const util::Rate rate = flows_.rate[fi];
+      if (rate > util::kEps) {
+        t_next = std::min(t_next, now_ + (flows_.size_bytes[fi] - flows_.sent_bytes[fi]) / rate);
       }
     }
     const util::Seconds wake = scheduler_.nextWakeup(view);
@@ -318,31 +350,40 @@ SimResult Run::executeLegacy() {
     const util::Seconds dt = t_next - now_;
     if (dt > 0) {
       for (const std::size_t fi : active_flows_) {
-        FlowState& f = flows_[fi];
-        if (f.rate <= 0) continue;
-        const util::Bytes delta = std::min(f.rate * dt, f.size - f.sent);
-        f.sent += delta;
-        coflows_[f.coflow_index].sent += delta;
+        const util::Rate rate = flows_.rate[fi];
+        if (rate <= 0) continue;
+        const util::Bytes delta =
+            std::min(rate * dt, flows_.size_bytes[fi] - flows_.sent_bytes[fi]);
+        flows_.sent_bytes[fi] += delta;
+        coflows_[flows_.coflow_of[fi]].sent += delta;
       }
     }
     now_ = t_next;
 
-    // Flow completions (snap near-complete flows).
+    // Flow completions (snap near-complete flows). The second clause is
+    // the clock-resolution rule: at large now_ a nearly-done flow's
+    // remaining transfer time can round below one ulp of the clock, so
+    // its predicted completion equals now_ exactly — every round would
+    // then pick dt = 0 and the state never advances. A flow whose
+    // completion cannot move the clock is done at the fluid model's time
+    // resolution; snapping it is the only way the run can make progress.
     for (std::size_t k = 0; k < active_flows_.size();) {
       const std::size_t fi = active_flows_[k];
-      FlowState& f = flows_[fi];
-      const util::Bytes remaining = f.size - f.sent;
-      if (remaining <= std::max(kCompletionSlackBytes, 1e-9 * f.size)) {
-        coflows_[f.coflow_index].sent += remaining;  // Account the snap.
-        f.sent = f.size;
-        f.done = true;
-        f.rate = 0;
+      const util::Bytes remaining = flows_.size_bytes[fi] - flows_.sent_bytes[fi];
+      const util::Rate frate = flows_.rate[fi];
+      if (remaining <= slackFor(flows_.size_bytes[fi]) ||
+          (frate > util::kEps && now_ + remaining / frate <= now_)) {
+        const std::size_t ci = flows_.coflow_of[fi];
+        coflows_[ci].sent += remaining;  // Account the snap.
+        flows_.sent_bytes[fi] = flows_.size_bytes[fi];
+        flows_.done[fi] = 1;
+        flows_.rate[fi] = 0;
         active_flows_[k] = active_flows_.back();
         active_flows_.pop_back();
-        active_index_.removeFlow(f.coflow_index, fi);
-        CoflowState& c = coflows_[f.coflow_index];
+        active_index_.removeFlow(ci, fi);
+        CoflowState& c = coflows_[ci];
         if (++c.flows_done == c.flow_indices.size()) {
-          finishCoflow(f.coflow_index);
+          finishCoflow(ci);
         }
       } else {
         ++k;
@@ -359,43 +400,113 @@ SimResult Run::executeLegacy() {
   return buildResult();
 }
 
-// --- Incremental engine ----------------------------------------------
+// --- Incremental (event-driven) engine -------------------------------
 //
-// Produces bitwise-identical trajectories to executeLegacy()
-// (tests/engine_equivalence_test.cc holds every scheduler to 1e-9 on
-// every finish time). That bound is only reachable by keeping the round
-// arithmetic — the t_next min-scan, the per-flow integration order, the
-// completion-sweep order — exactly the legacy loop's: schedulers that
-// compare exact attained service (continuous CLAS's sort, D-CLAS
-// threshold back-dating) amplify a single ulp of drift into different
-// scheduling decisions and macroscopically different finish times. The
-// engine's savings are therefore confined to work the legacy loop
-// redoes without need:
+// Produces trajectories equivalent to executeLegacy() to 1e-9 on every
+// finish time with identical round counts
+// (tests/engine_equivalence_test.cc holds every scheduler to that bar).
+// The per-round integration arithmetic — expression, order, and the
+// completion-sweep scan order — is kept exactly the legacy loop's:
+// schedulers that compare exact attained service (continuous CLAS's
+// sort, D-CLAS threshold back-dating) amplify drift into different
+// scheduling decisions. The engine's savings:
 //
-//  1. Allocation reuse. Every membership change bumps the active-index
-//     epoch, and schedulers opt in via scheduleEpoch(), which changes
-//     whenever their allocation inputs do. When both epochs match the
-//     installed pair, the round skips rate zeroing, allocate(), the
-//     rate copy, and verification outright: rates are piecewise-
-//     constant, so the installed values are still exact.
+//  1. Allocation reuse (PR 3). Every membership change bumps the
+//     active-index epoch, and schedulers opt in via scheduleEpoch().
+//     When both epochs match the installed pair, the round skips rate
+//     zeroing, allocate(), the rate copy, and verification outright.
 //  2. Per-coflow aggregate rates (SimView::coflow_rates), rebuilt once
 //     per install by summing flow rates in group flow-index order —
 //     bitwise equal to the per-flow fallback sum in
-//     coflowAggregateRate() — making scheduler wake-up predictions
-//     O(1) per coflow instead of O(flows).
-//  3. A completion-sweep gate. The legacy loop scans every active flow
-//     for snap-eligibility every round; here a conservative earliest
-//     snap-eligible time is kept (rebuilt at install, re-derived from
-//     survivors after each sweep) and the sweep is skipped while now_
-//     is provably short of it. The prediction errs early, never late:
-//     an early gate just runs the same no-op scan legacy would.
+//     coflowAggregateRate().
+//  3. The event calendar (calendar.h). The legacy loop's two O(active)
+//     scans per round — the t_next division scan and the completion
+//     sweep — become a heap peek and a heap-gated sweep: per-flow
+//     completion/snap predictions are computed once per rate change
+//     (lazily invalidated, so reused rounds re-key nothing) and the
+//     sweep only runs on rounds where some flow is predicted
+//     snap-eligible. Cached predictions drift from the legacy per-round
+//     recomputations by accumulated-rounding ulps; the completion slack
+//     (1e-3 bytes) and the gate's grace window absorb that drift, which
+//     is what keeps the round structure identical.
+//  4. Slot-packed SoA integration. Active flows' (rate, sent, size) live
+//     in dense arrays aligned with active_flows_, so the one remaining
+//     per-round O(active) pass — rate integration — is a contiguous,
+//     branch-light loop (min/add; rate-0 flows contribute an exact +0.0,
+//     bitwise identical to the legacy skip), followed by a scalar
+//     scatter of the deltas into per-coflow totals in the same order the
+//     legacy loop accumulates them.
+
+void Run::rekeyFlow(std::size_t fi, util::Bytes remaining, util::Bytes slack) {
+  calendar_.invalidate(fi);
+  const util::Rate rate = flows_.rate[fi];
+  if (rate > util::kEps) {
+    calendar_.pushCompletion(fi, now_ + remaining / rate);
+  }
+  // `rate > 0` (not > kEps) so dust-rate flows that creep into the slack
+  // window over a long horizon still open the gate when legacy would
+  // snap them.
+  if (rate > 0) {
+    calendar_.pushSnap(fi, now_ + (remaining - slack) / rate);
+  } else if (remaining <= slack) {
+    calendar_.pushSnap(fi, now_);  // Zero-rate but already snap-eligible.
+  }
+}
 
 void Run::installAllocation(const SimView& view) {
   ++allocate_calls_;
-  for (const std::size_t fi : active_flows_) rates_[fi] = 0.0;
+  // Materialize attained service for the scheduler: slot_sent_ is the
+  // canonical copy between installs (the legacy engine updates the
+  // per-flow field directly). rates_ needs no zeroing here — the rate
+  // copy-back loop below re-zeroes each entry as it reads it.
+  for (std::size_t k = 0; k < active_flows_.size(); ++k) {
+    flows_.sent_bytes[active_flows_[k]] = slot_sent_[k];
+  }
   scheduler_.allocate(view, rates_);
-  for (const std::size_t fi : active_flows_) {
-    flows_[fi].rate = std::max(0.0, rates_[fi]);
+  changed_slots_.clear();
+  for (std::size_t k = 0; k < active_flows_.size(); ++k) {
+    const std::size_t fi = active_flows_[k];
+    const util::Rate rate = std::max(0.0, rates_[fi]);
+    // Re-zero in the same pass (the entry is already in cache) so the
+    // next install skips a second scattered sweep over rates_.
+    rates_[fi] = 0.0;
+    if (rate != slot_rate_[k]) {
+      // Only flows whose installed rate actually changed get re-keyed;
+      // everything else keeps its calendar entries (lazy invalidation).
+      // slot_rate_[k] always mirrors flows_.rate[fi], so the dense slot
+      // read stands in for the scattered arena read.
+      flows_.rate[fi] = rate;
+      slot_rate_[k] = rate;
+      changed_slots_.push_back(static_cast<std::uint32_t>(k));
+    }
+  }
+  if (2 * changed_slots_.size() > active_flows_.size()) {
+    // Most rates moved (the common case right after a membership change:
+    // water-filling redistributes globally). Re-keying those one sift-up
+    // at a time costs O(changed log heap) and buries the heaps in stale
+    // entries; one contiguous heapify over *all* active flows is cheaper
+    // and leaves both heaps fully valid. Recomputing an unchanged flow's
+    // keys from current canonical state is safe — keys only nominate,
+    // and the refreshed key equals this round's legacy expression.
+    calendar_.beginRebuild();
+    for (std::size_t k = 0; k < active_flows_.size(); ++k) {
+      const std::size_t fi = active_flows_[k];
+      const util::Rate rate = slot_rate_[k];
+      const util::Bytes remaining = slot_size_[k] - slot_sent_[k];
+      const util::Bytes slack = slackFor(slot_size_[k]);
+      if (rate > util::kEps) calendar_.stageCompletion(fi, now_ + remaining / rate);
+      if (rate > 0) {
+        calendar_.stageSnap(fi, now_ + (remaining - slack) / rate);
+      } else if (remaining <= slack) {
+        calendar_.stageSnap(fi, now_);
+      }
+    }
+    calendar_.finishRebuild();
+  } else {
+    for (const std::uint32_t k : changed_slots_) {
+      rekeyFlow(active_flows_[k], slot_size_[k] - slot_sent_[k],
+                slackFor(slot_size_[k]));
+    }
   }
   if (options_.verify_allocations) verifyAllocation();
 
@@ -405,23 +516,8 @@ void Run::installAllocation(const SimView& view) {
   // equal totals.
   for (const ActiveGroup& g : active_index_.groups()) {
     util::Rate total = 0.0;
-    for (const std::size_t fi : g.flow_indices) total += flows_[fi].rate;
+    for (const std::size_t fi : g.flow_indices) total += flows_.rate[fi];
     coflow_rate_[g.coflow_index] = total;
-  }
-
-  // Earliest snap-eligible time across active flows. `f.rate > 0` (not
-  // > kEps) so dust-rate flows that creep into the slack window over a
-  // long horizon still open the gate when legacy would snap them.
-  min_detect_ = kInfTime;
-  for (const std::size_t fi : active_flows_) {
-    const FlowState& f = flows_[fi];
-    const util::Bytes remaining = f.size - f.sent;
-    const util::Bytes slack = std::max(kCompletionSlackBytes, 1e-9 * f.size);
-    if (f.rate > 0) {
-      min_detect_ = std::min(min_detect_, now_ + (remaining - slack) / f.rate);
-    } else if (remaining <= slack) {
-      min_detect_ = now_;  // Zero-rate but already snap-eligible.
-    }
   }
   ++heap_rebuilds_;
 
@@ -431,32 +527,42 @@ void Run::installAllocation(const SimView& view) {
 }
 
 void Run::sweepCompletions() {
-  // Legacy-identical completion condition and iteration order; also
-  // re-derives min_detect_ from the survivors so the gate is always a
-  // fresh conservative bound after a (possibly premature) sweep.
-  min_detect_ = kInfTime;
+  // Legacy-identical completion condition and iteration order (scan with
+  // swap-remove re-examination), over the slot-packed state. The slot
+  // arrays shadow active_flows_ element-for-element, so same-time
+  // completions are processed in the exact order the legacy scan visits
+  // them — the ordering contract documented in DESIGN.md section 7.
   for (std::size_t k = 0; k < active_flows_.size();) {
-    const std::size_t fi = active_flows_[k];
-    FlowState& f = flows_[fi];
-    const util::Bytes remaining = f.size - f.sent;
-    const util::Bytes slack = std::max(kCompletionSlackBytes, 1e-9 * f.size);
-    if (remaining <= slack) {
-      coflows_[f.coflow_index].sent += remaining;  // Account the snap.
-      f.sent = f.size;
-      f.done = true;
-      f.rate = 0;
+    const util::Bytes remaining = slot_size_[k] - slot_sent_[k];
+    const util::Rate frate = slot_rate_[k];
+    if (remaining <= slackFor(slot_size_[k]) ||
+        (frate > util::kEps && now_ + remaining / frate <= now_)) {
+      const std::size_t fi = active_flows_[k];
+      const std::size_t ci = slot_coflow_[k];
+      coflows_[ci].sent += remaining;  // Account the snap.
+      flows_.sent_bytes[fi] = flows_.size_bytes[fi];
+      flows_.done[fi] = 1;
+      flows_.rate[fi] = 0;
+      calendar_.invalidate(fi);
       active_flows_[k] = active_flows_.back();
       active_flows_.pop_back();
-      active_index_.removeFlow(f.coflow_index, fi);
+      slot_rate_[k] = slot_rate_.back();
+      slot_rate_.pop_back();
+      slot_sent_[k] = slot_sent_.back();
+      slot_sent_.pop_back();
+      slot_size_[k] = slot_size_.back();
+      slot_size_.pop_back();
+      slot_coflow_[k] = slot_coflow_.back();
+      slot_coflow_.pop_back();
+      slot_delta_.pop_back();
+      if (k < active_flows_.size()) slot_of_[active_flows_[k]] = k;
+      active_index_.removeFlow(ci, fi);
       scheduler_.onFlowCompleted(makeView(), fi);
-      CoflowState& c = coflows_[f.coflow_index];
+      CoflowState& c = coflows_[ci];
       if (++c.flows_done == c.flow_indices.size()) {
-        finishCoflow(f.coflow_index);
+        finishCoflow(ci);
       }
     } else {
-      if (f.rate > 0) {
-        min_detect_ = std::min(min_detect_, now_ + (remaining - slack) / f.rate);
-      }
       ++k;
     }
   }
@@ -465,6 +571,8 @@ void Run::sweepCompletions() {
 SimResult Run::executeIncremental() {
   scheduler_.reset(fabric_);
   coflow_rate_.assign(coflows_.size(), 0.0);
+  calendar_.reset(flows_.size());
+  slot_of_.assign(flows_.size(), 0);
   processDueEvents();  // Releases everything due at t = 0.
 
   while (true) {
@@ -494,18 +602,35 @@ SimResult Run::executeIncremental() {
       ++reused_allocations_;
     } else {
       installAllocation(view);
+      calendar_.compactIfBloated();
     }
 
-    // From here the round is the legacy loop verbatim (same scan and
-    // integration order — see the equivalence note above), except that
-    // the completion sweep is gated on min_detect_.
-    util::Seconds t_next = timeline_.empty() ? kInfTime : timeline_.top().time;
-    for (const std::size_t fi : active_flows_) {
-      const FlowState& f = flows_[fi];
-      if (f.rate > util::kEps) {
-        t_next = std::min(t_next, now_ + (f.size - f.sent) / f.rate);
+    // Earliest next state change: timeline arrival, flow completion, or
+    // scheduler wake-up. The calendar replaces the legacy engine's
+    // O(active) division scan with a heap peek — but cached keys drift
+    // from the legacy per-round recomputation by accumulated-rounding
+    // ulps, and schedulers that sort on exact attained service
+    // (continuous CLAS) amplify a one-ulp t_next difference into
+    // different decisions. So the cached keys only *nominate*: every
+    // candidate within a drift-covering window of the cached minimum
+    // gets the exact legacy expression recomputed from canonical state,
+    // and t_next takes the exact minimum. The window (1e-9 absolute +
+    // 1e-9 relative) is orders of magnitude above the observed drift
+    // (~1e-10 s over thousands of rounds) yet admits only near-
+    // simultaneous completions, so the recomputation stays O(ties).
+    const util::Seconds cached_min = calendar_.nextCompletion();
+    util::Seconds next_completion = kInfTime;
+    if (cached_min < kInfTime) {
+      const util::Seconds window = 1e-9 + 1e-9 * std::abs(cached_min);
+      calendar_.collectCompletionsNear(cached_min + window, completion_due_);
+      for (const std::uint32_t fi : completion_due_) {
+        const std::size_t k = slot_of_[fi];
+        next_completion = std::min(
+            next_completion, now_ + (slot_size_[k] - slot_sent_[k]) / slot_rate_[k]);
       }
     }
+    util::Seconds t_next = timeline_.empty() ? kInfTime : timeline_.top().time;
+    t_next = std::min(t_next, next_completion);
     const util::Seconds wake = scheduler_.nextWakeup(view);
     if (wake > now_) t_next = std::min(t_next, wake);
 
@@ -514,24 +639,49 @@ SimResult Run::executeIncremental() {
                                scheduler_.name());
     }
     t_next = std::max(t_next, now_);  // Guard against wake-ups in the past.
+    if (t_next == next_completion) calendar_.noteEventProcessed();
 
-    // Integrate.
+    // Integrate: contiguous passes over the slot-packed state. Pass 1 is
+    // the vectorizable min/add; pass 2 scatters deltas into per-coflow
+    // totals in slot (= legacy scan) order. A rate-0 flow's delta is an
+    // exact +0.0 — bitwise identical to the legacy `continue`.
     const util::Seconds dt = t_next - now_;
     if (dt > 0) {
-      for (const std::size_t fi : active_flows_) {
-        FlowState& f = flows_[fi];
-        if (f.rate <= 0) continue;
-        const util::Bytes delta = std::min(f.rate * dt, f.size - f.sent);
-        f.sent += delta;
-        coflows_[f.coflow_index].sent += delta;
+      const std::size_t n = active_flows_.size();
+      const util::Rate* __restrict rate = slot_rate_.data();
+      const util::Bytes* __restrict size = slot_size_.data();
+      util::Bytes* __restrict sent = slot_sent_.data();
+      util::Bytes* __restrict delta = slot_delta_.data();
+      for (std::size_t k = 0; k < n; ++k) {
+        const util::Bytes d = std::min(rate[k] * dt, size[k] - sent[k]);
+        sent[k] += d;
+        delta[k] = d;
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        coflows_[slot_coflow_[k]].sent += delta[k];
       }
     }
     now_ = t_next;
 
-    // The relative term covers rounding in the prediction itself at
-    // large now_, where one ulp can exceed the absolute kEps grace.
-    if (min_detect_ <= now_ * (1.0 + 1e-12) + util::kEps) {
+    // The relative term covers rounding in the predictions at large
+    // now_, where one ulp can exceed the absolute kEps grace.
+    const util::Seconds gate = now_ * (1.0 + 1e-12) + util::kEps;
+    if (calendar_.drainSnapDue(gate, snap_due_)) {
       sweepCompletions();
+      // Drained flows the sweep did not complete (the cached prediction
+      // landed a hair early): refresh both keys from current canonical
+      // state — exactly the legacy per-round recomputation — so the gate
+      // re-arms at the right time instead of re-firing every round.
+      for (const std::uint32_t fi : snap_due_) {
+        if (flows_.done[fi] != 0) continue;
+        const std::size_t k = slot_of_[fi];
+        const util::Bytes remaining = slot_size_[k] - slot_sent_[k];
+        const util::Bytes slack = slackFor(slot_size_[k]);
+        calendar_.invalidate(fi);
+        const util::Rate rate = slot_rate_[k];
+        if (rate > util::kEps) calendar_.pushCompletion(fi, now_ + remaining / rate);
+        if (rate > 0) calendar_.pushSnap(fi, now_ + (remaining - slack) / rate);
+      }
     }
 
     processDueEvents();
@@ -550,6 +700,8 @@ SimResult Run::buildResult() {
   result.allocate_calls = allocate_calls_;
   result.reused_allocations = reused_allocations_;
   result.heap_rebuilds = heap_rebuilds_;
+  result.events_processed = calendar_.eventsProcessed();
+  result.heap_rekeys = calendar_.rekeys();
   result.makespan = now_;
 
   // Finishes-Before adjustment: a coflow's effective finish is the max of

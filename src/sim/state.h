@@ -20,6 +20,10 @@ namespace aalo::sim {
 
 inline constexpr util::Seconds kInfTime = std::numeric_limits<util::Seconds>::infinity();
 
+/// Value snapshot of one flow. Since the SoA refactor this is a *view*
+/// type: per-flow ground truth lives in FlowArena's contiguous columns,
+/// and SimView::flow() gathers a FlowState on demand. It doubles as the
+/// builder type for hand-assembled arenas (tests, benches).
 struct FlowState {
   coflow::FlowId id = 0;
   std::size_t coflow_index = 0;  ///< Index into SimView::coflows.
@@ -31,6 +35,75 @@ struct FlowState {
   bool started = false;
   bool done = false;
   util::Rate rate = 0;  ///< Current allocation (engine-owned).
+};
+
+/// Struct-of-arrays flow store. One entry per flow, indexed by flow index;
+/// each field is its own contiguous column so the engine's integration
+/// sweep and the schedulers' demand-building loops read dense memory the
+/// compiler can keep in vector registers. `remaining` is deliberately not
+/// materialized: it is always computed as `size_bytes[i] - sent_bytes[i]`,
+/// the exact expression the pre-SoA engine used, so trajectories stay
+/// bitwise-comparable with the legacy oracle.
+struct FlowArena {
+  std::vector<coflow::FlowId> id;
+  std::vector<std::uint32_t> coflow_of;  ///< Index into SimView::coflows.
+  std::vector<coflow::PortId> src_port;
+  std::vector<coflow::PortId> dst_port;
+  std::vector<util::Bytes> size_bytes;  ///< Ground truth; clairvoyant only.
+  std::vector<util::Bytes> sent_bytes;
+  std::vector<util::Seconds> release_time;
+  std::vector<util::Rate> rate;  ///< Current allocation (engine-owned).
+  std::vector<std::uint8_t> started;
+  std::vector<std::uint8_t> done;
+
+  std::size_t size() const { return src_port.size(); }
+  bool empty() const { return src_port.empty(); }
+
+  void clear() {
+    id.clear();
+    coflow_of.clear();
+    src_port.clear();
+    dst_port.clear();
+    size_bytes.clear();
+    sent_bytes.clear();
+    release_time.clear();
+    rate.clear();
+    started.clear();
+    done.clear();
+  }
+
+  /// Appends a flow from its value snapshot; returns the new flow index.
+  std::size_t push(const FlowState& f) {
+    const std::size_t i = size();
+    id.push_back(f.id);
+    coflow_of.push_back(static_cast<std::uint32_t>(f.coflow_index));
+    src_port.push_back(f.src);
+    dst_port.push_back(f.dst);
+    size_bytes.push_back(f.size);
+    sent_bytes.push_back(f.sent);
+    release_time.push_back(f.release_time);
+    rate.push_back(f.rate);
+    started.push_back(f.started ? 1 : 0);
+    done.push_back(f.done ? 1 : 0);
+    return i;
+  }
+
+  /// Gathers flow `i` into a value snapshot (cold paths; hot loops read
+  /// the columns directly).
+  FlowState get(std::size_t i) const {
+    FlowState f;
+    f.id = id[i];
+    f.coflow_index = coflow_of[i];
+    f.src = src_port[i];
+    f.dst = dst_port[i];
+    f.size = size_bytes[i];
+    f.sent = sent_bytes[i];
+    f.release_time = release_time[i];
+    f.started = started[i] != 0;
+    f.done = done[i] != 0;
+    f.rate = rate[i];
+    return f;
+  }
 };
 
 struct CoflowState {
@@ -58,9 +131,18 @@ struct CoflowState {
 
 /// One coflow together with its currently active (started, unfinished)
 /// flows. The grouping every scheduler discipline starts from.
+///
+/// `srcs`/`dsts` mirror flow_indices element-for-element: schedulers'
+/// innermost loops (demand building, gainers filtering) need each flow's
+/// endpoints, and gathering them through the arena costs one scattered
+/// load per port per flow per round. Packing them here turns those loops
+/// into dense sequential reads; the index maintains the alignment on
+/// every add/remove.
 struct ActiveGroup {
   std::size_t coflow_index = 0;
   std::vector<std::size_t> flow_indices;
+  std::vector<coflow::PortId> srcs;  ///< srcs[k] = src port of flow_indices[k].
+  std::vector<coflow::PortId> dsts;  ///< dsts[k] = dst port of flow_indices[k].
 };
 
 /// Incrementally maintained grouping of active flows by coflow. The
@@ -95,34 +177,43 @@ class ActiveCoflowIndex {
     ++epoch_;
   }
 
-  void addFlow(std::size_t coflow_index, std::size_t flow_index) {
+  void addFlow(std::size_t coflow_index, std::size_t flow_index, coflow::PortId src,
+               coflow::PortId dst) {
     std::size_t g = group_of_[coflow_index];
     if (g == kNone) {
       g = groups_.size();
       group_of_[coflow_index] = g;
       if (spare_.empty()) {
-        groups_.push_back(ActiveGroup{coflow_index, {}});
+        groups_.push_back(ActiveGroup{coflow_index, {}, {}, {}});
       } else {
-        // Recycle a retired group's vector to keep its capacity.
-        groups_.push_back(ActiveGroup{coflow_index, std::move(spare_.back())});
+        // Recycle a retired group to keep its vectors' capacity.
+        spare_.back().coflow_index = coflow_index;
+        groups_.push_back(std::move(spare_.back()));
         spare_.pop_back();
       }
     }
     pos_of_[flow_index] = groups_[g].flow_indices.size();
     groups_[g].flow_indices.push_back(flow_index);
+    groups_[g].srcs.push_back(src);
+    groups_[g].dsts.push_back(dst);
     ++epoch_;
   }
 
   void removeFlow(std::size_t coflow_index, std::size_t flow_index) {
     const std::size_t g = group_of_[coflow_index];
-    std::vector<std::size_t>& members = groups_[g].flow_indices;
+    ActiveGroup& group = groups_[g];
+    std::vector<std::size_t>& members = group.flow_indices;
     const std::size_t pos = pos_of_[flow_index];
     pos_of_[flow_index] = kNone;
     members[pos] = members.back();
     members.pop_back();
+    group.srcs[pos] = group.srcs.back();
+    group.srcs.pop_back();
+    group.dsts[pos] = group.dsts.back();
+    group.dsts.pop_back();
     if (pos < members.size()) pos_of_[members[pos]] = pos;
     if (members.empty()) {
-      spare_.push_back(std::move(members));
+      spare_.push_back(std::move(group));
       group_of_[coflow_index] = kNone;
       if (g + 1 != groups_.size()) {
         groups_[g] = std::move(groups_.back());
@@ -135,14 +226,15 @@ class ActiveCoflowIndex {
 
   /// Rebuilds from scratch — for hand-assembled views (tests, micro
   /// benches) that never go through the engine's event loop.
-  void rebuild(const std::vector<FlowState>& flows,
-               const std::vector<std::size_t>& active) {
+  void rebuild(const FlowArena& flows, const std::vector<std::size_t>& active) {
     std::size_t num_coflows = 0;
-    for (const FlowState& f : flows) {
-      num_coflows = std::max(num_coflows, f.coflow_index + 1);
+    for (const std::uint32_t ci : flows.coflow_of) {
+      num_coflows = std::max(num_coflows, static_cast<std::size_t>(ci) + 1);
     }
     reset(num_coflows, flows.size());
-    for (const std::size_t fi : active) addFlow(flows[fi].coflow_index, fi);
+    for (const std::size_t fi : active) {
+      addFlow(flows.coflow_of[fi], fi, flows.src_port[fi], flows.dst_port[fi]);
+    }
   }
 
  private:
@@ -151,7 +243,7 @@ class ActiveCoflowIndex {
   std::vector<ActiveGroup> groups_;
   std::vector<std::size_t> group_of_;  ///< coflow index -> slot in groups_.
   std::vector<std::size_t> pos_of_;    ///< flow index -> slot in its group.
-  std::vector<std::vector<std::size_t>> spare_;  ///< Retired member vectors.
+  std::vector<ActiveGroup> spare_;     ///< Retired groups (capacity reuse).
   std::uint64_t epoch_ = 0;
 };
 

@@ -10,6 +10,7 @@
 //    it can: Δ > 0 sync boundaries with no demotion.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "sched/offline_opt.h"
 #include "sched/uncoordinated.h"
 #include "sched/varys.h"
+#include "sim/calendar.h"
 #include "sim/simulator.h"
 #include "tests/helpers.h"
 #include "util/rng.h"
@@ -232,6 +234,220 @@ TEST(EngineEquivalence, DelayedDClasActuallyReusesAllocations) {
   EXPECT_EQ(result.allocation_rounds,
             result.allocate_calls + result.reused_allocations);
   EXPECT_GT(result.heap_rebuilds, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Event-vs-legacy fuzz: arrival bursts, simultaneous completions, ties
+// ---------------------------------------------------------------------------
+
+/// Adversarial workload for the event calendar: arrivals quantized to a
+/// coarse grid (simultaneous release bursts), exact-duplicate flows on
+/// the same port pair (identical rates, so completions tie to the bit),
+/// and sub-slack flows that complete the instant they are released
+/// (zero-duration events). Integer byte sizes keep equal-rate completion
+/// times exactly representable, so ties are real, not epsilon-close.
+coflow::Workload burstWorkload(std::uint64_t seed, int ports, int jobs) {
+  util::Rng rng(seed);
+  std::vector<coflow::JobSpec> out;
+  for (int j = 0; j < jobs; ++j) {
+    coflow::JobSpec job;
+    job.id = j;
+    // Four distinct instants: every job lands on top of others.
+    job.arrival = static_cast<double>(rng.uniformInt(0, 3));
+    const int coflows = static_cast<int>(rng.uniformInt(1, 2));
+    for (int c = 0; c < coflows; ++c) {
+      coflow::CoflowSpec spec;
+      spec.id = {j, c};
+      const int flows = static_cast<int>(rng.uniformInt(1, 5));
+      coflow::FlowSpec prev{};
+      for (int f = 0; f < flows; ++f) {
+        if (f > 0 && rng.chance(0.4)) {
+          // Exact duplicate: same ports, same bytes, same wave offset —
+          // the flows stay rate-identical for their whole lifetime and
+          // complete in the same round.
+          spec.flows.push_back(prev);
+          continue;
+        }
+        coflow::FlowSpec fs{
+            static_cast<coflow::PortId>(rng.uniformInt(0, ports - 1)),
+            static_cast<coflow::PortId>(rng.uniformInt(0, ports - 1)),
+            rng.chance(0.2) ? 1e-4  // Below completion slack: zero-duration.
+                            : static_cast<double>(rng.uniformInt(1, 12)),
+            rng.chance(0.3) ? static_cast<double>(rng.uniformInt(1, 3)) : 0.0};
+        spec.flows.push_back(fs);
+        prev = fs;
+      }
+      if (c > 0 && rng.chance(0.4)) {
+        spec.starts_after.push_back(coflow::CoflowId{j, c - 1});
+      }
+      job.coflows.push_back(std::move(spec));
+    }
+    out.push_back(std::move(job));
+  }
+  return testing::makeWorkload(ports, std::move(out));
+}
+
+class EngineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFuzz, BurstsAndTiesMatchLegacy) {
+  const auto wl =
+      burstWorkload(5000 + static_cast<std::uint64_t>(GetParam()), 6, 12);
+  const auto fc = testing::unitFabric(6);
+  const auto legacy_scheds = allSchedulers(wl);
+  const auto incr_scheds = allSchedulers(wl);
+  for (std::size_t s = 0; s < legacy_scheds.size(); ++s) {
+    const auto legacy = runEngine(wl, fc, *legacy_scheds[s], false);
+    const auto incr = runEngine(wl, fc, *incr_scheds[s], true);
+    expectSameResult(legacy, incr, legacy_scheds[s]->name());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineFuzz, ::testing::Range(0, 4));
+
+// Same-time completions are processed in the legacy scan's slot order
+// (DESIGN.md section 7), which makes tied outcomes deterministic: two
+// incremental runs of a tie-heavy workload must agree bitwise, not just
+// to tolerance.
+TEST(EngineFuzz, TieBreakOrderIsDeterministic) {
+  const auto wl = burstWorkload(77, 6, 12);
+  const auto fc = testing::unitFabric(6);
+  sched::DClasConfig dcfg;
+  dcfg.first_threshold = 4;
+  dcfg.exp_factor = 3;
+  dcfg.num_queues = 4;
+  sched::DClasScheduler first(dcfg);
+  sched::DClasScheduler second(dcfg);
+  const auto a = runEngine(wl, fc, first, true);
+  const auto b = runEngine(wl, fc, second, true);
+  ASSERT_EQ(a.coflows.size(), b.coflows.size());
+  for (std::size_t i = 0; i < a.coflows.size(); ++i) {
+    EXPECT_EQ(a.coflows[i].id, b.coflows[i].id);
+    EXPECT_EQ(a.coflows[i].finish, b.coflows[i].finish) << "coflow " << i;
+  }
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.allocation_rounds, b.allocation_rounds);
+}
+
+// Regression: the clock-resolution completion rule. A flow whose
+// remaining transfer time is below one ulp of a large now_ predicts a
+// completion at exactly now_; without the sweep's second clause both
+// engines pick dt = 0 forever (observed as a live-lock on 100k-coflow
+// traces around t = 1.3e5 s). The tiny flow here (1.5e-3 bytes — above
+// the 1e-3-byte slack) released at t = 2e5 against a 1 GbE port has
+// remaining/rate ~ 1.2e-11 s < ulp(2e5) ~ 2.9e-11 s, the exact
+// live-lock shape.
+TEST(EngineFuzz, SubUlpRemainingCompletesInsteadOfSpinning) {
+  const fabric::FabricConfig fc{4, util::kGbps};
+  std::vector<coflow::JobSpec> jobs;
+  // 2.5e13 bytes at 1.25e8 B/s: finishes at exactly t = 200000 s.
+  jobs.push_back(testing::makeJob(0, 0.0, {{0, 1, 2.5e13}}));
+  jobs.push_back(testing::makeJob(1, 199999.5, {{2, 3, 1.5e-3}}));
+  const auto wl = testing::makeWorkload(4, std::move(jobs));
+  sim::SimOptions opts;
+  opts.max_rounds = 100'000;  // Fails fast if the live-lock regresses.
+  for (const bool incremental : {false, true}) {
+    opts.incremental_engine = incremental;
+    sched::PerFlowFairScheduler fair;
+    const auto result = sim::runSimulation(wl, fc, fair, opts);
+    ASSERT_EQ(result.coflows.size(), 2u) << "incremental=" << incremental;
+    // The tiny flow's CCT collapses to (release of its last byte): its
+    // finish is its release instant at clock resolution.
+    EXPECT_NEAR(testing::cctOf(result, {1, 0}), 0.0, 1e-6)
+        << "incremental=" << incremental;
+    EXPECT_NEAR(result.makespan, 200000.0, 1e-6)
+        << "incremental=" << incremental;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EventCalendar heap-invariant property test
+// ---------------------------------------------------------------------------
+
+// Random churn against a naive shadow model: after every operation both
+// binary heaps must satisfy the ordering invariant, and every query
+// (nextCompletion, drainSnapDue, collectCompletionsNear) must agree with
+// the model's notion of the valid entry set.
+TEST(EventCalendarProperty, HeapInvariantUnderRandomChurn) {
+  util::Rng rng(901);
+  sim::EventCalendar cal;
+  constexpr std::size_t kFlows = 160;
+  cal.reset(kFlows);
+  std::vector<char> has_c(kFlows, 0), has_s(kFlows, 0);
+  std::vector<double> key_c(kFlows, 0.0), key_s(kFlows, 0.0);
+  std::vector<std::uint32_t> due;
+  double now = 0.0;
+
+  const auto model_min_completion = [&]() {
+    double best = sim::kInfTime;
+    for (std::size_t i = 0; i < kFlows; ++i) {
+      if (has_c[i]) best = std::min(best, key_c[i]);
+    }
+    return best;
+  };
+
+  for (int step = 0; step < 6000; ++step) {
+    const auto fi = static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<int>(kFlows) - 1));
+    switch (rng.uniformInt(0, 5)) {
+      case 0:  // Re-key one flow (rate change at install).
+        cal.invalidate(fi);
+        key_c[fi] = now + rng.uniform(0.0, 10.0);
+        key_s[fi] = now + rng.uniform(0.0, 10.0);
+        cal.pushCompletion(fi, key_c[fi]);
+        cal.pushSnap(fi, key_s[fi]);
+        has_c[fi] = 1;
+        has_s[fi] = 1;
+        break;
+      case 1:  // Completion: drop both entries.
+        cal.invalidate(fi);
+        has_c[fi] = 0;
+        has_s[fi] = 0;
+        break;
+      case 2:  // Peek must match the model's minimum exactly.
+        EXPECT_EQ(cal.nextCompletion(), model_min_completion()) << "step " << step;
+        break;
+      case 3: {  // Drain snaps due by an advancing clock.
+        now += rng.uniform(0.0, 1.5);
+        cal.drainSnapDue(now, due);
+        std::vector<std::uint32_t> expected;
+        for (std::size_t i = 0; i < kFlows; ++i) {
+          if (has_s[i] && key_s[i] <= now) {
+            expected.push_back(static_cast<std::uint32_t>(i));
+            has_s[i] = 0;
+          }
+        }
+        std::sort(due.begin(), due.end());
+        EXPECT_EQ(due, expected) << "step " << step;
+        break;
+      }
+      case 4:  // Round-boundary compaction.
+        cal.compactIfBloated();
+        break;
+      default: {  // Wholesale rebuild from the model's valid set.
+        cal.beginRebuild();
+        for (std::size_t i = 0; i < kFlows; ++i) {
+          if (has_c[i]) cal.stageCompletion(i, key_c[i]);
+          if (has_s[i]) cal.stageSnap(i, key_s[i]);
+        }
+        cal.finishRebuild();
+        break;
+      }
+    }
+    ASSERT_TRUE(cal.checkHeapInvariant()) << "step " << step;
+  }
+
+  // Final cross-check: nomination window collection vs the model.
+  const double bound = now + 5.0;
+  std::vector<std::uint32_t> out;
+  cal.collectCompletionsNear(bound, out);
+  std::vector<std::uint32_t> expected;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    if (has_c[i] && key_c[i] <= bound) {
+      expected.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, expected);
 }
 
 // ---------------------------------------------------------------------------

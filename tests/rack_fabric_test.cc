@@ -178,15 +178,16 @@ TEST(RackSimulation, VarysBottleneckSeesRackLinks) {
   Fabric f(rackFabric(8, 4, 8.0, 1.0));  // Rack link = 0.5.
   std::vector<sim::CoflowState> coflows(1);
   coflows[0].id = {0, 0};
-  std::vector<sim::FlowState> flows(2);
+  sim::FlowArena flows;
   std::vector<std::size_t> active = {0, 1};
   for (int i = 0; i < 2; ++i) {
-    flows[static_cast<std::size_t>(i)].coflow_index = 0;
-    flows[static_cast<std::size_t>(i)].src = static_cast<coflow::PortId>(i);
-    flows[static_cast<std::size_t>(i)].dst = static_cast<coflow::PortId>(4 + i);
-    flows[static_cast<std::size_t>(i)].size = 10;
-    flows[static_cast<std::size_t>(i)].started = true;
-    coflows[0].flow_indices.push_back(static_cast<std::size_t>(i));
+    sim::FlowState fs;
+    fs.coflow_index = 0;
+    fs.src = static_cast<coflow::PortId>(i);
+    fs.dst = static_cast<coflow::PortId>(4 + i);
+    fs.size = 10;
+    fs.started = true;
+    coflows[0].flow_indices.push_back(flows.push(fs));
   }
   sim::SimView view;
   view.fabric = &f;

@@ -20,8 +20,9 @@
 //
 // --stats adds the incremental-engine counters to the summary table:
 // allocate calls, reused allocations (rounds served from the installed
-// rates via the scheduleEpoch handshake), and completion-predictor
-// rebuilds.
+// rates via the scheduleEpoch handshake), completion-predictor rebuilds,
+// calendar events processed (heap-predicted completions and sweep gates
+// consumed), and heap re-keys (calendar entries pushed on rate changes).
 //
 // --metrics-dump writes the per-scheduler observability registry
 // (Prometheus text, plus JSON at PATH.json) after the batch completes:
@@ -293,7 +294,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> columns = {"scheduler", "avg CCT", "p95 CCT", "makespan",
                                       "rounds"};
   if (stats) {
-    columns.insert(columns.end(), {"allocs", "reused", "rebuilds"});
+    columns.insert(columns.end(), {"allocs", "reused", "rebuilds", "events", "rekeys"});
   }
   util::Table table(columns);
   for (const auto& result : results) {
@@ -314,6 +315,8 @@ int main(int argc, char** argv) {
       row.push_back(std::to_string(result.allocate_calls));
       row.push_back(std::to_string(result.reused_allocations));
       row.push_back(std::to_string(result.heap_rebuilds));
+      row.push_back(std::to_string(result.events_processed));
+      row.push_back(std::to_string(result.heap_rekeys));
     }
     table.addRow(std::move(row));
   }

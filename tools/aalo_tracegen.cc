@@ -2,9 +2,15 @@
 //
 //   aalo_tracegen [--kind fb|tpcds|uniform|fixed] [--jobs N] [--ports P]
 //                 [--seed S] [--interarrival SEC] [--size BYTES]
-//                 [--waves W] [--out PATH]
+//                 [--waves W] [--coflows N] [--out PATH]
 //
 // Without --out the trace is written to stdout.
+//
+// --coflows N is the scale mode: it sizes the workload by total coflow
+// count instead of job count (fb/uniform/fixed emit one coflow per job,
+// so it is an alias for --jobs that reads as intent at 100k+ scale; tpcds
+// job templates have fixed multi-coflow DAGs, so N is divided by the
+// per-job coflow count). Used to cut the large replay benchmark traces.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,7 +32,8 @@ namespace {
   std::fprintf(stderr,
                "usage: aalo_tracegen [--kind fb|tpcds|uniform|fixed] [--jobs N]\n"
                "                     [--ports P] [--seed S] [--interarrival SEC]\n"
-               "                     [--size BYTES] [--waves W] [--out PATH]\n");
+               "                     [--size BYTES] [--waves W] [--coflows N]\n"
+               "                     [--out PATH]\n");
   std::exit(2);
 }
 
@@ -41,6 +48,7 @@ int main(int argc, char** argv) {
   double interarrival = 0.5;
   double size = 100 * util::kMB;
   int waves = 1;
+  std::size_t coflows = 0;  // 0 = use --jobs.
 
   for (int i = 1; i < argc; ++i) {
     auto needValue = [&](const char* flag) -> const char* {
@@ -64,6 +72,8 @@ int main(int argc, char** argv) {
       size = std::atof(needValue("--size"));
     } else if (!std::strcmp(argv[i], "--waves")) {
       waves = std::atoi(needValue("--waves"));
+    } else if (!std::strcmp(argv[i], "--coflows")) {
+      coflows = std::strtoull(needValue("--coflows"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--out")) {
       out_path = needValue("--out");
     } else {
@@ -71,6 +81,8 @@ int main(int argc, char** argv) {
       usage();
     }
   }
+
+  if (coflows > 0) jobs = coflows;  // One coflow per job below (fb/uniform/fixed).
 
   coflow::Workload wl;
   if (kind == "fb") {
