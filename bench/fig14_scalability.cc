@@ -15,11 +15,14 @@
 // `--json PATH` skips panel (b) and records panel (a) at N ∈ {100, 1000}
 // as machine-readable JSON (see tools/bench_net_record.sh).
 #include <sys/epoll.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <limits>
 #include <fstream>
+#include <memory>
 #include <unordered_map>
 
 #include "bench/common.h"
@@ -38,6 +41,17 @@ struct RoundCost {
   double up_bytes_per_round = 0;   ///< Size-report bytes, all daemons.
 };
 
+struct RoundOptions {
+  /// Adds one extra registered daemon that never reads a byte (a
+  /// blackholed machine); the coordinator's backpressure must park it
+  /// without slowing the healthy fan-out.
+  bool blackhole_peer = false;
+  /// Disables the liveness/one-way watchdogs so the blackholed peer is
+  /// isolated by backpressure, not evicted (set for both sides of the
+  /// isolation A/B so the configs match).
+  bool disable_watchdogs = false;
+};
+
 /// Runs `rounds` coordination rounds against a live Coordinator with
 /// `num_daemons` emulated daemons and returns the average time from a
 /// round's first schedule delivery to its last (the broadcast fan-out
@@ -49,12 +63,17 @@ struct RoundCost {
 /// mode reports and broadcasts everything every Δ regardless (the
 /// pre-delta data path); delta mode sends changed-only reports with the
 /// real daemon's keepalive pacing for idle ticks.
-RoundCost measureRounds(std::size_t num_daemons, int rounds, bool full_mode) {
+RoundCost measureRounds(std::size_t num_daemons, int rounds, bool full_mode,
+                        RoundOptions opt = {}) {
   runtime::CoordinatorConfig ccfg;
   // Rounds must not overlap or send backlogs compound — the paper makes
   // the same point: "Δ must be increased for Aalo to scale" (§7.6).
   ccfg.sync_interval = std::max(0.050, static_cast<double>(num_daemons) * 100e-6);
   ccfg.full_broadcasts = full_mode;
+  if (opt.disable_watchdogs) {
+    ccfg.liveness_timeout_intervals = 0;
+    ccfg.one_way_timeout_intervals = 0;
+  }
   runtime::Coordinator coordinator(ccfg);
   coordinator.start();
 
@@ -154,9 +173,35 @@ RoundCost measureRounds(std::size_t num_daemons, int rounds, bool full_mode) {
     daemons.back()->sendFrame(out);
   }
 
+  // A blackholed machine: says Hello over a raw blocking socket (same
+  // [u32 length][payload] framing Connection writes), then never reads.
+  // Broadcasts pile up in its kernel buffers until the coordinator's
+  // backpressure parks it; it must not slow the healthy rounds timed
+  // below. The fd stays open (and unread) for the whole measurement.
+  net::Fd blackholed;
+  if (opt.blackhole_peer) {
+    blackholed = net::connectTcp(coordinator.port(), /*non_blocking=*/false);
+    net::Message hello;
+    hello.type = net::MessageType::kHello;
+    hello.daemon_id = num_daemons + 7;
+    net::Buffer payload;
+    net::encodeMessage(hello, payload);
+    net::Buffer frame;
+    frame.putU32(static_cast<std::uint32_t>(payload.readableBytes()));
+    frame.append(payload.readable());
+    const auto bytes = frame.readable();
+    for (std::size_t off = 0; off < bytes.size();) {
+      const ssize_t n = ::write(blackholed.get(), bytes.data() + off,
+                                bytes.size() - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  const std::size_t settle_target = num_daemons + (opt.blackhole_peer ? 1 : 0);
+
   // Let the fleet settle, then time `rounds` full epochs.
   const auto deadline = Clock::now() + std::chrono::seconds(90);
-  while (coordinator.daemonCount() < num_daemons && Clock::now() < deadline) {
+  while (coordinator.daemonCount() < settle_target && Clock::now() < deadline) {
     loop.runOnce(std::chrono::milliseconds(5));
   }
   const std::uint64_t start_epoch = max_full_epoch + 2;
@@ -181,6 +226,127 @@ RoundCost measureRounds(std::size_t num_daemons, int rounds, bool full_mode) {
   cost.avg_fanout_seconds = counted > 0 ? total / counted : -1;
   cost.down_bytes_per_round = bytes_down / rounds;
   cost.up_bytes_per_round = bytes_up / rounds;
+  return cost;
+}
+
+struct FailoverCost {
+  double p50_seconds = -1;   ///< Median kill-to-recovered time per daemon.
+  double p99_seconds = -1;
+  std::size_t recovered = 0; ///< Daemons that converged on the standby.
+};
+
+/// Kills a primary serving `num_daemons` emulated daemons mid-stream and
+/// measures, per daemon, the time from the kill to the first fenced
+/// schedule frame applied from the promoted warm standby (detection +
+/// reconnect + takeover + re-broadcast — the full outage as a machine
+/// experiences it). Daemons redial the standby as soon as their primary
+/// connection drops, exactly like runtime::Daemon's endpoint rotation.
+FailoverCost measureFailover(std::size_t num_daemons) {
+  using Clock = std::chrono::steady_clock;
+  runtime::CoordinatorConfig ccfg;
+  ccfg.sync_interval = std::max(0.050, static_cast<double>(num_daemons) * 100e-6);
+  auto primary = std::make_unique<runtime::Coordinator>(ccfg);
+  primary->start();
+  runtime::CoordinatorConfig scfg = ccfg;
+  scfg.standby_of = primary->port();
+  scfg.takeover_intervals = 5;
+  runtime::Coordinator standby(scfg);
+  standby.start();
+
+  runtime::AaloClient client(primary->port());
+  std::vector<coflow::CoflowId> coflows;
+  for (int i = 0; i < 100; ++i) coflows.push_back(client.registerCoflow());
+
+  net::EventLoop loop;
+  std::vector<std::unique_ptr<net::Connection>> daemons(num_daemons);
+  std::vector<Clock::time_point> recovered_at(num_daemons);
+  std::vector<char> recovered(num_daemons, 0), needs_dial(num_daemons, 0);
+  std::size_t recovered_count = 0;
+  bool killed = false;
+  Clock::time_point kill_time;
+
+  auto dial = [&](std::size_t d, std::uint16_t port) {
+    net::Fd fd = net::connectTcp(port);
+    daemons[d] = std::make_unique<net::Connection>(
+        loop, std::move(fd),
+        [&, d](net::Buffer& payload) {
+          const auto msg = net::decodeMessage(payload);
+          if (msg.type != net::MessageType::kScheduleUpdate &&
+              msg.type != net::MessageType::kScheduleDelta) {
+            return;
+          }
+          // Fence 2 can only come from the promoted standby.
+          if (killed && !recovered[d] && msg.fence >= 2) {
+            recovered[d] = 1;
+            recovered_at[d] = Clock::now();
+            ++recovered_count;
+          }
+        },
+        [&, d] { needs_dial[d] = 1; });
+    net::Message hello;
+    hello.type = net::MessageType::kHello;
+    hello.daemon_id = d;
+    net::Buffer out;
+    net::encodeMessage(hello, out);
+    daemons[d]->sendFrame(out);
+    // One absolute report so the recovered schedule is non-trivial; the
+    // redial resends it, mirroring the real daemon's forced resync.
+    net::Message report;
+    report.type = net::MessageType::kSizeReport;
+    report.daemon_id = d;
+    report.sizes.push_back(
+        net::CoflowSize{coflows[d % coflows.size()], 10 * util::kMB});
+    out.clear();
+    net::encodeMessage(report, out);
+    daemons[d]->sendFrame(out);
+  };
+
+  for (std::size_t d = 0; d < num_daemons; ++d) dial(d, primary->port());
+  const auto deadline = Clock::now() + std::chrono::seconds(120);
+  while (primary->daemonCount() < num_daemons && Clock::now() < deadline) {
+    loop.runOnce(std::chrono::milliseconds(5));
+  }
+  // Loopback settle beats the primary's first broadcast tick: killing now
+  // would measure a cold-start takeover of an empty standby. Wait until
+  // the standby has mirrored a snapshot plus a delta — the warm-standby
+  // scenario this benchmark claims to measure.
+  while (standby.stats().follower_frames_applied.load(
+             std::memory_order_relaxed) < 2 &&
+         Clock::now() < deadline) {
+    loop.runOnce(std::chrono::milliseconds(5));
+  }
+
+  kill_time = Clock::now();
+  killed = true;
+  primary->stop();
+  primary.reset();
+
+  while (recovered_count < num_daemons && Clock::now() < deadline) {
+    loop.runOnce(std::chrono::milliseconds(1));
+    for (std::size_t d = 0; d < num_daemons; ++d) {
+      if (!needs_dial[d]) continue;
+      needs_dial[d] = 0;  // Replacing daemons[d] outside its callbacks.
+      dial(d, standby.port());
+    }
+  }
+
+  FailoverCost cost;
+  cost.recovered = recovered_count;
+  if (recovered_count > 0) {
+    std::vector<double> times;
+    times.reserve(recovered_count);
+    for (std::size_t d = 0; d < num_daemons; ++d) {
+      if (recovered[d]) {
+        times.push_back(
+            std::chrono::duration<double>(recovered_at[d] - kill_time).count());
+      }
+    }
+    std::sort(times.begin(), times.end());
+    cost.p50_seconds = times[times.size() / 2];
+    cost.p99_seconds = times[std::min(times.size() - 1, times.size() * 99 / 100)];
+  }
+  daemons.clear();
+  standby.stop();
   return cost;
 }
 
@@ -237,8 +403,40 @@ int recordJson(const char* path) {
       delta1k.down_bytes_per_round + delta1k.up_bytes_per_round;
   const double wire_ratio =
       wire_total_delta > 0 ? wire_total_full / wire_total_delta : -1;
+  // High-availability record: warm-standby failover recovery and the
+  // blackholed-daemon isolation A/B, both at 1000 daemons.
+  const FailoverCost failover = measureFailover(1000);
+  std::fprintf(stderr,
+               "  [failover 1000 daemons] recovered %zu, p50 %s, p99 %s\n",
+               failover.recovered,
+               util::formatSeconds(failover.p50_seconds).c_str(),
+               util::formatSeconds(failover.p99_seconds).c_str());
+  RoundOptions iso;
+  iso.disable_watchdogs = true;
+  const RoundCost iso_healthy = measureRounds(1000, rounds, false, iso);
+  iso.blackhole_peer = true;
+  const RoundCost iso_degraded = measureRounds(1000, rounds, false, iso);
+  const double iso_ratio =
+      iso_healthy.avg_fanout_seconds > 0
+          ? iso_degraded.avg_fanout_seconds / iso_healthy.avg_fanout_seconds
+          : -1;
+  std::fprintf(stderr,
+               "  [isolation 1000 daemons] healthy round %s, with blackholed "
+               "peer %s (ratio %.2f)\n",
+               util::formatSeconds(iso_healthy.avg_fanout_seconds).c_str(),
+               util::formatSeconds(iso_degraded.avg_fanout_seconds).c_str(),
+               iso_ratio);
+
   out << "\n  ],\n  \"round_time_speedup_1000\": " << speedup
-      << ",\n  \"wire_bytes_ratio_1000\": " << wire_ratio << "\n}\n";
+      << ",\n  \"wire_bytes_ratio_1000\": " << wire_ratio
+      << ",\n  \"failover\": {\"daemons\": 1000, \"takeover_intervals\": 5"
+      << ", \"recovered\": " << failover.recovered
+      << ", \"recovery_p50_s\": " << failover.p50_seconds
+      << ", \"recovery_p99_s\": " << failover.p99_seconds << "}"
+      << ",\n  \"overload_isolation\": {\"daemons\": 1000"
+      << ", \"healthy_round_s\": " << iso_healthy.avg_fanout_seconds
+      << ", \"blackholed_round_s\": " << iso_degraded.avg_fanout_seconds
+      << ", \"round_time_ratio\": " << iso_ratio << "}\n}\n";
   std::fprintf(stderr,
                "fig14: @1000 daemons delta is %.2fx faster per round, "
                "%.1fx fewer bytes on the wire\n",
@@ -280,6 +478,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "  [fanout %5zu daemons] done\n", n);
   }
   rounds_table.print(std::cout);
+
+  std::printf("\nHigh availability at 1000 daemons (warm standby, "
+              "takeover after 5Δ):\n");
+  const FailoverCost failover = measureFailover(1000);
+  std::printf("  failover recovery: %zu/1000 daemons, p50 %s, p99 %s\n",
+              failover.recovered,
+              util::formatSeconds(failover.p50_seconds).c_str(),
+              util::formatSeconds(failover.p99_seconds).c_str());
+  RoundOptions iso;
+  iso.disable_watchdogs = true;
+  const RoundCost iso_healthy = measureRounds(1000, 15, false, iso);
+  iso.blackhole_peer = true;
+  const RoundCost iso_degraded = measureRounds(1000, 15, false, iso);
+  std::printf("  blackholed-peer isolation: healthy round %s vs %s "
+              "(ratio %.2f)\n",
+              util::formatSeconds(iso_healthy.avg_fanout_seconds).c_str(),
+              util::formatSeconds(iso_degraded.avg_fanout_seconds).c_str(),
+              iso_healthy.avg_fanout_seconds > 0
+                  ? iso_degraded.avg_fanout_seconds /
+                        iso_healthy.avg_fanout_seconds
+                  : -1.0);
 
   std::printf("\nFigure 14b — impact of the coordination interval Δ "
               "(simulation):\n");

@@ -5,8 +5,8 @@
 #
 #   scripts/ci.sh            # default + asan + tsan + perf-smoke
 #   scripts/ci.sh default    # just the default preset, full suite
-#   scripts/ci.sh asan       # asan build, chaos + metrics suites
-#   scripts/ci.sh tsan       # tsan build, BatchRunner/Obs gates + chaos
+#   scripts/ci.sh asan       # asan build, chaos + metrics + ha suites
+#   scripts/ci.sh tsan       # tsan build, BatchRunner/Obs gates + chaos + ha
 #   scripts/ci.sh perf       # Release perf-smoke vs BENCH_micro.json
 #   scripts/ci.sh coverage   # gcovr line-coverage report (if installed)
 #
@@ -17,6 +17,9 @@
 # keep. The observability suites (tests/obs_*.cc, trace_fuzz_test.cc,
 # golden_trace_test.cc) carry the "metrics" label; the registry
 # concurrency gate additionally runs under tsan by test-name filter.
+# The high-availability drills (tests/ha_test.cc: failover, checkpoint
+# restore, overload backpressure; tests/checkpoint_test.cc: round-trip
+# fuzz) carry the "ha" label and run standalone under both sanitizers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,25 +60,29 @@ assert d['metrics'], 'empty metrics dump'
 }
 
 run_asan() {
-  echo "=== asan: engine equivalence + chaos + metrics suites ==="
+  echo "=== asan: engine equivalence + chaos + metrics + ha suites ==="
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$(nproc)" \
     --target chaos_test runtime_robustness_test engine_equivalence_test \
              coordination_equivalence_test obs_test obs_invariant_test \
-             obs_concurrency_test trace_fuzz_test golden_trace_test
+             obs_concurrency_test trace_fuzz_test golden_trace_test \
+             ha_test checkpoint_test
   (cd build-asan && ctest -L chaos --output-on-failure -j "$(nproc)")
   (cd build-asan && ctest \
     -R 'EngineEquivalence|EngineFuzz|EventCalendarProperty|DClasQueueOracle' \
     --output-on-failure -j "$(nproc)")
   (cd build-asan && ctest -L metrics --output-on-failure -j "$(nproc)")
+  # '^ha$' because -L is a regex and a bare "ha" also matches "chaos".
+  (cd build-asan && ctest -L '^ha$' --output-on-failure -j "$(nproc)")
 }
 
 run_tsan() {
-  echo "=== tsan: BatchRunner + engine-equivalence + obs gates + chaos ==="
+  echo "=== tsan: BatchRunner + engine-equivalence + obs gates + chaos + ha ==="
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$(nproc)"
   ctest --preset tsan
   ctest --preset tsan-chaos
+  ctest --preset tsan-ha
 }
 
 run_perf() {

@@ -25,6 +25,14 @@ class CoflowIdGenerator {
 
   std::int64_t nextExternal() const { return next_external_; }
 
+  /// Never issue an external id below `next_external` again: a coordinator
+  /// restored from a checkpoint (or a promoted standby that only mirrored
+  /// the broadcast stream) must not re-issue ids already handed to
+  /// clients. Monotone — a lower value is ignored.
+  void advanceTo(std::int64_t next_external) {
+    if (next_external > next_external_) next_external_ = next_external;
+  }
+
  private:
   std::int64_t next_external_ = 0;
 };

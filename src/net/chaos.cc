@@ -218,6 +218,28 @@ void ChaosProxy::relayFrames(const std::shared_ptr<Session>& session,
       record(client_to_upstream, index, "drop");
       continue;
     }
+    if (rng.chance(policy.kill_mid_frame)) {
+      // Sender killed mid-write: forward a strict prefix of the framed
+      // bytes — the cut may land inside the 4-byte header or the payload
+      // — then sever the session so no continuation ever arrives.
+      stats_.frames_torn.fetch_add(1, std::memory_order_relaxed);
+      record(client_to_upstream, index, "tear");
+      std::vector<std::uint8_t> torn;
+      torn.reserve(4 + payload.size());
+      const std::uint32_t full_len = static_cast<std::uint32_t>(payload.size());
+      torn.push_back(static_cast<std::uint8_t>(full_len & 0xFF));
+      torn.push_back(static_cast<std::uint8_t>((full_len >> 8) & 0xFF));
+      torn.push_back(static_cast<std::uint8_t>((full_len >> 16) & 0xFF));
+      torn.push_back(static_cast<std::uint8_t>((full_len >> 24) & 0xFF));
+      torn.insert(torn.end(), payload.begin(), payload.end());
+      torn.resize(static_cast<std::size_t>(
+          rng.uniformInt(1, static_cast<std::int64_t>(torn.size()) - 1)));
+      Leg& dst = client_to_upstream ? session->upstream : session->client;
+      dst.outgoing.append(torn.data(), torn.size());
+      flushLeg(session, /*client_side=*/!client_to_upstream);
+      closeSession(session);
+      return;
+    }
     if (rng.chance(policy.truncate) && payload.size() > 1) {
       payload.resize(static_cast<std::size_t>(
           rng.uniformInt(1, static_cast<std::int64_t>(payload.size()) - 1)));

@@ -46,6 +46,11 @@ struct ChaosPolicy {
   /// Drop every frame in this direction (a one-way link failure); the
   /// TCP connection itself stays up.
   bool blackhole = false;
+  /// Relay only a strict prefix of the framed bytes (possibly cutting
+  /// inside the 4-byte length header) and then sever the session —
+  /// simulating a sender killed mid-write (torn broadcast). The receiver
+  /// must discard the partial frame without ever half-applying it.
+  double kill_mid_frame = 0;
 };
 
 /// Monotonic counters; safe to read from any thread.
@@ -61,6 +66,7 @@ struct ChaosStats {
   Counter frames_corrupted{0};
   Counter frames_delayed{0};
   Counter frames_blackholed{0};
+  Counter frames_torn{0};  ///< Sessions severed mid-frame (kill_mid_frame).
   Counter link_kills{0};
 
   ChaosStats() = default;

@@ -44,8 +44,22 @@ Buffer& Connection::stagingTail() {
   return outgoing_.back().owned;
 }
 
+bool Connection::overflowsSendQueue(std::size_t frame_bytes) {
+  if (send_queue_limit_ == 0 ||
+      pending_bytes_ + frame_bytes <= send_queue_limit_) {
+    return false;
+  }
+  // The peer is not draining and the cap is exhausted: closing is the only
+  // bounded-memory option left (the caller's coalescing policy should have
+  // stopped sending long before this trips).
+  metrics_->overflow_closes.fetch_add(1);
+  close();
+  return true;
+}
+
 void Connection::sendFrame(std::span<const std::uint8_t> payload) {
   if (closed_) return;
+  if (overflowsSendQueue(4 + payload.size())) return;
   Buffer& tail = stagingTail();
   tail.putU32(static_cast<std::uint32_t>(payload.size()));
   tail.append(payload);
@@ -58,6 +72,7 @@ void Connection::sendFrame(std::span<const std::uint8_t> payload) {
 void Connection::sendFrame(std::shared_ptr<const Buffer> payload) {
   if (closed_ || !payload) return;
   const std::size_t len = payload->readableBytes();
+  if (overflowsSendQueue(4 + len)) return;
   stagingTail().putU32(static_cast<std::uint32_t>(len));
   pending_bytes_ += 4 + len;
   metrics_->frames_out.fetch_add(1);

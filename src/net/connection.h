@@ -60,6 +60,13 @@ class Connection {
   int fd() const { return fd_.get(); }
   std::size_t pendingBytes() const { return pending_bytes_; }
 
+  /// Hard cap on queued-but-unsent bytes (0 = unlimited). A sendFrame that
+  /// would push the queue past the cap closes the connection instead of
+  /// buffering without bound — the overload-protection backstop behind the
+  /// coordinator's softer skip-and-coalesce policy. Counted in
+  /// ConnMetrics::overflow_closes.
+  void setSendQueueLimit(std::size_t bytes) { send_queue_limit_ = bytes; }
+
  private:
   /// One queued slice of outgoing bytes: either locally staged (owned,
   /// coalesces consecutive copied frames and headers) or a reference
@@ -86,6 +93,9 @@ class Connection {
   /// Tail owned segment to stage copied bytes into (appends one if the
   /// queue is empty or ends in a shared segment).
   Buffer& stagingTail();
+  /// True (and the connection is closed) when queueing `frame_bytes` more
+  /// would exceed send_queue_limit_.
+  bool overflowsSendQueue(std::size_t frame_bytes);
   void onEvents(std::uint32_t events);
   void handleReadable();
   void flush();
@@ -100,6 +110,7 @@ class Connection {
   Buffer incoming_;
   std::deque<Segment> outgoing_;
   std::size_t pending_bytes_ = 0;
+  std::size_t send_queue_limit_ = 0;
   bool want_write_ = false;
   bool closed_ = false;
 };

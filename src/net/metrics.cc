@@ -17,6 +17,9 @@ void registerConnMetrics(obs::Registry& registry, const ConnMetrics& metrics,
                          "Wire bytes received incl. headers", metrics.bytes_in);
   registry.attachCounter(prefix + "_net_bytes_out_total",
                          "Wire bytes queued incl. headers", metrics.bytes_out);
+  registry.attachCounter(prefix + "_net_overflow_closes_total",
+                         "Connections closed on send-queue overflow",
+                         metrics.overflow_closes);
 }
 
 }  // namespace aalo::net

@@ -18,13 +18,17 @@ struct ConnMetrics {
   obs::Counter frames_out;  ///< Frames queued for send.
   obs::Counter bytes_in;    ///< Wire bytes received (headers included).
   obs::Counter bytes_out;   ///< Wire bytes queued (headers included).
+  /// Connections closed because their bounded send queue overflowed (a
+  /// peer that stopped draining; see Connection::setSendQueueLimit).
+  obs::Counter overflow_closes;
 
   /// Shared sink for unmetered connections.
   static ConnMetrics& dummy();
 };
 
-/// Attaches the four counters to `registry` under
-/// `<prefix>_net_{frames,bytes}_{in,out}_total`.
+/// Attaches the counters to `registry` under
+/// `<prefix>_net_{frames,bytes}_{in,out}_total` plus
+/// `<prefix>_net_overflow_closes_total`.
 void registerConnMetrics(obs::Registry& registry, const ConnMetrics& metrics,
                          const std::string& prefix);
 

@@ -49,6 +49,7 @@ void encodeMessage(const Message& message, Buffer& out) {
       break;
     case MessageType::kScheduleUpdate:
       out.putU64(message.epoch);
+      out.putU64(message.fence);
       out.putU32(static_cast<std::uint32_t>(message.schedule.size()));
       for (const auto& e : message.schedule) {
         putCoflowId(out, e.id);
@@ -60,6 +61,7 @@ void encodeMessage(const Message& message, Buffer& out) {
     case MessageType::kScheduleDelta:
       out.putU64(message.epoch);
       out.putU64(message.base_epoch);
+      out.putU64(message.fence);
       out.putU32(static_cast<std::uint32_t>(message.schedule.size()));
       for (const auto& e : message.schedule) {
         putCoflowId(out, e.id);
@@ -74,13 +76,18 @@ void encodeMessage(const Message& message, Buffer& out) {
       out.putU64(message.daemon_id);
       out.putU64(message.epoch);
       break;
+    case MessageType::kFollowerSubscribe:
+      out.putU64(message.daemon_id);
+      out.putU64(message.epoch);
+      out.putU64(message.fence);
+      break;
   }
 }
 
 Message decodeMessage(Buffer& in) {
   Message message;
   const std::uint8_t raw_type = in.getU8();
-  if (raw_type < 1 || raw_type > 8) {
+  if (raw_type < 1 || raw_type > 9) {
     throw std::runtime_error("decodeMessage: unknown message type " +
                              std::to_string(raw_type));
   }
@@ -118,6 +125,7 @@ Message decodeMessage(Buffer& in) {
     }
     case MessageType::kScheduleUpdate: {
       message.epoch = in.getU64();
+      message.fence = in.getU64();
       const std::uint32_t n = in.getU32();
       message.schedule.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) {
@@ -133,6 +141,7 @@ Message decodeMessage(Buffer& in) {
     case MessageType::kScheduleDelta: {
       message.epoch = in.getU64();
       message.base_epoch = in.getU64();
+      message.fence = in.getU64();
       const std::uint32_t n = in.getU32();
       message.schedule.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) {
@@ -153,6 +162,11 @@ Message decodeMessage(Buffer& in) {
     case MessageType::kSnapshotRequest:
       message.daemon_id = in.getU64();
       message.epoch = in.getU64();
+      break;
+    case MessageType::kFollowerSubscribe:
+      message.daemon_id = in.getU64();
+      message.epoch = in.getU64();
+      message.fence = in.getU64();
       break;
   }
   if (!in.empty()) {

@@ -34,6 +34,11 @@ enum class MessageType : std::uint8_t {
   /// daemon -> coordinator: detected an epoch gap (or otherwise lost
   /// schedule state); send a full kScheduleUpdate on the next round.
   kSnapshotRequest = 8,
+  /// standby coordinator -> primary: subscribe to the broadcast stream as
+  /// a pseudo-daemon (warm standby). The follower receives the same
+  /// snapshot-then-deltas sequence a daemon would but is exempt from
+  /// liveness eviction (it sends no size reports).
+  kFollowerSubscribe = 9,
 };
 
 struct CoflowSize {
@@ -70,6 +75,12 @@ struct Message {
   /// other state would silently diverge, so a daemon at a different
   /// applied epoch must fall back to a snapshot.
   std::uint64_t base_epoch = 0;
+  /// kScheduleUpdate / kScheduleDelta: fencing epoch of the broadcasting
+  /// coordinator incarnation. A standby that takes over bumps it, so
+  /// daemons can ignore broadcasts from a deposed primary outright (no
+  /// split-brain: follow the highest fence ever seen). kFollowerSubscribe:
+  /// the highest fence the subscribing standby has witnessed.
+  std::uint64_t fence = 0;
   coflow::CoflowId coflow;        ///< kRegisterReply / kUnregisterCoflow.
   std::vector<coflow::CoflowId> parents;   ///< kRegisterCoflow.
   std::vector<CoflowSize> sizes;           ///< kSizeReport.

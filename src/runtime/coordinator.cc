@@ -79,16 +79,35 @@ Coordinator::~Coordinator() { stop(); }
 void Coordinator::start() {
   std::lock_guard lifecycle(lifecycle_mutex_);
   if (running_.exchange(true)) return;
+  if (!config_.checkpoint_dir.empty()) {
+    checkpoint_ = std::make_unique<Checkpoint>(config_.checkpoint_dir);
+  }
+  const bool standby = config_.standby_of != 0;
+  standby_active_.store(standby, std::memory_order_relaxed);
+  if (!standby) restoreFromCheckpoint();
   auto [fd, port] = net::listenTcp(config_.port);
   listener_ = std::move(fd);
   port_ = port;
   loop_.add(listener_.get(), EPOLLIN, [this](std::uint32_t) { onAcceptable(); });
-  scheduleTick();
+  if (standby) {
+    standby_started_ = net::EventLoop::Clock::now();
+    // Give the primary a full takeover budget from our own start even if
+    // it never answers (it may be dead already: cold-start takeover).
+    last_primary_contact_ = standby_started_;
+    connectUpstream();
+    scheduleFollowerTick();
+  } else {
+    // Rebase the journal on a snapshot of the (restored or fresh) state so
+    // restore is always snapshot + suffix, never an unbounded replay.
+    if (checkpoint_) writeCheckpointSnapshot(net::EventLoop::Clock::now());
+    scheduleTick();
+  }
   if (!config_.metrics_dump_path.empty() && config_.metrics_dump_interval > 0) {
     scheduleMetricsDump();
   }
   thread_ = std::thread([this] { loop_.run(); });
-  AALO_LOG_INFO << "coordinator listening on 127.0.0.1:" << port_;
+  AALO_LOG_INFO << "coordinator " << (standby ? "(standby) " : "")
+                << "listening on 127.0.0.1:" << port_;
 }
 
 void Coordinator::stop() {
@@ -100,10 +119,69 @@ void Coordinator::stop() {
   if (thread_.joinable()) thread_.join();
   // The loop thread is gone: destroy connections inline (their destructors
   // deregister from the now-idle loop).
+  upstream_.reset();
   peers_.clear();
+  // Connections whose EOF the loop never got to process would otherwise
+  // leave a stale daemon count behind after shutdown.
+  daemon_count_.store(0, std::memory_order_relaxed);
   if (listener_.valid()) loop_.remove(listener_.get());
   listener_.reset();
+  if (checkpoint_ && !standby_active_.load(std::memory_order_relaxed)) {
+    // Graceful shutdown: one final snapshot, so a successor restores the
+    // exact closing state without replaying any journal.
+    checkpoint_->flushJournal();
+    writeCheckpointSnapshot(net::EventLoop::Clock::now());
+  }
   dumpMetrics();  // Final snapshot so short runs still leave evidence.
+}
+
+void Coordinator::restoreFromCheckpoint() {
+  if (!checkpoint_ || !checkpoint_->hasData()) return;
+  ScheduleState fresh(config_.dclas.thresholds(), config_.max_on_coflows);
+  const auto restored = checkpoint_->restore(fresh, config_.dclas.thresholds(),
+                                             config_.max_on_coflows);
+  if (!restored) {
+    // Corrupt or config-incompatible checkpoint: never guess. Start blind
+    // and let the daemons' forced full reports re-teach us (§3.2).
+    stats_.checkpoint_restore_failures.fetch_add(1, std::memory_order_relaxed);
+    AALO_LOG_WARN << "coordinator: checkpoint in " << config_.checkpoint_dir
+                  << " is unusable; falling back to daemon re-teach";
+    return;
+  }
+  state_ = std::move(fresh);
+  epoch_.store(restored->epoch, std::memory_order_relaxed);
+  fence_.store(std::max<std::uint64_t>(restored->fence, 1),
+               std::memory_order_relaxed);
+  id_generator_.advanceTo(restored->next_external);
+  const TimePoint now = net::EventLoop::Clock::now();
+  for (const auto& id : restored->tombstones) unregistered_[id] = now;
+  tombstone_count_.store(unregistered_.size(), std::memory_order_relaxed);
+  registered_count_.store(state_.registeredCount(), std::memory_order_relaxed);
+  stats_.checkpoint_restores.fetch_add(1, std::memory_order_relaxed);
+  AALO_LOG_INFO << "coordinator: restored " << state_.scheduledCount()
+                << " coflows at epoch " << restored->epoch << " (fence "
+                << fence_.load(std::memory_order_relaxed) << ", "
+                << restored->journal_records << " journal records) from "
+                << config_.checkpoint_dir;
+}
+
+void Coordinator::writeCheckpointSnapshot(TimePoint now) {
+  if (!checkpoint_) return;
+  std::vector<coflow::CoflowId> tombstones;
+  tombstones.reserve(unregistered_.size());
+  for (const auto& [id, mentioned] : unregistered_) tombstones.push_back(id);
+  if (checkpoint_->writeSnapshot(state_, tombstones,
+                                 fence_.load(std::memory_order_relaxed),
+                                 epoch_.load(std::memory_order_relaxed),
+                                 id_generator_.nextExternal(),
+                                 config_.dclas.thresholds(),
+                                 config_.max_on_coflows)) {
+    stats_.checkpoint_snapshots.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    AALO_LOG_WARN << "coordinator: failed to write checkpoint snapshot in "
+                  << config_.checkpoint_dir;
+  }
+  last_checkpoint_ = now;
 }
 
 void Coordinator::scheduleMetricsDump() {
@@ -128,9 +206,162 @@ void Coordinator::scheduleTick() {
     evictStalePeers(now);
     collectTombstones(now);
     broadcastSchedule();
+    if (checkpoint_) {
+      // An epoch mark per round keeps the restored epoch (and with it the
+      // fencing story) close to the truth even between snapshots.
+      checkpoint_->journalEpoch(epoch_.load(std::memory_order_relaxed),
+                                fence_.load(std::memory_order_relaxed));
+      stats_.checkpoint_journal_records.fetch_add(1, std::memory_order_relaxed);
+      checkpoint_->flushJournal();
+      if (config_.checkpoint_interval > 0 &&
+          now - last_checkpoint_ >= toNanos(config_.checkpoint_interval)) {
+        writeCheckpointSnapshot(now);
+      }
+    }
     round_duration_->observe(elapsedSeconds(start));
     if (running_.load(std::memory_order_relaxed)) scheduleTick();
   });
+}
+
+void Coordinator::scheduleFollowerTick() {
+  loop_.callAfter(toNanos(config_.sync_interval), [this] {
+    if (!running_.load(std::memory_order_relaxed)) return;
+    if (!standby_active_.load(std::memory_order_relaxed)) return;
+    const TimePoint now = net::EventLoop::Clock::now();
+    const auto budget = toNanos(config_.sync_interval *
+                                std::max(config_.takeover_intervals, 1));
+    if (now - last_primary_contact_ > budget) {
+      promote();
+      return;  // scheduleTick() owns the cadence from here on.
+    }
+    if (!upstream_ || upstream_->closed()) connectUpstream();
+    scheduleFollowerTick();
+  });
+}
+
+void Coordinator::connectUpstream() {
+  net::Fd fd;
+  try {
+    fd = net::connectTcp(config_.standby_of);
+  } catch (const std::system_error&) {
+    return;  // Primary unreachable; the takeover timer keeps running.
+  }
+  upstream_ = std::make_unique<net::Connection>(
+      loop_, std::move(fd),
+      [this](net::Buffer& payload) { onUpstreamMessage(payload); },
+      [this] {
+        if (!upstream_) return;
+        // We are inside the connection's own callback chain: defer its
+        // destruction, redial on the next follower tick.
+        auto doomed = std::move(upstream_);
+        loop_.post([conn = std::shared_ptr<net::Connection>(std::move(doomed))] {});
+      },
+      &conn_metrics_);
+  net::Message subscribe;
+  subscribe.type = net::MessageType::kFollowerSubscribe;
+  subscribe.epoch = follower_epoch_;
+  subscribe.fence = primary_fence_;
+  net::Buffer out;
+  net::encodeMessage(subscribe, out);
+  upstream_->sendFrame(out);
+}
+
+void Coordinator::onUpstreamMessage(net::Buffer& payload) {
+  net::Message message;
+  try {
+    message = net::decodeMessage(payload);
+  } catch (const std::exception& e) {
+    stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+    AALO_LOG_WARN << "standby: dropping malformed frame: " << e.what();
+    return;
+  }
+  if (message.type != net::MessageType::kScheduleUpdate &&
+      message.type != net::MessageType::kScheduleDelta) {
+    return;
+  }
+  if (message.fence < primary_fence_) return;  // Deposed incarnation.
+  primary_fence_ = message.fence;
+  last_primary_contact_ = net::EventLoop::Clock::now();
+  if (message.type == net::MessageType::kScheduleUpdate) {
+    // Wholesale replacement: every mirrored coflow the snapshot no longer
+    // carries was unregistered (or ON/OFF-pruned by a GC) upstream.
+    std::unordered_map<coflow::CoflowId, net::ScheduleEntry> next;
+    next.reserve(message.schedule.size());
+    for (const auto& entry : message.schedule) {
+      next.emplace(entry.id, entry);
+      follower_removed_.erase(entry.id);
+    }
+    for (const auto& [id, entry] : mirror_) {
+      if (!next.contains(id)) follower_removed_.insert(id);
+    }
+    mirror_ = std::move(next);
+    follower_epoch_ = message.epoch;
+  } else {
+    if (message.base_epoch != follower_epoch_) {
+      // Epoch gap in the mirrored stream: recover exactly like a daemon.
+      net::Message request;
+      request.type = net::MessageType::kSnapshotRequest;
+      request.epoch = follower_epoch_;
+      net::Buffer out;
+      net::encodeMessage(request, out);
+      if (upstream_ && !upstream_->closed()) upstream_->sendFrame(out);
+      return;
+    }
+    for (const auto& entry : message.schedule) {
+      mirror_[entry.id] = entry;
+      follower_removed_.erase(entry.id);
+    }
+    for (const auto& id : message.removals) {
+      mirror_.erase(id);
+      follower_removed_.insert(id);
+    }
+    follower_epoch_ = message.epoch;
+  }
+  stats_.follower_frames_applied.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Coordinator::promote() {
+  const TimePoint now = net::EventLoop::Clock::now();
+  if (upstream_) {
+    auto doomed = std::move(upstream_);
+    loop_.post([conn = std::shared_ptr<net::Connection>(std::move(doomed))] {});
+  }
+  // Fence above everything the primary ever broadcast: should the deposed
+  // primary come back, daemons following the highest fence ignore it.
+  fence_.store(primary_fence_ + 1, std::memory_order_relaxed);
+  if (follower_epoch_ > epoch_.load(std::memory_order_relaxed)) {
+    epoch_.store(follower_epoch_, std::memory_order_relaxed);
+  }
+  // Seed the schedule from the mirror. registerCoflow is try_emplace-like:
+  // coflows daemons already re-taught us keep their sizes, the rest enter
+  // at queue 0 and are re-learned within a report round — and the daemons'
+  // max(local D-CLAS, schedule) rule means the transient zero can never
+  // promote a coflow above what its local size justifies.
+  std::int64_t next_external = id_generator_.nextExternal();
+  for (const auto& [id, entry] : mirror_) {
+    state_.registerCoflow(id);
+    next_external = std::max(next_external, id.external + 1);
+  }
+  for (const auto& id : follower_removed_) {
+    state_.unregisterCoflow(id);
+    unregistered_[id] = now;
+    next_external = std::max(next_external, id.external + 1);
+  }
+  id_generator_.advanceTo(next_external);
+  tombstone_count_.store(unregistered_.size(), std::memory_order_relaxed);
+  registered_count_.store(state_.registeredCount(), std::memory_order_relaxed);
+  // Every already-connected peer must see a full snapshot under the new
+  // fence before any delta can compose.
+  for (auto& [key, peer] : peers_) peer.needs_snapshot = true;
+  standby_active_.store(false, std::memory_order_relaxed);
+  stats_.failovers.fetch_add(1, std::memory_order_relaxed);
+  AALO_LOG_WARN << "standby promoting to primary: fence "
+                << fence_.load(std::memory_order_relaxed) << ", epoch "
+                << epoch_.load(std::memory_order_relaxed) << ", "
+                << mirror_.size() << " mirrored coflows, "
+                << follower_removed_.size() << " tombstones";
+  if (checkpoint_) writeCheckpointSnapshot(now);
+  scheduleTick();
 }
 
 void Coordinator::onAcceptable() {
@@ -143,6 +374,12 @@ void Coordinator::onAcceptable() {
         loop_, std::move(fd),
         [this, key](net::Buffer& payload) { onMessage(key, payload); },
         [this, key] { dropPeer(key); }, &conn_metrics_);
+    if (config_.send_queue_max > 0) {
+      // Coalescing (skip broadcasts at send_queue_max) is the soft limit;
+      // the connection's hard close at 4x bounds worst-case memory even if
+      // a non-broadcast write path misbehaves.
+      peer.connection->setSendQueueLimit(4 * config_.send_queue_max);
+    }
     peers_.emplace(key, std::move(peer));
   }
 }
@@ -153,6 +390,10 @@ void Coordinator::dropPeer(std::uint64_t peer_key) {
   if (it->second.is_daemon) {
     state_.dropDaemon(it->second.daemon_id);
     daemon_count_.fetch_sub(1, std::memory_order_relaxed);
+    if (checkpoint_ && !standby_active_.load(std::memory_order_relaxed)) {
+      checkpoint_->journalDropDaemon(it->second.daemon_id);
+      stats_.checkpoint_journal_records.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   // Defer destruction: we may be inside this connection's own callback
   // chain (close handler), or about to destroy it from the eviction pass.
@@ -245,6 +486,16 @@ void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
           peer.echoed_epoch = message.epoch;
           peer.last_echo_advance = now;
         }
+        const bool journal =
+            checkpoint_ != nullptr &&
+            !standby_active_.load(std::memory_order_relaxed);
+        net::Message& journaled = report_journal_scratch_;
+        if (journal) {
+          journaled.type = net::MessageType::kSizeReport;
+          journaled.daemon_id = peer.daemon_id;
+          journaled.epoch = message.epoch;
+          journaled.sizes.clear();
+        }
         for (const auto& s : message.sizes) {
           // Completed coflows must not resurface (tombstone); remember the
           // mention so the tombstone outlives every daemon still reporting.
@@ -254,11 +505,26 @@ void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
             continue;
           }
           state_.applySize(peer.daemon_id, s.id, s.bytes);
+          if (journal) journaled.sizes.push_back(s);
+        }
+        if (journal && !journaled.sizes.empty()) {
+          // Only the applied (tombstone-filtered) slice reaches the
+          // journal, so replay never resurrects a completed coflow.
+          checkpoint_->journalReport(journaled);
+          stats_.checkpoint_journal_records.fetch_add(1,
+                                                      std::memory_order_relaxed);
         }
         report_apply_->observe(elapsedSeconds(apply_start));
       }
       break;
     case net::MessageType::kRegisterCoflow: {
+      if (standby_active_.load(std::memory_order_relaxed)) {
+        // A standby must not mint CoflowIds: they would collide with the
+        // primary's. The client's RPC retry finds the primary (or waits
+        // out our promotion).
+        AALO_LOG_WARN << "standby: ignoring kRegisterCoflow before promotion";
+        break;
+      }
       coflow::CoflowId id;
       if (message.parents.empty()) {
         id = id_generator_.newRootId();
@@ -272,6 +538,11 @@ void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
       state_.registerCoflow(id);
       registered_count_.store(state_.registeredCount(),
                               std::memory_order_relaxed);
+      if (checkpoint_) {
+        checkpoint_->journalRegister(id, id_generator_.nextExternal());
+        stats_.checkpoint_journal_records.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      }
       net::Message reply;
       reply.type = net::MessageType::kRegisterReply;
       reply.request_id = message.request_id;
@@ -287,15 +558,27 @@ void Coordinator::onMessage(std::uint64_t peer_key, net::Buffer& payload) {
       tombstone_count_.store(unregistered_.size(), std::memory_order_relaxed);
       registered_count_.store(state_.registeredCount(),
                               std::memory_order_relaxed);
+      if (checkpoint_ && !standby_active_.load(std::memory_order_relaxed)) {
+        checkpoint_->journalUnregister(message.coflow);
+        stats_.checkpoint_journal_records.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      }
       break;
     case net::MessageType::kSnapshotRequest:
-      // The daemon detected an epoch gap (dropped broadcast) or lost its
-      // schedule: serve a full snapshot on the next round instead of a
+      // The daemon (or a subscribed standby) detected an epoch gap or lost
+      // its schedule: serve a full snapshot on the next round instead of a
       // delta it cannot apply.
-      if (peer.is_daemon) {
+      if (peer.is_daemon || peer.is_follower) {
         peer.needs_snapshot = true;
         stats_.snapshot_requests.fetch_add(1, std::memory_order_relaxed);
       }
+      break;
+    case net::MessageType::kFollowerSubscribe:
+      // A warm standby joins the broadcast fan-out as a pseudo-daemon: it
+      // gets the same snapshot-then-deltas stream but never reports, so
+      // the liveness/one-way watchdogs leave it alone.
+      peer.is_follower = true;
+      peer.needs_snapshot = true;
       break;
     default:
       AALO_LOG_WARN << "coordinator: unexpected message type";
@@ -320,6 +603,7 @@ void Coordinator::broadcastFull(std::uint64_t epoch) {
   net::Message update;
   update.type = net::MessageType::kScheduleUpdate;
   update.epoch = epoch;
+  update.fence = fence_.load(std::memory_order_relaxed);
   update.schedule.swap(entries_scratch_);
   state_.legacySchedule(
       [this](const coflow::CoflowId& id) { return unregistered_.contains(id); },
@@ -333,16 +617,23 @@ void Coordinator::broadcastFull(std::uint64_t epoch) {
   std::vector<std::uint64_t> keys;
   keys.reserve(peers_.size());
   for (const auto& [key, peer] : peers_) {
-    if (peer.is_daemon) keys.push_back(key);
+    if (peer.is_daemon || peer.is_follower) keys.push_back(key);
   }
   for (const std::uint64_t key : keys) {
     const auto it = peers_.find(key);
     if (it == peers_.end()) continue;
-    if (it->second.connection && !it->second.connection->closed()) {
-      it->second.connection->sendFrame(snapshot_scratch_);
-      broadcast_bytes_->fetch_add(4 + snapshot_scratch_->readableBytes());
-      stats_.snapshot_broadcasts.fetch_add(1, std::memory_order_relaxed);
+    Peer& peer = it->second;
+    if (!peer.connection || peer.connection->closed()) continue;
+    if (config_.send_queue_max > 0 &&
+        peer.connection->pendingBytes() > config_.send_queue_max) {
+      // Backpressure: the peer is not draining. Skip it this round rather
+      // than queueing unboundedly or stalling the healthy fan-out.
+      stats_.broadcasts_coalesced.fetch_add(1, std::memory_order_relaxed);
+      continue;
     }
+    peer.connection->sendFrame(snapshot_scratch_);
+    broadcast_bytes_->fetch_add(4 + snapshot_scratch_->readableBytes());
+    stats_.snapshot_broadcasts.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -356,6 +647,7 @@ void Coordinator::broadcastDelta(std::uint64_t epoch) {
   message.type = net::MessageType::kScheduleDelta;
   message.epoch = epoch;
   message.base_epoch = epoch - 1;
+  message.fence = fence_.load(std::memory_order_relaxed);
   message.schedule.swap(entries_scratch_);
   message.removals.swap(removals_scratch_);
   net::Buffer& delta_out =
@@ -368,13 +660,23 @@ void Coordinator::broadcastDelta(std::uint64_t epoch) {
   std::vector<std::uint64_t> keys;
   keys.reserve(peers_.size());
   for (const auto& [key, peer] : peers_) {
-    if (peer.is_daemon) keys.push_back(key);
+    if (peer.is_daemon || peer.is_follower) keys.push_back(key);
   }
   for (const std::uint64_t key : keys) {
     const auto it = peers_.find(key);
     if (it == peers_.end()) continue;
     Peer& peer = it->second;
     if (!peer.connection || peer.connection->closed()) continue;
+    if (config_.send_queue_max > 0 &&
+        peer.connection->pendingBytes() > config_.send_queue_max) {
+      // Backpressure: the peer stopped draining (blackholed link, hung
+      // process). Skip it — sending more only bloats its queue — and mark
+      // it for a full snapshot, which coalesces every skipped round into
+      // one frame once it drains (or it trips the liveness watchdog).
+      peer.needs_snapshot = true;
+      stats_.broadcasts_coalesced.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     const bool want_snapshot =
         peer.needs_snapshot ||
         (config_.snapshot_every > 0 &&
@@ -392,17 +694,19 @@ void Coordinator::broadcastDelta(std::uint64_t epoch) {
         message.schedule.swap(entries_scratch_);
         snapshot_encoded = true;
       }
-      peer.connection->sendFrame(snapshot_scratch_);
-      broadcast_bytes_->fetch_add(4 + snapshot_scratch_->readableBytes());
+      // Update peer state *before* the send: a failing send closes the
+      // connection inline, whose close handler erases this Peer.
       peer.needs_snapshot = false;
       peer.frames_since_snapshot = 0;
       stats_.snapshot_broadcasts.fetch_add(1, std::memory_order_relaxed);
+      peer.connection->sendFrame(snapshot_scratch_);
+      broadcast_bytes_->fetch_add(4 + snapshot_scratch_->readableBytes());
     } else {
-      peer.connection->sendFrame(delta_scratch_);
-      broadcast_bytes_->fetch_add(4 + delta_scratch_->readableBytes());
       ++peer.frames_since_snapshot;
       (changed ? stats_.delta_broadcasts : stats_.broadcasts_suppressed)
           .fetch_add(1, std::memory_order_relaxed);
+      peer.connection->sendFrame(delta_scratch_);
+      broadcast_bytes_->fetch_add(4 + delta_scratch_->readableBytes());
     }
   }
 }
@@ -412,6 +716,19 @@ std::unordered_map<coflow::CoflowId, double> Coordinator::globalSizes() {
   std::promise<std::unordered_map<coflow::CoflowId, double>> promise;
   auto future = promise.get_future();
   loop_.post([this, &promise] { promise.set_value(state_.globalSizes()); });
+  return future.get();
+}
+
+std::vector<net::ScheduleEntry> Coordinator::scheduleSnapshot() {
+  const auto compute = [this] {
+    std::vector<net::ScheduleEntry> out;
+    state_.snapshotEntries(out);
+    return out;
+  };
+  if (!running_.load(std::memory_order_relaxed)) return compute();
+  std::promise<std::vector<net::ScheduleEntry>> promise;
+  auto future = promise.get_future();
+  loop_.post([&compute, &promise] { promise.set_value(compute()); });
   return future.get();
 }
 

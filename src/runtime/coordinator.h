@@ -32,6 +32,8 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include <string>
 
@@ -40,6 +42,7 @@
 #include "net/event_loop.h"
 #include "net/metrics.h"
 #include "obs/metrics.h"
+#include "runtime/checkpoint.h"
 #include "runtime/robustness.h"
 #include "runtime/schedule_state.h"
 #include "sched/dclas.h"
@@ -82,6 +85,29 @@ struct CoordinatorConfig {
   /// metrics_dump_interval on the loop thread, plus once at stop().
   std::string metrics_dump_path;
   util::Seconds metrics_dump_interval = 1.0;
+  /// High availability: when non-zero, start as a warm standby of the
+  /// primary coordinator at 127.0.0.1:<standby_of>. The standby subscribes
+  /// to the primary's broadcast stream (kFollowerSubscribe) and mirrors it
+  /// like a daemon would; it sends no broadcasts of its own until it
+  /// promotes. 0 = start as the primary.
+  std::uint16_t standby_of = 0;
+  /// Standby: promote to primary after this many sync intervals without a
+  /// broadcast from the primary. The promoted coordinator broadcasts with
+  /// a fencing epoch above everything the primary ever used, so daemons
+  /// ignore the deposed primary should it come back.
+  int takeover_intervals = 10;
+  /// Checkpoint/restore: when non-empty, ScheduleState snapshots + a delta
+  /// journal are kept in this directory; a restarted primary resumes from
+  /// them (bit-identical schedule, no re-teach round) instead of starting
+  /// blind. Empty = disabled.
+  std::string checkpoint_dir;
+  util::Seconds checkpoint_interval = 1.0;
+  /// Overload backpressure: a peer with more than this many unsent bytes
+  /// queued is skipped this round (its broadcast is coalesced into a full
+  /// snapshot once it drains), so one blackholed daemon cannot stall or
+  /// bloat the fan-out. The connection hard-closes at 4x this (see
+  /// net::Connection::setSendQueueLimit). 0 = unlimited.
+  std::size_t send_queue_max = 4 * 1024 * 1024;
 };
 
 class Coordinator {
@@ -100,6 +126,13 @@ class Coordinator {
   std::uint16_t port() const { return port_; }
   /// Number of completed coordination rounds (broadcasts).
   std::uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  /// Fencing epoch of this coordinator incarnation (grows on promotion).
+  std::uint64_t fence() const { return fence_.load(std::memory_order_relaxed); }
+  /// True when this coordinator broadcasts (primary from the start, or a
+  /// standby that has promoted).
+  bool isPrimary() const {
+    return !standby_active_.load(std::memory_order_relaxed);
+  }
   /// Daemons currently connected (said Hello).
   std::size_t daemonCount() const {
     return daemon_count_.load(std::memory_order_relaxed);
@@ -124,6 +157,12 @@ class Coordinator {
   /// sizes. Thread-safe (hops onto the loop thread while running).
   std::unordered_map<coflow::CoflowId, double> globalSizes();
 
+  /// Test/diagnostic accessor: the full current schedule exactly as a
+  /// kScheduleUpdate would carry it (sorted, ON gate applied). Thread-safe
+  /// (hops onto the loop thread while running). Bit-identical across a
+  /// checkpoint restore or an up-to-date standby promotion.
+  std::vector<net::ScheduleEntry> scheduleSnapshot();
+
  private:
   using TimePoint = net::EventLoop::Clock::time_point;
 
@@ -131,6 +170,9 @@ class Coordinator {
     std::unique_ptr<net::Connection> connection;
     std::uint64_t daemon_id = 0;
     bool is_daemon = false;
+    /// A subscribed warm standby: receives every broadcast like a daemon
+    /// but sends no reports, so it is exempt from liveness eviction.
+    bool is_follower = false;
     TimePoint last_report{};        ///< Last Hello or size report.
     std::uint64_t echoed_epoch = 0; ///< Highest epoch echoed in a report.
     TimePoint last_echo_advance{};  ///< When echoed_epoch last grew.
@@ -153,6 +195,14 @@ class Coordinator {
   void registerMetrics();
   void scheduleMetricsDump();
   void dumpMetrics();
+  // --- checkpoint/restore (primary only) ---------------------------------
+  void restoreFromCheckpoint();
+  void writeCheckpointSnapshot(TimePoint now);
+  // --- warm standby ------------------------------------------------------
+  void scheduleFollowerTick();
+  void connectUpstream();
+  void onUpstreamMessage(net::Buffer& payload);
+  void promote();
 
   CoordinatorConfig config_;
   net::EventLoop loop_;
@@ -188,6 +238,30 @@ class Coordinator {
   std::atomic<std::size_t> registered_count_{0};
   std::atomic<std::size_t> tombstone_count_{0};
   std::atomic<bool> running_{false};
+  /// Fencing epoch of this incarnation: 1 for a fresh primary, restored
+  /// from the checkpoint, or primary's-highest + 1 after a promotion.
+  std::atomic<std::uint64_t> fence_{1};
+  /// True from start() until promote() when configured as a standby.
+  std::atomic<bool> standby_active_{false};
+
+  // Checkpoint (loop-thread-only after start()).
+  std::unique_ptr<Checkpoint> checkpoint_;
+  TimePoint last_checkpoint_{};
+  /// Scratch for journaling only the tombstone-filtered, actually-applied
+  /// slice of each size report.
+  net::Message report_journal_scratch_;
+
+  // Warm-standby state (loop-thread-only).
+  std::unique_ptr<net::Connection> upstream_;
+  std::uint64_t primary_fence_ = 1;   ///< Highest fence seen from upstream.
+  std::uint64_t follower_epoch_ = 0;  ///< Last mirrored broadcast epoch.
+  /// Live schedule mirrored from the primary's broadcast stream.
+  std::unordered_map<coflow::CoflowId, net::ScheduleEntry> mirror_;
+  /// Coflows the stream removed (delta removals / snapshot disappearance):
+  /// tombstoned at promotion so stale reports cannot resurrect them.
+  std::unordered_set<coflow::CoflowId> follower_removed_;
+  TimePoint last_primary_contact_{};
+  TimePoint standby_started_{};
   RobustnessStats stats_;
 
   // Observability (registered once in the constructor; histogram/counter

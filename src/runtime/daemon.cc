@@ -29,7 +29,9 @@ Daemon::Daemon(DaemonConfig config)
     : config_(std::move(config)),
       thresholds_(config_.dclas.thresholds()),
       backoff_rng_(backoffSeed(config_)) {
-  next_backoff_ = config_.reconnect_interval;
+  next_backoff_.store(config_.reconnect_interval, std::memory_order_relaxed);
+  endpoints_ = config_.coordinator_ports;
+  if (endpoints_.empty()) endpoints_.push_back(config_.coordinator_port);
   registerMetrics();
 }
 
@@ -52,23 +54,55 @@ void Daemon::registerMetrics() {
 
 Daemon::~Daemon() { stop(); }
 
+void Daemon::growBackoff() {
+  // Decorrelated jitter: independent of other daemons' retry phases and
+  // spreads exponentially up to the cap.
+  const util::Seconds base = config_.reconnect_interval;
+  const util::Seconds cap = std::max(base, config_.reconnect_max_backoff);
+  next_backoff_.store(
+      std::min(cap, backoff_rng_.uniform(
+                        base, next_backoff_.load(std::memory_order_relaxed) * 3)),
+      std::memory_order_relaxed);
+}
+
+void Daemon::rotateEndpoint() {
+  if (endpoints_.size() < 2) return;
+  endpoint_index_.fetch_add(1, std::memory_order_relaxed);
+  stats_.endpoint_failovers.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool Daemon::tryConnect() {
   stats_.reconnect_attempts.fetch_add(1, std::memory_order_relaxed);
+  const std::uint16_t port =
+      endpoints_[endpoint_index_.load(std::memory_order_relaxed) %
+                 endpoints_.size()];
   net::Fd fd;
   try {
-    fd = net::connectTcp(config_.coordinator_port);
+    fd = net::connectTcp(port);
   } catch (const std::system_error&) {
-    return false;  // Coordinator not (yet) back; retry later.
+    rotateEndpoint();  // Try the next coordinator on the next attempt.
+    return false;      // Coordinator not (yet) back; retry later.
   }
   connection_ = std::make_unique<net::Connection>(
       loop_, std::move(fd), [this](net::Buffer& payload) { onMessage(payload); },
       [this] {
         socket_connected_.store(false, std::memory_order_relaxed);
+        if (!synced_since_connect_) {
+          // The dial "succeeded" but the connection died before a single
+          // schedule applied — a crash-looping (accept-then-close) or dead
+          // coordinator. Keep backing off (the backoff only resets after a
+          // successful resync) and try the next endpoint.
+          growBackoff();
+          rotateEndpoint();
+        }
         AALO_LOG_WARN << "daemon " << config_.daemon_id
                       << ": lost coordinator; data path falls back to fair sharing";
         scheduleReconnect();
       },
       &conn_metrics_);
+  if (config_.send_queue_max > 0) {
+    connection_->setSendQueueLimit(4 * config_.send_queue_max);
+  }
   // Fresh connection: expect epochs from scratch (the coordinator may have
   // restarted and reset its round counter) and give the schedule a full
   // staleness budget before degrading.
@@ -79,8 +113,8 @@ bool Daemon::tryConnect() {
   // first report must re-teach it every absolute size (§3.2).
   force_full_report_ = true;
   reports_since_resync_ = 0;
+  synced_since_connect_ = false;
   last_broadcast_ = net::EventLoop::Clock::now();
-  next_backoff_ = config_.reconnect_interval;
   socket_connected_.store(true, std::memory_order_relaxed);
   schedule_fresh_.store(true, std::memory_order_relaxed);
   stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
@@ -93,7 +127,7 @@ void Daemon::scheduleReconnect() {
       !running_.load(std::memory_order_relaxed)) {
     return;
   }
-  loop_.callAfter(toNanos(next_backoff_), [this] {
+  loop_.callAfter(toNanos(next_backoff_.load(std::memory_order_relaxed)), [this] {
     if (!running_.load(std::memory_order_relaxed)) return;
     if (socket_connected_.load(std::memory_order_relaxed)) return;
     // Drop the dead connection on the loop thread, then retry. Local
@@ -101,13 +135,7 @@ void Daemon::scheduleReconnect() {
     // from the next size report (§3.2).
     connection_.reset();
     if (!tryConnect()) {
-      // Decorrelated jitter: independent of other daemons' retry phases
-      // and spreads exponentially up to the cap.
-      const util::Seconds base = config_.reconnect_interval;
-      const util::Seconds cap =
-          std::max(base, config_.reconnect_max_backoff);
-      next_backoff_ =
-          std::min(cap, backoff_rng_.uniform(base, next_backoff_ * 3));
+      growBackoff();
       scheduleReconnect();
     }
   });
@@ -116,7 +144,11 @@ void Daemon::scheduleReconnect() {
 void Daemon::start() {
   std::lock_guard lifecycle(lifecycle_mutex_);
   if (running_.exchange(true)) return;
-  if (!tryConnect()) {
+  bool dialed = false;
+  for (std::size_t i = 0; i < endpoints_.size() && !dialed; ++i) {
+    dialed = tryConnect();  // Failure rotates to the next endpoint.
+  }
+  if (!dialed) {
     running_.store(false, std::memory_order_relaxed);
     throw std::system_error(ECONNREFUSED, std::generic_category(),
                             "Daemon: cannot reach coordinator");
@@ -169,11 +201,33 @@ void Daemon::checkScheduleFreshness() {
     AALO_LOG_WARN << "daemon " << config_.daemon_id
                   << ": no schedule for " << config_.stale_after_intervals
                   << " intervals; entering local-only mode";
+    if (endpoints_.size() > 1 && connection_ && !connection_->closed()) {
+      // The socket is up but no (acceptable) broadcast arrives — a hung or
+      // deposed coordinator. With standbys configured, abandon it and dial
+      // the next endpoint instead of idling in local-only mode. We are in
+      // the tick callback, not the connection's own chain, but events for
+      // its fd may already be queued in this dispatch batch: defer the
+      // destruction exactly like the coordinator's dropPeer does.
+      rotateEndpoint();
+      auto doomed = std::move(connection_);
+      loop_.post([conn = std::shared_ptr<net::Connection>(std::move(doomed))] {});
+      socket_connected_.store(false, std::memory_order_relaxed);
+      scheduleReconnect();
+    }
   }
 }
 
 void Daemon::sendSizeReport() {
   if (!connection_ || connection_->closed()) return;
+  if (config_.send_queue_max > 0 &&
+      connection_->pendingBytes() > config_.send_queue_max) {
+    // The coordinator is not draining us. Don't pile frames onto the queue:
+    // skip this report entirely. report_dirty_ is left intact and sizes
+    // are absolute, so the next report that goes out carries everything —
+    // shedding coalesces, it never loses.
+    stats_.reports_shed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   net::Message report;
   report.type = net::MessageType::kSizeReport;
   report.daemon_id = config_.daemon_id;
@@ -252,9 +306,30 @@ void Daemon::onMessage(net::Buffer& payload) {
     AALO_LOG_WARN << "daemon " << config_.daemon_id << ": bad frame: " << e.what();
     return;
   }
+  if (message.type != net::MessageType::kScheduleUpdate &&
+      message.type != net::MessageType::kScheduleDelta) {
+    return;
+  }
+  // Fencing: every broadcast carries its coordinator incarnation's fence.
+  // One below the high-water mark is from a deposed primary — ignore it
+  // outright, *without* refreshing last_broadcast_, so a daemon stuck on a
+  // stale primary still goes stale and rotates to the promoted standby.
+  const std::uint64_t fence_seen = max_fence_.load(std::memory_order_relaxed);
+  if (message.fence < fence_seen) {
+    stats_.stale_fence_ignored.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (message.fence > fence_seen) {
+    // A new coordinator incarnation (promoted standby or fenced restart):
+    // its epochs number an independent broadcast stream, and it may not
+    // have heard our absolute sizes yet — re-teach it (§3.2).
+    max_fence_.store(message.fence, std::memory_order_relaxed);
+    conn_epoch_ = 0;
+    force_full_report_ = true;
+  }
   if (message.type == net::MessageType::kScheduleUpdate) {
     applyScheduleUpdate(message);
-  } else if (message.type == net::MessageType::kScheduleDelta) {
+  } else {
     applyScheduleDelta(message);
   }
 }
@@ -318,6 +393,14 @@ void Daemon::applyScheduleDelta(const net::Message& message) {
 
 void Daemon::finishApply(std::uint64_t epoch) {
   conn_epoch_ = epoch;
+  if (!synced_since_connect_) {
+    // First schedule applied on this connection: the coordinator is
+    // genuinely serving us, so the reconnect backoff may reset. Resetting
+    // any earlier (e.g. on a successful dial) lets an accept-then-crash
+    // coordinator keep every daemon redialing at the base rate forever.
+    synced_since_connect_ = true;
+    next_backoff_.store(config_.reconnect_interval, std::memory_order_relaxed);
+  }
   pruneCompleted();
   {
     std::lock_guard lock(mutex_);

@@ -50,6 +50,13 @@ namespace aalo::runtime {
 
 struct DaemonConfig {
   std::uint16_t coordinator_port = 0;
+  /// Ordered coordinator endpoints (primary first, then standbys), all on
+  /// 127.0.0.1. Empty = just {coordinator_port}. The daemon dials them
+  /// round-robin: a failed dial, a connection that dies before syncing, or
+  /// a stale-schedule transition rotates to the next endpoint — so when a
+  /// promoted standby is broadcasting, every daemon finds it within its
+  /// reconnect/staleness budget.
+  std::vector<std::uint16_t> coordinator_ports;
   std::uint64_t daemon_id = 0;
   util::Seconds sync_interval = 0.010;
   /// Queue weight for 0-based queue q given K queues (K - q, as in §7.1).
@@ -90,6 +97,12 @@ struct DaemonConfig {
   /// the coordinator's liveness watchdog and epoch-echo keep working.
   /// Must stay below liveness_timeout_intervals; 0 = report every Δ.
   int report_keepalive_intervals = 3;
+  /// Backpressure: skip a size report while more than this many bytes sit
+  /// unsent in the connection's send queue (the coordinator stopped
+  /// draining). Skipped coflows stay dirty, and reports carry absolute
+  /// sizes, so the next report that does go out is lossless. The
+  /// connection's hard overflow limit is set to 4x this. 0 = never shed.
+  std::size_t send_queue_max = 0;
 };
 
 class Daemon {
@@ -141,6 +154,23 @@ class Daemon {
 
   const RobustnessStats& stats() const { return stats_; }
 
+  /// Current reconnect delay (test/diagnostic): stays at
+  /// reconnect_interval after a connection that reached a synced schedule,
+  /// grows with decorrelated jitter while dials fail *or* connections die
+  /// before the first schedule applies (crash-looping coordinator).
+  double currentReconnectBackoff() const {
+    return next_backoff_.load(std::memory_order_relaxed);
+  }
+  /// Index into the endpoint list the next dial will use (mod size).
+  std::size_t endpointIndex() const {
+    return endpoint_index_.load(std::memory_order_relaxed);
+  }
+  /// Highest coordinator fencing epoch ever seen; broadcasts below it are
+  /// from a deposed primary and are ignored outright.
+  std::uint64_t fenceSeen() const {
+    return max_fence_.load(std::memory_order_relaxed);
+  }
+
   /// Observability registry: robustness counters (`aalo_daemon_*`), wire
   /// counters, encode-scratch reuse, lifecycle gauges. Rendering is
   /// thread-safe, so callers may dump it from any thread.
@@ -154,6 +184,10 @@ class Daemon {
   void scheduleTick();
   void scheduleReconnect();
   bool tryConnect();
+  /// Decorrelated-jitter growth toward reconnect_max_backoff.
+  void growBackoff();
+  /// Advance to the next coordinator endpoint (no-op with one endpoint).
+  void rotateEndpoint();
   void onMessage(net::Buffer& payload);
   void applyScheduleUpdate(const net::Message& message);
   void applyScheduleDelta(const net::Message& message);
@@ -178,9 +212,20 @@ class Daemon {
   std::atomic<bool> schedule_fresh_{false};
   std::atomic<std::uint64_t> last_epoch_{0};
 
-  // Loop-thread-only state (start() touches it before the thread exists).
+  // Loop-thread-only state (start() touches it before the thread exists;
+  // the atomics among them exist only for cross-thread test accessors).
   util::Rng backoff_rng_;
-  util::Seconds next_backoff_ = 0;
+  std::atomic<double> next_backoff_{0};
+  /// Ordered endpoint list resolved from the config (never empty).
+  std::vector<std::uint16_t> endpoints_;
+  std::atomic<std::size_t> endpoint_index_{0};
+  /// Highest fence witnessed across all connections (coordinator
+  /// incarnation high-water mark).
+  std::atomic<std::uint64_t> max_fence_{0};
+  /// Whether the current connection has applied at least one schedule;
+  /// only then is the reconnect backoff reset to its base (a dial that
+  /// succeeds but dies unsynced keeps backing off).
+  bool synced_since_connect_ = false;
   std::uint64_t conn_epoch_ = 0;  ///< Highest epoch applied this connection.
   net::EventLoop::Clock::time_point last_broadcast_{};
   /// Next size report must carry every coflow absolutely: set on (re)

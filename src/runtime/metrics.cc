@@ -23,6 +23,19 @@ void registerRobustnessStats(obs::Registry& registry, const RobustnessStats& sta
          stats.snapshot_broadcasts);
   attach("snapshot_requests", "kSnapshotRequest frames honored",
          stats.snapshot_requests);
+  attach("failovers", "Standby promotions to primary", stats.failovers);
+  attach("follower_frames_applied", "Broadcasts mirrored while standby",
+         stats.follower_frames_applied);
+  attach("broadcasts_coalesced", "Broadcasts skipped for backlogged peers",
+         stats.broadcasts_coalesced);
+  attach("checkpoint_snapshots", "Checkpoint snapshot files written",
+         stats.checkpoint_snapshots);
+  attach("checkpoint_journal_records", "Checkpoint journal records appended",
+         stats.checkpoint_journal_records);
+  attach("checkpoint_restores", "Successful checkpoint restores",
+         stats.checkpoint_restores);
+  attach("checkpoint_restore_failures", "Corrupt/rejected checkpoint data",
+         stats.checkpoint_restore_failures);
   // Daemon.
   attach("reconnect_attempts", "Dial attempts after a loss",
          stats.reconnect_attempts);
@@ -39,6 +52,12 @@ void registerRobustnessStats(obs::Registry& registry, const RobustnessStats& sta
   attach("schedule_deltas_applied", "kScheduleDelta frames applied",
          stats.schedule_deltas_applied);
   attach("schedule_gaps", "Delta base_epoch mismatches", stats.schedule_gaps);
+  attach("reports_shed", "Reports skipped under send-queue pressure",
+         stats.reports_shed);
+  attach("stale_fence_ignored", "Broadcasts from a deposed primary ignored",
+         stats.stale_fence_ignored);
+  attach("endpoint_failovers", "Rotations to the next coordinator endpoint",
+         stats.endpoint_failovers);
   // Client.
   attach("rpc_retries", "RPC attempts beyond the first", stats.rpc_retries);
   attach("rpc_reconnects", "Control connections re-established",

@@ -29,6 +29,13 @@ struct RobustnessStats {
   Counter broadcasts_suppressed{0}; ///< Unchanged schedule: heartbeat only.
   Counter snapshot_broadcasts{0};   ///< Full kScheduleUpdate frames sent.
   Counter snapshot_requests{0};     ///< kSnapshotRequest frames honored.
+  Counter failovers{0};                 ///< Standby promotions to primary.
+  Counter follower_frames_applied{0};   ///< Broadcasts mirrored while standby.
+  Counter broadcasts_coalesced{0};      ///< Broadcast skipped: peer queue full.
+  Counter checkpoint_snapshots{0};      ///< Snapshot files written.
+  Counter checkpoint_journal_records{0};///< Journal records appended.
+  Counter checkpoint_restores{0};       ///< Successful snapshot+journal restores.
+  Counter checkpoint_restore_failures{0};///< Corrupt/rejected checkpoint data.
 
   // Daemon.
   Counter reconnect_attempts{0};       ///< Dial attempts after a loss.
@@ -42,6 +49,9 @@ struct RobustnessStats {
   Counter resync_reports{0};           ///< Full absolute size reports.
   Counter schedule_deltas_applied{0};  ///< kScheduleDelta frames applied.
   Counter schedule_gaps{0};            ///< Delta base_epoch mismatch: snapshot asked.
+  Counter reports_shed{0};             ///< Reports skipped: send queue full.
+  Counter stale_fence_ignored{0};      ///< Broadcasts from a deposed primary.
+  Counter endpoint_failovers{0};       ///< Rotated to the next coordinator.
 
   // Client.
   Counter rpc_retries{0};     ///< RPC attempts beyond the first.

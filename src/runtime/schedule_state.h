@@ -85,6 +85,21 @@ class ScheduleState {
   /// positionally — what a snapshot (kScheduleUpdate) carries.
   void snapshotEntries(std::vector<net::ScheduleEntry>& out) const;
 
+  /// Serialization accessors (checkpointing): the raw per-daemon absolute
+  /// reports and the registered set are the whole ground truth — replaying
+  /// them through registerCoflow()/applySize() on a freshly constructed
+  /// state reproduces global_/order_ exactly (the schedule is a sorted
+  /// set, so snapshotEntries() is bit-identical regardless of replay
+  /// order).
+  const std::unordered_map<std::uint64_t,
+                           std::unordered_map<coflow::CoflowId, double>>&
+  reportedSizes() const {
+    return reported_;
+  }
+  const std::unordered_set<coflow::CoflowId>& registeredIds() const {
+    return registered_;
+  }
+
   using TombstoneFilter = std::function<bool(const coflow::CoflowId&)>;
   /// Reference oracle: rebuilds the schedule from scratch out of the
   /// stored per-daemon reports + registrations, exactly as the

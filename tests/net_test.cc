@@ -97,6 +97,7 @@ TEST(Protocol, AllMessageTypesRoundTrip) {
     Message m;
     m.type = MessageType::kScheduleUpdate;
     m.epoch = 99;
+    m.fence = 2;
     m.schedule = {{{1, 0}, 1e6, 0}, {{2, 0}, 2.5e9, 3}};
     messages.push_back(m);
   }
@@ -105,8 +106,17 @@ TEST(Protocol, AllMessageTypesRoundTrip) {
     m.type = MessageType::kScheduleDelta;
     m.epoch = 100;
     m.base_epoch = 99;
+    m.fence = 3;
     m.schedule = {{{3, 1}, 5e7, 2, false}};
     m.removals = {{1, 0}, {2, 0}};
+    messages.push_back(m);
+  }
+  {
+    Message m;
+    m.type = MessageType::kFollowerSubscribe;
+    m.daemon_id = 9001;
+    m.epoch = 17;
+    m.fence = 1;
     messages.push_back(m);
   }
   {
@@ -133,6 +143,7 @@ TEST(Protocol, AllMessageTypesRoundTrip) {
     EXPECT_EQ(decoded.request_id, m.request_id);
     EXPECT_EQ(decoded.epoch, m.epoch);
     EXPECT_EQ(decoded.base_epoch, m.base_epoch);
+    EXPECT_EQ(decoded.fence, m.fence);
     EXPECT_EQ(decoded.coflow, m.coflow);
     EXPECT_EQ(decoded.parents, m.parents);
     EXPECT_EQ(decoded.sizes, m.sizes);
@@ -149,6 +160,7 @@ TEST(Protocol, ScheduleDeltaGoldenWireFormat) {
   m.type = MessageType::kScheduleDelta;
   m.epoch = 3;
   m.base_epoch = 2;
+  m.fence = 5;
   m.schedule = {{{1, 2}, 1.5, 4, true}};
   m.removals = {{7, 0}};
   Buffer buffer;
@@ -158,6 +170,7 @@ TEST(Protocol, ScheduleDeltaGoldenWireFormat) {
       0x07,                                            // type
       0x03, 0, 0, 0, 0, 0, 0, 0,                       // epoch = 3
       0x02, 0, 0, 0, 0, 0, 0, 0,                       // base_epoch = 2
+      0x05, 0, 0, 0, 0, 0, 0, 0,                       // fence = 5
       0x01, 0, 0, 0,                                   // 1 entry
       0x01, 0, 0, 0, 0, 0, 0, 0,                       // id.external = 1
       0x02, 0, 0, 0,                                   // id.internal = 2
@@ -177,6 +190,7 @@ TEST(Protocol, ScheduleDeltaGoldenWireFormat) {
   const Message decoded = decodeMessage(buffer);
   EXPECT_EQ(decoded.epoch, 3u);
   EXPECT_EQ(decoded.base_epoch, 2u);
+  EXPECT_EQ(decoded.fence, 5u);
   EXPECT_EQ(decoded.schedule, m.schedule);
   EXPECT_EQ(decoded.removals, m.removals);
 }

@@ -4,6 +4,9 @@
 //                    [--factor E] [--max-on N] [--liveness-timeout N]
 //                    [--one-way-timeout N] [--tombstone-gc N]
 //                    [--snapshot-every N] [--full-broadcasts]
+//                    [--standby-of PORT] [--takeover-intervals N]
+//                    [--checkpoint-dir DIR] [--checkpoint-interval SECONDS]
+//                    [--send-queue-max BYTES]
 //                    [--metrics-dump PATH] [--metrics-interval SECONDS]
 //                    [--verbose]
 //
@@ -11,6 +14,13 @@
 // disables the corresponding watchdog. --snapshot-every bounds how many
 // consecutive delta frames a daemon sees before a full schedule refresh;
 // --full-broadcasts disables the delta path entirely (oracle mode).
+// --standby-of starts this process as a warm standby of the primary at
+// the given port: it mirrors the broadcast stream and promotes itself
+// (with a higher fencing epoch) after --takeover-intervals * delta of
+// primary silence. --checkpoint-dir enables ScheduleState snapshots + a
+// delta journal so a restarted primary resumes without re-teaching;
+// --send-queue-max bounds per-daemon broadcast backlog (skipped rounds are
+// coalesced into one snapshot; 0 = unlimited).
 // --metrics-dump writes the observability registry (Prometheus text, plus
 // JSON at PATH.json) every --metrics-interval seconds and once at
 // shutdown.
@@ -43,7 +53,10 @@ void onSignal(int) { g_stop = true; }
                "                        [--q1 BYTES] [--factor E] [--max-on N]\n"
                "                        [--liveness-timeout N] [--one-way-timeout N]\n"
                "                        [--tombstone-gc N] [--snapshot-every N]\n"
-               "                        [--full-broadcasts] [--metrics-dump PATH]\n"
+               "                        [--full-broadcasts] [--standby-of PORT]\n"
+               "                        [--takeover-intervals N] [--checkpoint-dir DIR]\n"
+               "                        [--checkpoint-interval SECONDS]\n"
+               "                        [--send-queue-max BYTES] [--metrics-dump PATH]\n"
                "                        [--metrics-interval SECONDS] [--verbose]\n");
   std::exit(2);
 }
@@ -83,6 +96,18 @@ int main(int argc, char** argv) {
       cfg.snapshot_every = std::atoi(needValue("--snapshot-every"));
     } else if (!std::strcmp(argv[i], "--full-broadcasts")) {
       cfg.full_broadcasts = true;
+    } else if (!std::strcmp(argv[i], "--standby-of")) {
+      cfg.standby_of =
+          static_cast<std::uint16_t>(std::atoi(needValue("--standby-of")));
+    } else if (!std::strcmp(argv[i], "--takeover-intervals")) {
+      cfg.takeover_intervals = std::atoi(needValue("--takeover-intervals"));
+    } else if (!std::strcmp(argv[i], "--checkpoint-dir")) {
+      cfg.checkpoint_dir = needValue("--checkpoint-dir");
+    } else if (!std::strcmp(argv[i], "--checkpoint-interval")) {
+      cfg.checkpoint_interval = std::atof(needValue("--checkpoint-interval"));
+    } else if (!std::strcmp(argv[i], "--send-queue-max")) {
+      cfg.send_queue_max =
+          static_cast<std::size_t>(std::atoll(needValue("--send-queue-max")));
     } else if (!std::strcmp(argv[i], "--metrics-dump")) {
       cfg.metrics_dump_path = needValue("--metrics-dump");
     } else if (!std::strcmp(argv[i], "--metrics-interval")) {

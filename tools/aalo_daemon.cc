@@ -2,16 +2,23 @@
 // coordinator, optionally generating synthetic local traffic so the
 // control plane can be exercised without a data plane.
 //
-//   aalo_daemon --coordinator-port P [--id N] [--delta MS]
+//   aalo_daemon --coordinator-port P [--coordinator-port P2 ...] [--id N]
+//               [--delta MS]
 //               [--synthetic-coflows N] [--rate BYTES_PER_SEC]
 //               [--duration SEC]
 //               [--reconnect MS] [--reconnect-max-backoff MS]
 //               [--stale-intervals N]
 //               [--resync-intervals N] [--full-reports]
+//               [--send-queue-max BYTES]
 //               [--metrics-dump PATH] [--metrics-interval SECONDS]
 //               [--chaos-seed S] [--chaos-drop P] [--chaos-dup P]
 //               [--chaos-reorder P] [--chaos-corrupt P] [--chaos-truncate P]
 //               [--chaos-delay P] [--chaos-split BYTES]
+//
+// --coordinator-port may repeat: the first port is the primary, later ones
+// are warm standbys tried in order when the current endpoint fails or goes
+// stale. --send-queue-max sheds size reports while more than BYTES of
+// unsent data is already queued to the coordinator (0 = never shed).
 //
 // --metrics-dump writes the daemon's observability registry (Prometheus
 // text, plus JSON at PATH.json) every --metrics-interval seconds (default
@@ -48,12 +55,14 @@ void onSignal(int) { g_stop = true; }
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: aalo_daemon --coordinator-port P [--id N] [--delta MS]\n"
+               "usage: aalo_daemon --coordinator-port P [--coordinator-port P2]\n"
+               "                   [--id N] [--delta MS]\n"
                "                   [--synthetic-coflows N] [--rate B/S]\n"
                "                   [--duration SEC]\n"
                "                   [--reconnect MS] [--reconnect-max-backoff MS]\n"
                "                   [--stale-intervals N]\n"
                "                   [--resync-intervals N] [--full-reports]\n"
+               "                   [--send-queue-max BYTES]\n"
                "                   [--metrics-dump PATH] [--metrics-interval SECONDS]\n"
                "                   [--chaos-seed S] [--chaos-drop P] [--chaos-dup P]\n"
                "                   [--chaos-reorder P] [--chaos-corrupt P]\n"
@@ -85,8 +94,10 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (!std::strcmp(argv[i], "--coordinator-port")) {
-      cfg.coordinator_port =
+      const auto port =
           static_cast<std::uint16_t>(std::atoi(needValue("--coordinator-port")));
+      if (cfg.coordinator_port == 0) cfg.coordinator_port = port;
+      cfg.coordinator_ports.push_back(port);
     } else if (!std::strcmp(argv[i], "--id")) {
       cfg.daemon_id = std::strtoull(needValue("--id"), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--delta")) {
@@ -109,6 +120,9 @@ int main(int argc, char** argv) {
       cfg.resync_intervals = std::atoi(needValue("--resync-intervals"));
     } else if (!std::strcmp(argv[i], "--full-reports")) {
       cfg.full_reports = true;
+    } else if (!std::strcmp(argv[i], "--send-queue-max")) {
+      cfg.send_queue_max =
+          static_cast<std::size_t>(std::atoll(needValue("--send-queue-max")));
     } else if (!std::strcmp(argv[i], "--metrics-dump")) {
       metrics_dump_path = needValue("--metrics-dump");
     } else if (!std::strcmp(argv[i], "--metrics-interval")) {
@@ -161,6 +175,7 @@ int main(int argc, char** argv) {
     proxy = std::make_unique<net::ChaosProxy>(pcfg);
     proxy->start();
     cfg.coordinator_port = proxy->port();
+    cfg.coordinator_ports = {proxy->port()};  // chaos fronts one endpoint
     std::printf("chaos proxy on 127.0.0.1:%u -> 127.0.0.1:%u (seed=%llu)\n",
                 proxy->port(), real_coordinator_port,
                 static_cast<unsigned long long>(chaos_seed));
