@@ -7,14 +7,17 @@
 #   scripts/ci.sh default    # just the default preset, full suite
 #   scripts/ci.sh asan       # asan build, chaos + metrics + ha suites
 #   scripts/ci.sh tsan       # tsan build, BatchRunner/Obs gates + chaos + ha
-#   scripts/ci.sh perf       # Release perf-smoke vs BENCH_micro.json
+#   scripts/ci.sh perf       # Release perf-smoke: BENCH_micro.json gate
+#                            # + sharded-vs-single fig14 round-time gate
 #   scripts/ci.sh coverage   # gcovr line-coverage report (if installed)
 #
 # The chaos suites (tests/chaos_test.cc, tests/runtime_robustness_test.cc,
-# tests/coordination_equivalence_test.cc) carry the "chaos" ctest label;
-# they exercise the fault-tolerance paths (reconnects, eviction, mangled
-# frames, delta/full data-path equivalence) where sanitizers earn their
-# keep. The observability suites (tests/obs_*.cc, trace_fuzz_test.cc,
+# tests/coordination_equivalence_test.cc, tests/shard_barrier_test.cc)
+# carry the "chaos" ctest label; they exercise the fault-tolerance paths
+# (reconnects, eviction, mangled frames, delta/full data-path and
+# sharded-vs-single-thread schedule equivalence) where sanitizers earn
+# their keep — the shard-barrier race suite additionally runs under tsan
+# by test-name filter. The observability suites (tests/obs_*.cc, trace_fuzz_test.cc,
 # golden_trace_test.cc) carry the "metrics" label; the registry
 # concurrency gate additionally runs under tsan by test-name filter.
 # The high-availability drills (tests/ha_test.cc: failover, checkpoint
@@ -64,7 +67,8 @@ run_asan() {
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$(nproc)" \
     --target chaos_test runtime_robustness_test engine_equivalence_test \
-             coordination_equivalence_test obs_test obs_invariant_test \
+             coordination_equivalence_test shard_barrier_test \
+             obs_test obs_invariant_test \
              obs_concurrency_test trace_fuzz_test golden_trace_test \
              ha_test checkpoint_test
   (cd build-asan && ctest -L chaos --output-on-failure -j "$(nproc)")
@@ -119,6 +123,35 @@ print(f"perf-smoke: median {cur / 1e6:.1f} ms vs baseline {base / 1e6:.1f} ms "
       f"(ratio {ratio:.2f}, limit {tolerance:.2f})")
 if ratio > tolerance:
     raise SystemExit("perf-smoke: FAIL — end-to-end benchmark regressed")
+EOF
+  echo "=== perf-smoke: sharded vs single-thread fan-out @1000 daemons ==="
+  # The sharded coordinator must not cost round time against the
+  # single-threaded oracle at the same Δ. On this one-core host the
+  # worker threads time-slice, so parity (ratio ~1) is the expectation
+  # and the tolerance absorbs scheduler noise; a structural regression in
+  # the barrier/merge path shows up well past it.
+  cmake --build --preset release -j "$(nproc)" --target bench_fig14_scalability
+  ./build-release/bench/bench_fig14_scalability \
+    --json build-release/perf_shard.json \
+    --daemons 1000 --shards 1,8 --rounds 10 --sweep-only
+  python3 - "$PERF_SMOKE_TOLERANCE" <<'EOF'
+import json, sys
+
+doc = json.load(open("build-release/perf_shard.json"))
+by = {e["shards"]: e["avg_round_s"]
+      for e in doc["shard_sweep"] if e["daemons"] == 1000}
+single, sharded = by.get(1, -1), by.get(8, -1)
+if single <= 0 or sharded <= 0:
+    raise SystemExit("perf-smoke: FAIL — fig14 shard gate produced no timed rounds")
+ratio = sharded / single
+tolerance = float(sys.argv[1])
+print(f"perf-smoke: fig14 @1000 daemons round {sharded * 1e3:.2f} ms sharded "
+      f"vs {single * 1e3:.2f} ms single-thread (ratio {ratio:.2f}, "
+      f"limit {tolerance:.2f})")
+if ratio > tolerance:
+    raise SystemExit(
+        "perf-smoke: FAIL — sharded coordinator round time regressed "
+        "past the single-threaded oracle")
 EOF
 }
 

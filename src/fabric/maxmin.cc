@@ -4,11 +4,129 @@
 #include <cmath>
 #include <stdexcept>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define AALO_MAXMIN_AVX2 1
+#include <immintrin.h>
+#endif
+
 namespace aalo::fabric {
 
 namespace {
 
 constexpr double kLevelSlack = 1e-9;
+
+// The per-round water-level sweep over the packed SoA lane columns: for
+// each live lane, gather its four resource levels, min them against the
+// lane's cap, scatter the result to `lvl`, and return the global minimum.
+//
+// Bit-identity with the original branching AoS loop: intra-rack lanes
+// point their rack columns at a sentinel slot pinned to +infinity, and
+// min(x, +inf) == x exactly; min over doubles is associative and
+// commutative as long as no input is NaN or -0.0 — levels are
+// residual/weight with residual finite and weight > 0 (never -0: exact
+// cancellation yields +0), caps are > 0 — so the balanced fold tree and
+// the four independent running minima below produce the same bits as the
+// original left-to-right chain. The compiler may not reassociate FP math
+// itself, so the reassociation is spelled out to break the serial min
+// dependency and let lanes pipeline.
+double levelSweepScalar(std::size_t count, const std::uint32_t* src_col,
+                        const std::uint32_t* dst_col, const std::uint32_t* up_col,
+                        const std::uint32_t* down_col, const double* cap_col,
+                        const double* lvl_in, const double* lvl_out,
+                        const double* lvl_up, const double* lvl_down, double* lvl) {
+  const auto laneLevel = [&](std::size_t k) {
+    const double ab = std::min(lvl_in[src_col[k]], lvl_out[dst_col[k]]);
+    const double cd = std::min(lvl_up[up_col[k]], lvl_down[down_col[k]]);
+    return std::min(ab, std::min(cd, cap_col[k]));
+  };
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double m0 = kInf, m1 = kInf, m2 = kInf, m3 = kInf;
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const double l0 = laneLevel(k);
+    const double l1 = laneLevel(k + 1);
+    const double l2 = laneLevel(k + 2);
+    const double l3 = laneLevel(k + 3);
+    lvl[k] = l0;
+    lvl[k + 1] = l1;
+    lvl[k + 2] = l2;
+    lvl[k + 3] = l3;
+    m0 = std::min(m0, l0);
+    m1 = std::min(m1, l1);
+    m2 = std::min(m2, l2);
+    m3 = std::min(m3, l3);
+  }
+  for (; k < count; ++k) {
+    const double l = laneLevel(k);
+    lvl[k] = l;
+    m0 = std::min(m0, l);
+  }
+  return std::min(std::min(m0, m1), std::min(m2, m3));
+}
+
+#if AALO_MAXMIN_AVX2
+// GCC's gather intrinsics read an undefined pass-through operand by
+// design (the all-ones mask makes it dead), which trips
+// -Wmaybe-uninitialized inside avx2intrin.h.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+// Four lanes per step with hardware gathers (vgatherdpd) and packed mins
+// (vminpd). minpd(a, b) differs from std::min only for NaN operands and
+// for -0.0 vs +0.0 ordering, neither of which can appear here (see the
+// scalar sweep's comment), so this path is bit-identical too. Runtime
+// dispatched — the repo's baseline codegen stays plain x86-64.
+__attribute__((target("avx2"))) double levelSweepAvx2(
+    std::size_t count, const std::uint32_t* src_col, const std::uint32_t* dst_col,
+    const std::uint32_t* up_col, const std::uint32_t* down_col,
+    const double* cap_col, const double* lvl_in, const double* lvl_out,
+    const double* lvl_up, const double* lvl_down, double* lvl) {
+  __m256d vmin = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  std::size_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const __m256d in = _mm256_i32gather_pd(
+        lvl_in, _mm_loadu_si128(reinterpret_cast<const __m128i*>(src_col + k)), 8);
+    const __m256d out = _mm256_i32gather_pd(
+        lvl_out, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst_col + k)), 8);
+    const __m256d up = _mm256_i32gather_pd(
+        lvl_up, _mm_loadu_si128(reinterpret_cast<const __m128i*>(up_col + k)), 8);
+    const __m256d down = _mm256_i32gather_pd(
+        lvl_down, _mm_loadu_si128(reinterpret_cast<const __m128i*>(down_col + k)), 8);
+    const __m256d cap = _mm256_loadu_pd(cap_col + k);
+    const __m256d level = _mm256_min_pd(_mm256_min_pd(in, out),
+                                        _mm256_min_pd(_mm256_min_pd(up, down), cap));
+    _mm256_storeu_pd(lvl + k, level);
+    vmin = _mm256_min_pd(vmin, level);
+  }
+  alignas(32) double m[4];
+  _mm256_store_pd(m, vmin);
+  double min_level = std::min(std::min(m[0], m[1]), std::min(m[2], m[3]));
+  for (; k < count; ++k) {
+    const double ab = std::min(lvl_in[src_col[k]], lvl_out[dst_col[k]]);
+    const double cd = std::min(lvl_up[up_col[k]], lvl_down[down_col[k]]);
+    const double l = std::min(ab, std::min(cd, cap_col[k]));
+    lvl[k] = l;
+    min_level = std::min(min_level, l);
+  }
+  return min_level;
+}
+#pragma GCC diagnostic pop
+#endif
+
+double levelSweep(std::size_t count, const std::uint32_t* src_col,
+                  const std::uint32_t* dst_col, const std::uint32_t* up_col,
+                  const std::uint32_t* down_col, const double* cap_col,
+                  const double* lvl_in, const double* lvl_out, const double* lvl_up,
+                  const double* lvl_down, double* lvl) {
+#if AALO_MAXMIN_AVX2
+  static const bool kHaveAvx2 = __builtin_cpu_supports("avx2") != 0;
+  if (kHaveAvx2) {
+    return levelSweepAvx2(count, src_col, dst_col, up_col, down_col, cap_col,
+                          lvl_in, lvl_out, lvl_up, lvl_down, lvl);
+  }
+#endif
+  return levelSweepScalar(count, src_col, dst_col, up_col, down_col, cap_col,
+                          lvl_in, lvl_out, lvl_up, lvl_down, lvl);
+}
 
 }  // namespace
 
@@ -56,12 +174,27 @@ const std::vector<util::Rate>& maxMinAllocate(std::span<const Demand> demands,
   if (scratch.wsum_down.size() < racks) scratch.wsum_down.resize(racks, 0.0);
   scratch.level_in.resize(ports);
   scratch.level_out.resize(ports);
-  scratch.level_up.resize(racks);
-  scratch.level_down.resize(racks);
+  // One sentinel slot past the real racks, pinned to +inf: intra-rack
+  // demands point at it so the level loop needs no cross-rack branch.
+  scratch.level_up.resize(racks + 1);
+  scratch.level_down.resize(racks + 1);
+  scratch.level_up[racks] = std::numeric_limits<double>::infinity();
+  scratch.level_down[racks] = std::numeric_limits<double>::infinity();
   scratch.ctx.resize(n);
   scratch.level.resize(n);
-  scratch.unfrozen.clear();
-  scratch.unfrozen.reserve(n);
+  scratch.soa_src.clear();
+  scratch.soa_dst.clear();
+  scratch.soa_up.clear();
+  scratch.soa_down.clear();
+  scratch.soa_cap.clear();
+  scratch.lane_id.clear();
+  scratch.soa_src.reserve(n);
+  scratch.soa_dst.reserve(n);
+  scratch.soa_up.reserve(n);
+  scratch.soa_down.reserve(n);
+  scratch.soa_cap.reserve(n);
+  scratch.lane_id.reserve(n);
+  scratch.lane_of.resize(n);  // Only entries of live demands are ever read.
   scratch.touched_in.clear();
   scratch.touched_out.clear();
   scratch.touched_up.clear();
@@ -99,13 +232,41 @@ const std::vector<util::Rate>& maxMinAllocate(std::span<const Demand> demands,
       c.up_rack = -1;
       c.down_rack = -1;
     }
-    scratch.unfrozen.push_back(static_cast<std::uint32_t>(i));
+    scratch.lane_of[i] = static_cast<std::uint32_t>(scratch.lane_id.size());
+    scratch.lane_id.push_back(static_cast<std::uint32_t>(i));
+    scratch.soa_src.push_back(c.src);
+    scratch.soa_dst.push_back(c.dst);
+    scratch.soa_up.push_back(c.up_rack >= 0 ? static_cast<std::uint32_t>(c.up_rack)
+                                            : static_cast<std::uint32_t>(racks));
+    scratch.soa_down.push_back(c.down_rack >= 0
+                                   ? static_cast<std::uint32_t>(c.down_rack)
+                                   : static_cast<std::uint32_t>(racks));
+    scratch.soa_cap.push_back(c.cap_level);
   }
 
   // Each iteration freezes at least one flow, so this terminates in <= n
   // iterations; the guard catches logic regressions rather than input.
+  std::size_t lanes = scratch.lane_id.size();
+  // When a demand freezes, its lane is swap-removed (the last lane moves
+  // into its slot) so the SoA columns stay dense at O(frozen) copies per
+  // round — surviving lanes are never touched. lane_of keeps the
+  // demand->lane map consistent under the swaps.
+  const auto dropLane = [&scratch, &lanes](std::uint32_t i) {
+    const std::uint32_t l = scratch.lane_of[i];
+    const std::size_t last = --lanes;
+    if (l != last) {
+      scratch.soa_src[l] = scratch.soa_src[last];
+      scratch.soa_dst[l] = scratch.soa_dst[last];
+      scratch.soa_up[l] = scratch.soa_up[last];
+      scratch.soa_down[l] = scratch.soa_down[last];
+      scratch.soa_cap[l] = scratch.soa_cap[last];
+      scratch.level[l] = scratch.level[last];
+      scratch.lane_id[l] = scratch.lane_id[last];
+      scratch.lane_of[scratch.lane_id[l]] = l;
+    }
+  };
   std::size_t guard = n + 2 * ports + 2 * racks + 4;
-  while (!scratch.unfrozen.empty()) {
+  while (lanes > 0) {
     if (guard-- == 0) throw std::logic_error("maxMinAllocate: failed to converge");
 
     // One division per *touched resource*, not per demand. Ports all of
@@ -128,37 +289,52 @@ const std::vector<util::Rate>& maxMinAllocate(std::span<const Demand> demands,
           residual.rackDownlink(static_cast<int>(r)) / scratch.wsum_down[r];
     }
 
-    // The water level each live demand could rise to right now.
-    double min_level = std::numeric_limits<double>::infinity();
-    for (const std::uint32_t i : scratch.unfrozen) {
-      const MaxMinScratch::DemandCtx& c = scratch.ctx[i];
-      double level = std::min(scratch.level_in[c.src], scratch.level_out[c.dst]);
-      level = std::min(level, c.cap_level);
-      if (c.up_rack >= 0) {
-        level = std::min({level, scratch.level_up[static_cast<std::size_t>(c.up_rack)],
-                          scratch.level_down[static_cast<std::size_t>(c.down_rack)]});
-      }
-      scratch.level[i] = level;
-      min_level = std::min(min_level, level);
-    }
+    // The water level each live lane could rise to right now, plus the
+    // global minimum — one dense gather/min/scatter sweep over the SoA
+    // columns (AVX2 when the CPU has it; see levelSweep).
+    double min_level = levelSweep(
+        lanes, scratch.soa_src.data(), scratch.soa_dst.data(),
+        scratch.soa_up.data(), scratch.soa_down.data(), scratch.soa_cap.data(),
+        scratch.level_in.data(), scratch.level_out.data(), scratch.level_up.data(),
+        scratch.level_down.data(), scratch.level.data());
     if (!std::isfinite(min_level)) min_level = 0.0;
     min_level = std::max(min_level, 0.0);
 
     // Freeze every flow constrained at (numerically) the minimum level.
     // Freezing a flow raises (never lowers) the water level of every port
-    // it leaves, so a cached pre-pass level above the cutoff is a safe
-    // skip; only the few at-cutoff candidates re-read the mutated state.
-    // Compaction preserves index order so the consume/weight-subtraction
-    // sequence matches the reference implementation bit for bit.
+    // it leaves, so a sweep level above the cutoff is a safe skip; only
+    // the few at-cutoff candidates re-read the mutated state. Candidates
+    // are gathered from the dense level column (sequential compare, no
+    // survivor copies at all) and processed in ascending demand-index
+    // order, so the recompute/consume/weight-subtraction sequence matches
+    // the reference implementation bit for bit.
     const double cutoff = min_level * (1.0 + kLevelSlack) + 1e-15;
-    std::size_t live = 0;
-    for (std::size_t k = 0; k < scratch.unfrozen.size(); ++k) {
-      const std::uint32_t i = scratch.unfrozen[k];
+    // Hoisted raw pointers and a manual count: a push_back in the loop
+    // would force the compiler to reload the column pointers every
+    // iteration (the store could alias them).
+    if (scratch.freeze_cand.size() < lanes) scratch.freeze_cand.resize(lanes);
+    std::uint32_t* const cand = scratch.freeze_cand.data();
+    const double* const lvl = scratch.level.data();
+    const std::uint32_t* const lid = scratch.lane_id.data();
+    std::size_t num_cand = 0;
+    for (std::size_t k = 0; k < lanes; ++k) {
+      // Branchless emit: the store always happens, the count only advances
+      // on a hit — no mispredict per candidate.
+      cand[num_cand] = lid[k];
+      num_cand += lvl[k] <= cutoff ? 1 : 0;
+    }
+    // Candidate sets are tiny (typically the handful of flows at the
+    // bottleneck), so an inline insertion sort beats std::sort's setup.
+    for (std::size_t a = 1; a < num_cand; ++a) {
+      const std::uint32_t v = cand[a];
+      std::size_t b = a;
+      for (; b > 0 && cand[b - 1] > v; --b) cand[b] = cand[b - 1];
+      cand[b] = v;
+    }
+    const std::size_t lanes_before = lanes;
+    for (std::size_t ci = 0; ci < num_cand; ++ci) {
+      const std::uint32_t i = cand[ci];
       const MaxMinScratch::DemandCtx& c = scratch.ctx[i];
-      if (scratch.level[i] > cutoff) {
-        scratch.unfrozen[live++] = i;
-        continue;
-      }
       // Current level against mid-pass residual/weights, mirroring the
       // reference's per-candidate recomputation.
       double level = std::min(
@@ -173,10 +349,7 @@ const std::vector<util::Rate>& maxMinAllocate(std::span<const Demand> demands,
              residual.rackDownlink(c.down_rack) /
                  scratch.wsum_down[static_cast<std::size_t>(c.down_rack)]});
       }
-      if (level > cutoff) {
-        scratch.unfrozen[live++] = i;
-        continue;
-      }
+      if (level > cutoff) continue;  // Raised past the cutoff mid-pass.
       const util::Rate rate = std::min(c.weight * min_level, c.rate_cap);
       rates[i] = rate;
       residual.consume(static_cast<coflow::PortId>(c.src),
@@ -187,11 +360,11 @@ const std::vector<util::Rate>& maxMinAllocate(std::span<const Demand> demands,
         scratch.wsum_up[static_cast<std::size_t>(c.up_rack)] -= c.weight;
         scratch.wsum_down[static_cast<std::size_t>(c.down_rack)] -= c.weight;
       }
+      dropLane(i);
     }
-    if (live == scratch.unfrozen.size()) {
+    if (lanes == lanes_before) {
       throw std::logic_error("maxMinAllocate: no progress");
     }
-    scratch.unfrozen.resize(live);
   }
   // Restore the all-zero wsum invariant: the freeze-pass subtractions
   // leave +/- epsilon residues on touched entries.

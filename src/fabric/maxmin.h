@@ -66,9 +66,28 @@ struct MaxMinScratch {
   };
   std::vector<DemandCtx> ctx;
   std::vector<double> wsum_in, wsum_out, wsum_up, wsum_down;
+  /// level_up/level_down carry one extra sentinel slot (index = numRacks)
+  /// pinned to +infinity: demands that stay inside a rack point their SoA
+  /// rack columns at it, so the per-demand level loop is branch-free —
+  /// min(x, +inf) == x exactly, preserving bit-identical results.
   std::vector<double> level_in, level_out, level_up, level_down;
-  std::vector<double> level;            ///< Cached per-demand water level.
-  std::vector<std::uint32_t> unfrozen;  ///< Compact list of live demands.
+  std::vector<double> level;  ///< Water level of each live lane, by lane.
+  /// Demand indices whose sweep level sits at the round's cutoff,
+  /// re-sorted ascending so freezes happen in reference order.
+  std::vector<std::uint32_t> freeze_cand;
+  /// Packed SoA columns over the *live* demands ("lanes"). The
+  /// water-level sweep — the hot inner loop of every scheduler round —
+  /// reads only these columns: contiguous, branch-free gather/min per
+  /// lane, no DemandCtx pointer chasing. soa_up/soa_down hold the rack
+  /// index or the +inf sentinel slot. Lanes are kept dense by
+  /// swap-removing a lane when its demand freezes (O(frozen) per round,
+  /// not O(survivors)), so lane order is arbitrary; the freeze pass walks
+  /// the index-ordered `unfrozen` list and maps through lane_of, keeping
+  /// the consume/subtraction sequence bit-identical to the reference.
+  std::vector<std::uint32_t> soa_src, soa_dst, soa_up, soa_down;
+  std::vector<double> soa_cap;          ///< cap_level column (rate_cap / weight).
+  std::vector<std::uint32_t> lane_id;   ///< lane -> demand index.
+  std::vector<std::uint32_t> lane_of;   ///< demand index -> lane.
   /// Ports/racks referenced by at least one live demand — the level
   /// refresh loops over these, so a call with few demands on a large
   /// fabric costs O(demands), not O(ports).

@@ -41,6 +41,38 @@ coflow::CoflowId getId(net::Buffer& in) {
   return id;
 }
 
+/// Frames one journal record ([u32 len][type+body][u64 checksum]) into
+/// `out` — the one encoding shared by Checkpoint::pending_ and the
+/// shard-side JournalBatch buffers.
+void frameRecord(net::Buffer& out, std::uint8_t type, const net::Buffer& body) {
+  net::Buffer payload;
+  payload.putU8(type);
+  payload.append(body.readable());
+  out.putU32(static_cast<std::uint32_t>(payload.readableBytes()));
+  out.append(payload.readable());
+  out.putU64(fnv1a(payload.readable()));
+}
+
+void encodeReportRecord(net::Buffer& body, const net::Message& report) {
+  net::encodeMessage(report, body);
+}
+
+void encodeRegisterRecord(net::Buffer& body, const coflow::CoflowId& id,
+                          std::int64_t next_external) {
+  net::Message m;
+  m.type = net::MessageType::kRegisterReply;
+  m.coflow = id;
+  m.request_id = static_cast<std::uint64_t>(next_external);
+  net::encodeMessage(m, body);
+}
+
+void encodeUnregisterRecord(net::Buffer& body, const coflow::CoflowId& id) {
+  net::Message m;
+  m.type = net::MessageType::kUnregisterCoflow;
+  m.coflow = id;
+  net::encodeMessage(m, body);
+}
+
 bool readFile(const std::string& path, std::vector<std::uint8_t>& out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
@@ -75,6 +107,16 @@ bool Checkpoint::writeSnapshot(const ScheduleState& state,
                                std::int64_t next_external,
                                const std::vector<util::Bytes>& thresholds,
                                std::size_t max_on) {
+  return writeSnapshot(std::vector<const ScheduleState*>{&state}, tombstones,
+                       fence, epoch, next_external, thresholds, max_on);
+}
+
+bool Checkpoint::writeSnapshot(const std::vector<const ScheduleState*>& states,
+                               const std::vector<coflow::CoflowId>& tombstones,
+                               std::uint64_t fence, std::uint64_t epoch,
+                               std::int64_t next_external,
+                               const std::vector<util::Bytes>& thresholds,
+                               std::size_t max_on) {
   net::Buffer out;
   out.append(kMagic, sizeof(kMagic));
   out.putU32(kVersion);
@@ -84,19 +126,40 @@ bool Checkpoint::writeSnapshot(const ScheduleState& state,
   out.putU32(static_cast<std::uint32_t>(thresholds.size()));
   for (util::Bytes t : thresholds) out.putDouble(t);
   out.putU64(static_cast<std::uint64_t>(max_on));
-  const auto& registered = state.registeredIds();
-  out.putU32(static_cast<std::uint32_t>(registered.size()));
-  for (const auto& id : registered) putId(out, id);
+  std::size_t n_registered = 0;
+  for (const ScheduleState* state : states) {
+    n_registered += state->registeredIds().size();
+  }
+  out.putU32(static_cast<std::uint32_t>(n_registered));
+  for (const ScheduleState* state : states) {
+    for (const auto& id : state->registeredIds()) putId(out, id);
+  }
   out.putU32(static_cast<std::uint32_t>(tombstones.size()));
   for (const auto& id : tombstones) putId(out, id);
-  const auto& reported = state.reportedSizes();
-  out.putU32(static_cast<std::uint32_t>(reported.size()));
-  for (const auto& [daemon_id, sizes] : reported) {
+  // A daemon's reports are spread across shards (its coflows hash
+  // anywhere); the format keys by daemon, so merge per daemon. A coflow
+  // lives in exactly one shard, so concatenating the per-shard maps of
+  // one daemon is a disjoint union.
+  std::unordered_map<std::uint64_t,
+                     std::vector<const std::unordered_map<coflow::CoflowId,
+                                                          double>*>>
+      by_daemon;
+  for (const ScheduleState* state : states) {
+    for (const auto& [daemon_id, sizes] : state->reportedSizes()) {
+      if (!sizes.empty()) by_daemon[daemon_id].push_back(&sizes);
+    }
+  }
+  out.putU32(static_cast<std::uint32_t>(by_daemon.size()));
+  for (const auto& [daemon_id, maps] : by_daemon) {
     out.putU64(daemon_id);
-    out.putU32(static_cast<std::uint32_t>(sizes.size()));
-    for (const auto& [id, bytes] : sizes) {
-      putId(out, id);
-      out.putDouble(bytes);
+    std::size_t n_sizes = 0;
+    for (const auto* sizes : maps) n_sizes += sizes->size();
+    out.putU32(static_cast<std::uint32_t>(n_sizes));
+    for (const auto* sizes : maps) {
+      for (const auto& [id, bytes] : *sizes) {
+        putId(out, id);
+        out.putDouble(bytes);
+      }
     }
   }
   const std::uint64_t checksum = fnv1a(out.readable());
@@ -122,39 +185,68 @@ bool Checkpoint::writeSnapshot(const ScheduleState& state,
 }
 
 void Checkpoint::appendRecord(std::uint8_t type, const net::Buffer& body) {
-  net::Buffer payload;
-  payload.putU8(type);
-  payload.append(body.readable());
-  pending_.putU32(static_cast<std::uint32_t>(payload.readableBytes()));
-  pending_.append(payload.readable());
-  pending_.putU64(fnv1a(payload.readable()));
+  frameRecord(pending_, type, body);
   ++records_appended_;
 }
 
 void Checkpoint::journalReport(const net::Message& report) {
   net::Buffer body;
-  net::encodeMessage(report, body);
+  encodeReportRecord(body, report);
   appendRecord(kRecReport, body);
 }
 
 void Checkpoint::journalRegister(const coflow::CoflowId& id,
                                  std::int64_t next_external) {
-  net::Message m;
-  m.type = net::MessageType::kRegisterReply;
-  m.coflow = id;
-  m.request_id = static_cast<std::uint64_t>(next_external);
   net::Buffer body;
-  net::encodeMessage(m, body);
+  encodeRegisterRecord(body, id, next_external);
   appendRecord(kRecRegister, body);
 }
 
 void Checkpoint::journalUnregister(const coflow::CoflowId& id) {
-  net::Message m;
-  m.type = net::MessageType::kUnregisterCoflow;
-  m.coflow = id;
   net::Buffer body;
-  net::encodeMessage(m, body);
+  encodeUnregisterRecord(body, id);
   appendRecord(kRecUnregister, body);
+}
+
+void JournalBatch::report(const net::Message& report) {
+  net::Buffer body;
+  encodeReportRecord(body, report);
+  frameRecord(framed_, kRecReport, body);
+  ++records_;
+}
+
+void JournalBatch::registerCoflow(const coflow::CoflowId& id,
+                                  std::int64_t next_external) {
+  net::Buffer body;
+  encodeRegisterRecord(body, id, next_external);
+  frameRecord(framed_, kRecRegister, body);
+  ++records_;
+}
+
+void JournalBatch::unregisterCoflow(const coflow::CoflowId& id) {
+  net::Buffer body;
+  encodeUnregisterRecord(body, id);
+  frameRecord(framed_, kRecUnregister, body);
+  ++records_;
+}
+
+void JournalBatch::dropDaemon(std::uint64_t daemon_id) {
+  net::Buffer body;
+  body.putU64(daemon_id);
+  frameRecord(framed_, kRecDropDaemon, body);
+  ++records_;
+}
+
+void JournalBatch::clear() {
+  framed_.clear();
+  records_ = 0;
+}
+
+void Checkpoint::absorb(JournalBatch& batch) {
+  if (batch.records_ == 0) return;
+  pending_.append(batch.framed_.readable());
+  records_appended_ += batch.records_;
+  batch.clear();
 }
 
 void Checkpoint::journalDropDaemon(std::uint64_t daemon_id) {

@@ -108,7 +108,15 @@ struct CoordinatorConfig {
   /// bloat the fan-out. The connection hard-closes at 4x this (see
   /// net::Connection::setSendQueueLimit). 0 = unlimited.
   std::size_t send_queue_max = 4 * 1024 * 1024;
+  /// Coordination-plane shards: >1 partitions the schedule state by
+  /// CoflowId hash across this many worker threads, each with its own
+  /// event loop and connection subset (see runtime/shard.h). 1 keeps the
+  /// original single-threaded coordinator — the bit-identical schedule
+  /// oracle the sharded path is tested against.
+  std::size_t shards = 1;
 };
+
+class ShardedCoordinator;
 
 class Coordinator {
  public:
@@ -117,41 +125,35 @@ class Coordinator {
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
 
-  /// Binds, starts the loop thread, begins Δ ticks.
+  /// Binds, starts the loop thread(s), begins Δ ticks. With
+  /// config.shards > 1 every call on this object transparently drives the
+  /// multi-threaded ShardedCoordinator instead of the single loop.
   void start();
   /// Idempotent and safe under concurrent callers: every caller returns
   /// only after shutdown has completed.
   void stop();
 
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const;
   /// Number of completed coordination rounds (broadcasts).
-  std::uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  std::uint64_t epoch() const;
   /// Fencing epoch of this coordinator incarnation (grows on promotion).
-  std::uint64_t fence() const { return fence_.load(std::memory_order_relaxed); }
+  std::uint64_t fence() const;
   /// True when this coordinator broadcasts (primary from the start, or a
   /// standby that has promoted).
-  bool isPrimary() const {
-    return !standby_active_.load(std::memory_order_relaxed);
-  }
+  bool isPrimary() const;
   /// Daemons currently connected (said Hello).
-  std::size_t daemonCount() const {
-    return daemon_count_.load(std::memory_order_relaxed);
-  }
+  std::size_t daemonCount() const;
   /// Coflows currently registered.
-  std::size_t registeredCoflows() const {
-    return registered_count_.load(std::memory_order_relaxed);
-  }
+  std::size_t registeredCoflows() const;
   /// Unregister tombstones currently held (pre-GC).
-  std::size_t tombstoneCount() const {
-    return tombstone_count_.load(std::memory_order_relaxed);
-  }
+  std::size_t tombstoneCount() const;
 
-  const RobustnessStats& stats() const { return stats_; }
+  const RobustnessStats& stats() const;
 
   /// Full observability registry: robustness counters, wire counters,
   /// round-duration / report-apply histograms, lifecycle gauges.
   /// Instruments are registered at construction; rendering is thread-safe.
-  const obs::Registry& metrics() const { return metrics_; }
+  const obs::Registry& metrics() const;
 
   /// Test/diagnostic accessor: the coordinator's current global coflow
   /// sizes. Thread-safe (hops onto the loop thread while running).
@@ -165,6 +167,9 @@ class Coordinator {
 
  private:
   using TimePoint = net::EventLoop::Clock::time_point;
+
+  /// Non-null iff config.shards > 1: the whole public surface delegates.
+  std::unique_ptr<ShardedCoordinator> sharded_;
 
   struct Peer {
     std::unique_ptr<net::Connection> connection;

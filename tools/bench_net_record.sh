@@ -1,9 +1,20 @@
 #!/usr/bin/env sh
-# Records the coordination data-path A/B (full vs delta mode, real
-# loopback sockets, panel (a) of the Figure 14 bench) as JSON so
-# successive PRs can diff round times and bytes-on-wire.
+# Records the coordination benchmarks (panel (a) of the Figure 14 bench:
+# full-vs-delta data-path A/B, the daemons x shards sweep over the
+# multi-threaded sharded coordinator, HA drills, and the >= 1M
+# live-coflow point — all real loopback sockets) as JSON so successive
+# PRs can diff round times and bytes-on-wire.
 #
-#   tools/bench_net_record.sh [build-dir] [output-json]
+#   tools/bench_net_record.sh [options] [build-dir] [output-json]
+#
+# Options (forwarded to the bench binary):
+#   --daemons N,N,...   sweep daemon counts (default grid: 1000 at shards
+#                       1/2/4/8 plus the 1-vs-8 A/B at 10k and 100k)
+#   --shards K,K,...    sweep shard counts (default 1,8 when --daemons is
+#                       given without --shards)
+#   --rounds R          timed rounds per sweep point (default scales with N)
+#   --sweep-only        record just the shard sweep (the CI perf gate mode)
+#   --live-coflows M    population for the high-cardinality point
 #
 # Defaults: build-dir = build-release (the "release" CMake preset),
 # output = BENCH_net.json (repo root). Compare against the committed
@@ -18,6 +29,33 @@
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+bench_args=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --daemons|--shards|--rounds|--live-coflows)
+      if [ $# -lt 2 ]; then
+        echo "bench_net_record: $1 needs a value" >&2
+        exit 2
+      fi
+      bench_args="$bench_args $1 $2"
+      shift 2
+      ;;
+    --sweep-only)
+      bench_args="$bench_args $1"
+      shift
+      ;;
+    --*)
+      echo "bench_net_record: unknown option $1" >&2
+      echo "usage: tools/bench_net_record.sh [--daemons N,N,...] [--shards K,K,...] [--rounds R] [--sweep-only] [--live-coflows M] [build-dir] [output-json]" >&2
+      exit 2
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
+
 build_dir=${1:-"$repo_root/build-release"}
 out=${2:-"$repo_root/BENCH_net.json"}
 
@@ -42,6 +80,7 @@ esac
 
 cmake --build "$build_dir" -j --target bench_fig14_scalability
 
-"$build_dir/bench/bench_fig14_scalability" --json "$out"
+# shellcheck disable=SC2086  # bench_args is a flat word list by construction.
+"$build_dir/bench/bench_fig14_scalability" --json "$out" $bench_args
 
 echo "wrote $out" >&2
