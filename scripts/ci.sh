@@ -5,7 +5,7 @@
 #
 #   scripts/ci.sh            # default + asan + tsan + perf-smoke
 #   scripts/ci.sh default    # just the default preset, full suite
-#   scripts/ci.sh asan       # asan build, chaos + metrics + ha suites
+#   scripts/ci.sh asan       # asan build, chaos + metrics + ha + sched suites
 #   scripts/ci.sh tsan       # tsan build, BatchRunner/Obs gates + chaos + ha
 #   scripts/ci.sh perf       # Release perf-smoke: BENCH_micro.json gate
 #                            # + sharded-vs-single fig14 round-time gate
@@ -23,6 +23,11 @@
 # The high-availability drills (tests/ha_test.cc: failover, checkpoint
 # restore, overload backpressure; tests/checkpoint_test.cc: round-trip
 # fuzz) carry the "ha" label and run standalone under both sanitizers.
+# The scheduler-zoo invariants (tests/sched_property_test.cc: sampling
+# estimate convergence, dcoflow admission soundness, LP-bound soundness
+# on fuzzed traces) carry the "sched" label and run under both
+# sanitizers; run_default additionally replays a tiny deadlined trace
+# through aalo_sim --lp-check as an end-to-end LP-bound gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,17 +65,25 @@ d = json.load(open('build/ci_smoke.prom.json'))
 assert d['context'] == {'format': 'aalo-metrics', 'version': 1}, d['context']
 assert d['metrics'], 'empty metrics dump'
 "
+  echo "=== default: experiments smoke (LP bound gate) ==="
+  # Tiny deadlined trace through the scheduler zoo with --lp-check: the
+  # run exits non-zero if any scheduler's total CCT dips below the LP
+  # lower bound. CHECK_ONLY keeps EXPERIMENTS.md untouched in CI.
+  ./build/tools/aalo_tracegen --kind fb --jobs 20 --ports 10 --seed 7 \
+    --deadline-slack 0.5 --out build/ci_smoke_dl.trace >/dev/null
+  ./build/tools/aalo_sim --trace build/ci_smoke_dl.trace \
+    --sched aalo,las,sampling,dcoflow --lp-check >/dev/null
 }
 
 run_asan() {
-  echo "=== asan: engine equivalence + chaos + metrics + ha suites ==="
+  echo "=== asan: engine equivalence + chaos + metrics + ha + sched suites ==="
   cmake --preset asan >/dev/null
   cmake --build --preset asan -j "$(nproc)" \
     --target chaos_test runtime_robustness_test engine_equivalence_test \
              coordination_equivalence_test shard_barrier_test \
              obs_test obs_invariant_test \
              obs_concurrency_test trace_fuzz_test golden_trace_test \
-             ha_test checkpoint_test
+             ha_test checkpoint_test sched_property_test
   (cd build-asan && ctest -L chaos --output-on-failure -j "$(nproc)")
   (cd build-asan && ctest \
     -R 'EngineEquivalence|EngineFuzz|EventCalendarProperty|DClasQueueOracle' \
@@ -78,15 +91,19 @@ run_asan() {
   (cd build-asan && ctest -L metrics --output-on-failure -j "$(nproc)")
   # '^ha$' because -L is a regex and a bare "ha" also matches "chaos".
   (cd build-asan && ctest -L '^ha$' --output-on-failure -j "$(nproc)")
+  # Scheduler-zoo invariants (sampling convergence, dcoflow admission
+  # soundness, LP bound <= every scheduler on 200 fuzzed traces).
+  (cd build-asan && ctest -L '^sched$' --output-on-failure -j "$(nproc)")
 }
 
 run_tsan() {
-  echo "=== tsan: BatchRunner + engine-equivalence + obs gates + chaos + ha ==="
+  echo "=== tsan: BatchRunner + engine-equivalence + obs gates + chaos + ha + sched ==="
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$(nproc)"
   ctest --preset tsan
   ctest --preset tsan-chaos
   ctest --preset tsan-ha
+  ctest --preset tsan-sched
 }
 
 run_perf() {

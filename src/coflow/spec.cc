@@ -64,6 +64,10 @@ void Workload::validate() const {
       if (c.arrival_offset < 0) {
         throw std::invalid_argument("Workload: negative coflow arrival offset");
       }
+      if (c.deadline < 0) {
+        throw std::invalid_argument("Workload: negative deadline in coflow " +
+                                    c.id.toString());
+      }
       for (const FlowSpec& f : c.flows) {
         if (f.src < 0 || f.src >= num_ports || f.dst < 0 || f.dst >= num_ports) {
           throw std::invalid_argument("Workload: flow port out of range in coflow " +

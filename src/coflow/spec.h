@@ -36,6 +36,11 @@ struct CoflowSpec {
   /// Pipelined parents: this coflow may run concurrently with them but
   /// cannot *finish* before they do.
   std::vector<CoflowId> finishes_before;
+  /// Completion deadline relative to the coflow's release (0 = none).
+  /// Met iff cct() <= deadline. Deadline-aware schedulers (dcoflow) may
+  /// reject coflows that provably cannot meet theirs; everyone else
+  /// ignores the field.
+  util::Seconds deadline = 0;
 
   util::Bytes totalBytes() const;
   /// Length = size of the largest flow; width = number of flows (§7.1).

@@ -23,6 +23,18 @@ void recordSimResult(obs::Registry& registry, const SimResult& result) {
   registry
       .counter("aalo_sim_coflows_total", "Coflows completed", labels)
       .fetch_add(result.coflows.size());
+  registry
+      .counter("aalo_sim_deadline_coflows_total",
+               "Coflows that carried a completion deadline", labels)
+      .fetch_add(result.deadline_coflows);
+  registry
+      .counter("aalo_sim_deadline_misses_total",
+               "Deadlined coflows that finished past their deadline", labels)
+      .fetch_add(result.deadline_misses);
+  registry
+      .counter("aalo_sim_rejected_coflows_total",
+               "Coflows rejected by deadline-aware admission control", labels)
+      .fetch_add(result.rejected_coflows);
   obs::LatencyHistogram& cct = registry.histogram(
       "aalo_sim_cct_seconds", "Coflow completion times",
       {.first_bound = 1e-3, .growth = 2.0, .num_bounds = 28}, labels);

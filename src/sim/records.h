@@ -19,11 +19,18 @@ struct CoflowRecord {
   util::Bytes bytes = 0;
   util::Bytes max_flow_bytes = 0;  ///< Coflow length (§7.1).
   std::size_t width = 0;           ///< Number of flows.
+  /// Completion deadline relative to release (0 = none), from the spec.
+  util::Seconds deadline = 0;
 
   /// Completion time as the paper measures it: from when the coflow could
   /// first send (its release) until all of its flows are done and every
   /// pipelined parent has finished.
   util::Seconds cct() const { return finish - release; }
+
+  bool hasDeadline() const { return deadline > 0; }
+  /// Deadline verdict with a small tolerance so fluid-rate rounding at
+  /// the boundary never flips a met deadline to missed.
+  bool missedDeadline() const { return hasDeadline() && cct() > deadline + 1e-9; }
 };
 
 struct JobRecord {
@@ -49,6 +56,13 @@ struct SimResult {
   std::vector<CoflowRecord> coflows;
   std::vector<JobRecord> jobs;
   util::Seconds makespan = 0;
+  /// Coflows that carried a deadline, and how many of those finished past
+  /// it (rejected coflows count as misses once their CCT overruns).
+  std::size_t deadline_coflows = 0;
+  std::size_t deadline_misses = 0;
+  /// Coflows the scheduler's admission control rejected (deadline-aware
+  /// disciplines only; they still complete under background service).
+  std::size_t rejected_coflows = 0;
   /// Engine statistics (useful for perf sanity checks).
   std::size_t allocation_rounds = 0;
   /// Rounds where the scheduler was actually asked for a new allocation.
@@ -69,6 +83,21 @@ struct SimResult {
   /// Allocation reuse keeps this near the number of genuine rate changes
   /// rather than rounds x active flows. 0 under the legacy engine.
   std::size_t heap_rekeys = 0;
+
+  /// Sum of CCTs — the unit-weighted "weighted CCT" objective the
+  /// LP lower bound (sched/lp_bound.h) is compared against.
+  util::Seconds totalCct() const {
+    util::Seconds total = 0;
+    for (const CoflowRecord& c : coflows) total += c.cct();
+    return total;
+  }
+  /// Fraction of deadlined coflows that missed (0 when none carried one).
+  double deadlineMissRate() const {
+    return deadline_coflows > 0
+               ? static_cast<double>(deadline_misses) /
+                     static_cast<double>(deadline_coflows)
+               : 0.0;
+  }
 };
 
 }  // namespace aalo::sim

@@ -103,6 +103,13 @@ class Scheduler {
   /// capacities; the engine verifies this in debug builds.
   virtual void allocate(const SimView& view, std::vector<util::Rate>& rates) = 0;
 
+  /// Coflows this scheduler's admission control decided to reject
+  /// (deadline-aware disciplines only; everyone else reports 0). Purely
+  /// informational: rejected coflows still receive background service so
+  /// every run terminates — the engine copies this into
+  /// SimResult::rejected_coflows after the run.
+  virtual std::size_t rejectedCoflows() const { return 0; }
+
   /// Next time strictly after view.now at which this scheduler wants to
   /// re-run even if no arrival/completion occurs (coordination tick,
   /// queue-threshold crossing, LAS decision quantum). kInfTime if none.

@@ -137,6 +137,7 @@ void Run::buildState() {
       cs.id = spec.id;
       cs.job = job.id;
       cs.spec_arrival = job.arrival + spec.arrival_offset;
+      cs.deadline = spec.deadline;
       for (const coflow::FlowSpec& fs : spec.flows) {
         FlowState f;
         f.id = static_cast<coflow::FlowId>(flows_.size());
@@ -703,6 +704,7 @@ SimResult Run::buildResult() {
   result.events_processed = calendar_.eventsProcessed();
   result.heap_rekeys = calendar_.rekeys();
   result.makespan = now_;
+  result.rejected_coflows = scheduler_.rejectedCoflows();
 
   // Finishes-Before adjustment: a coflow's effective finish is the max of
   // its own finish and its pipelined parents' effective finishes.
@@ -744,6 +746,11 @@ SimResult Run::buildResult() {
     rec.bytes = spec.totalBytes();
     rec.max_flow_bytes = spec.maxFlowBytes();
     rec.width = spec.width();
+    rec.deadline = spec.deadline;
+    if (rec.hasDeadline()) {
+      ++result.deadline_coflows;
+      if (rec.missedDeadline()) ++result.deadline_misses;
+    }
     result.coflows.push_back(rec);
     JobRecord& jr = job_records.at(c.job);
     jr.comm_finish = std::max(jr.comm_finish, rec.finish);

@@ -116,6 +116,9 @@ struct CoflowState {
   bool released = false;
   bool done = false;
   util::Seconds finish_time = -1;  ///< Own flows all done; -1 while running.
+  /// Completion deadline relative to release (0 = none). Copied from the
+  /// spec; deadline-aware schedulers read it through the view.
+  util::Seconds deadline = 0;
 
   std::vector<std::size_t> flow_indices;  ///< All flows (incl. future waves).
   std::size_t flows_done = 0;
@@ -127,6 +130,12 @@ struct CoflowState {
   util::Bytes size_released = 0;
 
   bool finished() const { return done; }
+
+  /// Absolute deadline instant; kInfTime when the coflow has no deadline
+  /// or is not yet released (the deadline clock starts at release).
+  util::Seconds absoluteDeadline() const {
+    return (deadline > 0 && released) ? release_time + deadline : kInfTime;
+  }
 };
 
 /// One coflow together with its currently active (started, unfinished)

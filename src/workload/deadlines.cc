@@ -1,0 +1,24 @@
+#include "workload/deadlines.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "workload/facebook.h"
+
+namespace aalo::workload {
+
+void assignDeadlines(coflow::Workload& workload, const DeadlineConfig& config) {
+  if (config.slack <= 0) return;
+  util::Rng rng(config.seed);
+  for (coflow::JobSpec& job : workload.jobs) {
+    for (coflow::CoflowSpec& spec : job.coflows) {
+      const util::Seconds iso =
+          isolatedBottleneckSeconds(spec, config.port_capacity);
+      // Floor at 1 ms so dust coflows get a representable deadline.
+      const util::Seconds base = std::max(iso, 1e-3);
+      spec.deadline = base * (1.0 + rng.uniform(0.0, config.slack));
+    }
+  }
+}
+
+}  // namespace aalo::workload

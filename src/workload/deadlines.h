@@ -1,0 +1,31 @@
+// Deadline synthesis for generated workloads.
+//
+// Published coflow traces carry no deadlines, so deadline-aware
+// experiments (DCoflow-style admission, arXiv:2205.01229) follow the
+// Varys §5 convention: each coflow's deadline is its ideal isolated
+// completion time inflated by a random slack factor. Tight slack makes
+// admission selective; generous slack admits almost everything.
+#pragma once
+
+#include <cstdint>
+
+#include "coflow/spec.h"
+#include "util/units.h"
+
+namespace aalo::workload {
+
+struct DeadlineConfig {
+  /// deadline = isolated bottleneck x (1 + uniform(0, slack)); <= 0
+  /// leaves the workload deadline-free.
+  double slack = 1.0;
+  std::uint64_t seed = 1;
+  /// Capacity used for the isolated-bottleneck baseline; must match the
+  /// fabric the trace will be replayed on for the slack to mean anything.
+  util::Rate port_capacity = 125 * util::kMB;  // 1 Gbps.
+};
+
+/// Assigns a deadline to every coflow in `workload`, deterministically in
+/// config.seed (iteration order: jobs, then coflows within a job).
+void assignDeadlines(coflow::Workload& workload, const DeadlineConfig& config);
+
+}  // namespace aalo::workload

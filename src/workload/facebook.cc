@@ -8,6 +8,7 @@
 
 #include "coflow/id_generator.h"
 #include "coflow/ids.h"
+#include "workload/deadlines.h"
 
 namespace aalo::workload {
 
@@ -149,6 +150,12 @@ coflow::Workload generateFacebookWorkload(const FacebookConfig& config) {
     job.compute_time = comm * (1.0 - frac) / frac;
     job.coflows.push_back(std::move(spec));
     wl.jobs.push_back(std::move(job));
+  }
+  if (config.deadline_slack > 0) {
+    DeadlineConfig dl;
+    dl.slack = config.deadline_slack;
+    dl.seed = config.seed + 0x9e3779b9;  // Decoupled from the size draws.
+    assignDeadlines(wl, dl);
   }
   return wl;
 }

@@ -45,6 +45,9 @@ struct FacebookConfig {
   /// sender_cap * receiver_cap flows).
   int sender_cap = 18;
   int receiver_cap = 18;
+  /// When > 0, every coflow gets a deadline of its isolated bottleneck
+  /// time x (1 + uniform(0, deadline_slack)) — see workload/deadlines.h.
+  double deadline_slack = 0;
 };
 
 /// Generates a workload; deterministic in config.seed.

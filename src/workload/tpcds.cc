@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "coflow/id_generator.h"
+#include "workload/deadlines.h"
 
 namespace aalo::workload {
 
@@ -120,6 +121,12 @@ coflow::Workload generateTpcdsWorkload(const TpcdsConfig& config) {
       level_ids.push_back(std::move(this_level));
     }
     wl.jobs.push_back(std::move(job));
+  }
+  if (config.deadline_slack > 0) {
+    DeadlineConfig dl;
+    dl.slack = config.deadline_slack;
+    dl.seed = config.seed + 0x9e3779b9;  // Decoupled from the size draws.
+    assignDeadlines(wl, dl);
   }
   return wl;
 }

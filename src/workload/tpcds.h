@@ -45,6 +45,9 @@ struct TpcdsConfig {
   /// Convert Finishes-Before edges into Starts-After barriers (the
   /// Varys-style execution mode without pipelining).
   bool barriers_instead_of_pipelining = false;
+  /// When > 0, every coflow gets a deadline of its isolated bottleneck
+  /// time x (1 + uniform(0, deadline_slack)) — see workload/deadlines.h.
+  double deadline_slack = 0;
 };
 
 /// One job per benchmark query; coflow ids are generated with

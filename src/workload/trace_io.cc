@@ -63,6 +63,9 @@ void writeTrace(std::ostream& os, const coflow::Workload& workload) {
           os << (i ? "," : "") << formatId(c.finishes_before[i]);
         }
       }
+      // Emitted only when set so deadline-free traces stay byte-identical
+      // with the pre-deadline format (and readable by older parsers).
+      if (c.deadline > 0) os << " dl=" << c.deadline;
       os << "\n";
       for (const coflow::FlowSpec& f : c.flows) {
         os << "flow " << f.src << " " << f.dst << " " << f.bytes << " "
@@ -137,6 +140,12 @@ coflow::Workload readTrace(std::istream& is) {
           c.starts_after = parseIdList(extra.substr(3), line_no);
         } else if (extra.rfind("fb=", 0) == 0) {
           c.finishes_before = parseIdList(extra.substr(3), line_no);
+        } else if (extra.rfind("dl=", 0) == 0) {
+          try {
+            c.deadline = std::stod(extra.substr(3));
+          } catch (const std::exception&) {
+            fail("bad coflow deadline '" + extra + "'");
+          }
         } else {
           fail("unknown coflow attribute '" + extra + "'");
         }

@@ -17,18 +17,21 @@
 #include "sched/adaptive.h"
 #include "sched/clas.h"
 #include "sched/dclas.h"
+#include "sched/dcoflow.h"
 #include "sched/fair.h"
 #include "sched/fifo.h"
 #include "sched/fifo_lm.h"
 #include "sched/gossip.h"
 #include "sched/las.h"
 #include "sched/offline_opt.h"
+#include "sched/sampling.h"
 #include "sched/uncoordinated.h"
 #include "sched/varys.h"
 #include "sim/calendar.h"
 #include "sim/simulator.h"
 #include "tests/helpers.h"
 #include "util/rng.h"
+#include "workload/deadlines.h"
 #include "workload/facebook.h"
 
 namespace aalo {
@@ -123,7 +126,32 @@ std::vector<std::unique_ptr<sim::Scheduler>> allSchedulers(
   out.push_back(std::make_unique<sched::GossipDClasScheduler>(gcfg));
   out.push_back(std::make_unique<sched::OfflineOrderScheduler>(
       sched::computeConcurrentOpenShopOrder(wl)));
+  sched::SamplingConfig sampling_cfg;
+  sampling_cfg.probe_fraction = 0.34;
+  sampling_cfg.min_probes = 1;
+  sampling_cfg.quantum = 0.5;
+  out.push_back(std::make_unique<sched::SamplingScheduler>(sampling_cfg));
+  sched::SamplingConfig full_probe = sampling_cfg;
+  full_probe.probe_fraction = 1.0;  // Estimates become exact -> pure SEBF.
+  full_probe.quantum = 0.25;
+  out.push_back(std::make_unique<sched::SamplingScheduler>(full_probe));
+  out.push_back(std::make_unique<sched::DCoflowScheduler>());
+  sched::DCoflowConfig strict_admission;
+  strict_admission.admission_margin = 1.5;
+  out.push_back(std::make_unique<sched::DCoflowScheduler>(strict_admission));
   return out;
+}
+
+/// dagWorkload plus per-coflow deadlines (tight enough that dcoflow's
+/// admission control actually rejects under contention).
+coflow::Workload deadlineWorkload(std::uint64_t seed, int ports, int jobs) {
+  coflow::Workload wl = dagWorkload(seed, ports, jobs);
+  workload::DeadlineConfig dl;
+  dl.slack = 0.8;
+  dl.seed = seed;
+  dl.port_capacity = 1.0;  // Matches testing::unitFabric.
+  workload::assignDeadlines(wl, dl);
+  return wl;
 }
 
 sim::SimResult runEngine(const coflow::Workload& wl, fabric::FabricConfig fc,
@@ -191,6 +219,65 @@ TEST_P(EngineEquivalence, AllSchedulersRackFabric) {
     const auto legacy = runEngine(wl, fc, *legacy_scheds[s], false);
     const auto incr = runEngine(wl, fc, *incr_scheds[s], true);
     expectSameResult(legacy, incr, legacy_scheds[s]->name());
+  }
+}
+
+// Deadlined workloads: dcoflow's admission decisions and sampling's
+// estimate transitions must land on identical rounds in both engines, and
+// deadline-blind schedulers must be bit-identical to the deadline-free
+// case (the field is inert for them — covered by the golden pins).
+TEST_P(EngineEquivalence, DeadlinedWorkloadAllSchedulers) {
+  const auto wl =
+      deadlineWorkload(6000 + static_cast<std::uint64_t>(GetParam()), 6, 10);
+  const auto fc = testing::unitFabric(6);
+  const auto legacy_scheds = allSchedulers(wl);
+  const auto incr_scheds = allSchedulers(wl);
+  for (std::size_t s = 0; s < legacy_scheds.size(); ++s) {
+    const auto legacy = runEngine(wl, fc, *legacy_scheds[s], false);
+    const auto incr = runEngine(wl, fc, *incr_scheds[s], true);
+    expectSameResult(legacy, incr, legacy_scheds[s]->name());
+    EXPECT_EQ(legacy.rejected_coflows, incr.rejected_coflows)
+        << legacy_scheds[s]->name();
+    EXPECT_EQ(legacy.deadline_misses, incr.deadline_misses)
+        << legacy_scheds[s]->name();
+  }
+}
+
+// The new schedulers across decision quanta Delta in {10ms, 100ms, 1s}:
+// shorter quanta mean more wakeup rounds whose reuse handshake must stay
+// exact (sampling orderings drift with attained service between rounds).
+TEST_P(EngineEquivalence, NewSchedulerQuantumSweep) {
+  const auto wl =
+      deadlineWorkload(7000 + static_cast<std::uint64_t>(GetParam()), 6, 8);
+  const auto fc = testing::unitFabric(6);
+  for (const double quantum : {0.01, 0.1, 1.0}) {
+    sched::SamplingConfig cfg;
+    cfg.probe_fraction = 0.5;
+    cfg.min_probes = 1;
+    cfg.quantum = quantum;
+    sched::SamplingScheduler legacy_sched(cfg);
+    sched::SamplingScheduler incr_sched(cfg);
+    const auto legacy = runEngine(wl, fc, legacy_sched, false);
+    const auto incr = runEngine(wl, fc, incr_sched, true);
+    expectSameResult(legacy, incr,
+                     "sampling quantum=" + std::to_string(quantum));
+  }
+  for (const double margin : {1.0, 2.0}) {
+    sched::DCoflowConfig cfg;
+    cfg.admission_margin = margin;
+    sched::DCoflowScheduler legacy_sched(cfg);
+    sched::DCoflowScheduler incr_sched(cfg);
+    const auto legacy = runEngine(wl, fc, legacy_sched, false);
+    const auto incr = runEngine(wl, fc, incr_sched, true);
+    expectSameResult(legacy, incr, "dcoflow margin=" + std::to_string(margin));
+    // The admission log is part of the schedule: both engines must have
+    // decided the same coflows the same way.
+    ASSERT_EQ(legacy_sched.admissionLog().size(), incr_sched.admissionLog().size());
+    for (std::size_t i = 0; i < legacy_sched.admissionLog().size(); ++i) {
+      EXPECT_EQ(legacy_sched.admissionLog()[i].id, incr_sched.admissionLog()[i].id);
+      EXPECT_EQ(legacy_sched.admissionLog()[i].admitted,
+                incr_sched.admissionLog()[i].admitted);
+    }
   }
 }
 

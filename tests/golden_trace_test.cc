@@ -17,9 +17,11 @@
 #include <string>
 
 #include "sched/dclas.h"
+#include "sched/dcoflow.h"
 #include "sched/fair.h"
 #include "sched/fifo_lm.h"
 #include "sched/las.h"
+#include "sched/sampling.h"
 #include "sched/varys.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
@@ -45,6 +47,11 @@ constexpr GoldenRow kGolden[] = {
     {"varys", 3.6908135518936405, 20.119416646283426},
     {"fifo_lm", 10.915010822223874, 30.528219939735365},
     {"las", 6.4864594029344014, 38.462545230646569},
+    // Deadline-free trace: dcoflow admits everything and degenerates to
+    // its deterministic (release, id) sigma-order — these pins guard that
+    // degenerate ordering as much as the arithmetic.
+    {"sampling", 6.8978754383480716, 27.91557088935755},
+    {"dcoflow", 10.788313616979684, 23.424693419741548},
 };
 
 std::unique_ptr<sim::Scheduler> makeScheduler(const std::string& name,
@@ -69,6 +76,9 @@ std::unique_ptr<sim::Scheduler> makeScheduler(const std::string& name,
     cfg.quantum = 2.0;
     return std::make_unique<sched::DecentralizedLasScheduler>(cfg);
   }
+  // Defaults, matching tools/aalo_sim.cc.
+  if (name == "sampling") return std::make_unique<sched::SamplingScheduler>();
+  if (name == "dcoflow") return std::make_unique<sched::DCoflowScheduler>();
   throw std::invalid_argument("unknown golden scheduler " + name);
 }
 
@@ -95,6 +105,64 @@ TEST(GoldenTrace, PinnedCctPerScheduler) {
     const double tol_p95 = 1e-9 * row.p95_cct;
     EXPECT_NEAR(cct.mean(), row.avg_cct, tol_avg) << row.scheduler;
     EXPECT_NEAR(cct.percentile(95), row.p95_cct, tol_p95) << row.scheduler;
+    if (std::string(row.scheduler) == "dcoflow") {
+      // Deadline-free input: admission control must be inert.
+      EXPECT_EQ(result.rejected_coflows, 0u);
+      EXPECT_EQ(result.deadline_coflows, 0u);
+    }
+  }
+}
+
+struct DeadlineGoldenRow {
+  const char* scheduler;
+  double avg_cct;
+  double p95_cct;
+  std::size_t deadline_misses;
+  std::size_t rejected;
+};
+
+// Deadlined companion trace (tests/data/golden_deadline_50.trace,
+// generated once with `aalo_tracegen --kind fb --jobs 50 --ports 40
+// --seed 4242 --deadline-slack 0.5`). Pins the miss and rejection
+// *counts* exactly — admission decisions are discrete, so any drift in
+// the sigma-order bound shows up here before it moves a CCT pin.
+constexpr DeadlineGoldenRow kDeadlineGolden[] = {
+    {"dclas", 2.6138658650072886, 17.326170575280887, 27, 0},
+    {"sampling", 4.1396524021556989, 19.315922712439644, 26, 0},
+    {"dcoflow", 2.261546477190846, 12.095779790810038, 4, 1},
+};
+
+TEST(GoldenTrace, PinnedDeadlineTrace) {
+  const std::string path =
+      std::string(AALO_TEST_DATA_DIR) + "/golden_deadline_50.trace";
+  const coflow::Workload wl = workload::readTraceFile(path);
+  ASSERT_EQ(wl.coflowCount(), 50u);
+  std::size_t deadlined = 0;
+  for (const auto& job : wl.jobs) {
+    for (const auto& c : job.coflows) deadlined += c.deadline > 0 ? 1 : 0;
+  }
+  ASSERT_EQ(deadlined, 50u) << "trace lost its dl= attributes";
+
+  const bool print = std::getenv("AALO_PRINT_GOLDEN") != nullptr;
+  for (const DeadlineGoldenRow& row : kDeadlineGolden) {
+    auto scheduler = makeScheduler(row.scheduler, wl);
+    const sim::SimResult result = sim::runSimulation(
+        wl, fabric::FabricConfig{wl.num_ports, util::kGbps}, *scheduler);
+    ASSERT_EQ(result.coflows.size(), 50u) << row.scheduler;
+    ASSERT_EQ(result.deadline_coflows, 50u) << row.scheduler;
+    util::Summary cct;
+    for (const auto& rec : result.coflows) cct.add(rec.cct());
+    if (print) {
+      std::printf("    {\"%s\", %.17g, %.17g, %zu, %zu},\n", row.scheduler,
+                  cct.mean(), cct.percentile(95), result.deadline_misses,
+                  result.rejected_coflows);
+      continue;
+    }
+    EXPECT_NEAR(cct.mean(), row.avg_cct, 1e-9 * row.avg_cct) << row.scheduler;
+    EXPECT_NEAR(cct.percentile(95), row.p95_cct, 1e-9 * row.p95_cct)
+        << row.scheduler;
+    EXPECT_EQ(result.deadline_misses, row.deadline_misses) << row.scheduler;
+    EXPECT_EQ(result.rejected_coflows, row.rejected) << row.scheduler;
   }
 }
 

@@ -12,6 +12,8 @@
 #include <string>
 
 #include "coflow/spec.h"
+#include "sched/dclas.h"
+#include "sim/simulator.h"
 #include "util/rng.h"
 #include "workload/trace_io.h"
 
@@ -33,6 +35,9 @@ coflow::Workload randomWorkload(std::uint64_t seed) {
       coflow::CoflowSpec spec;
       spec.id = coflow::CoflowId{job.id, c};
       spec.arrival_offset = rng.uniform(0.0, 5.0);
+      // Deadlines on a third of coflows: fractional seconds that only
+      // survive the round trip at full precision.
+      if (rng.uniformInt(0, 2) == 0) spec.deadline = rng.uniform(0.01, 500.0);
       // DAG edges point at earlier coflows of the same job only, so the
       // workload always validates.
       for (int p = 0; p < c; ++p) {
@@ -102,6 +107,7 @@ TEST(TraceFuzz, ExactValuesSurviveRoundTrip) {
       const auto& b = parsed.jobs[j].coflows[c];
       EXPECT_EQ(a.starts_after, b.starts_after);
       EXPECT_EQ(a.finishes_before, b.finishes_before);
+      EXPECT_EQ(a.deadline, b.deadline);
       ASSERT_EQ(a.flows.size(), b.flows.size());
       for (std::size_t f = 0; f < a.flows.size(); ++f) {
         EXPECT_EQ(a.flows[f].bytes, b.flows[f].bytes);
@@ -109,6 +115,69 @@ TEST(TraceFuzz, ExactValuesSurviveRoundTrip) {
       }
     }
   }
+}
+
+TEST(TraceFuzz, DeadlineFreeTracesCarryNoDlAttribute) {
+  // Backward compatibility in the other direction: a workload without
+  // deadlines must serialize byte-identically to the pre-deadline format
+  // (dl= is only emitted when set), so old traces and old readers agree.
+  coflow::Workload wl = randomWorkload(5);
+  for (auto& job : wl.jobs) {
+    for (auto& c : job.coflows) c.deadline = 0;
+  }
+  std::ostringstream os;
+  workload::writeTrace(os, wl);
+  EXPECT_EQ(os.str().find("dl="), std::string::npos);
+}
+
+TEST(TraceFuzz, NegativeDeadlinesStayRejected) {
+  coflow::Workload wl = randomWorkload(9);
+  wl.jobs.front().coflows.front().deadline = -1.0;
+  EXPECT_THROW(wl.validate(), std::invalid_argument);
+  // The writer never emits a non-positive deadline, so craft the text by
+  // hand: the reader must reject it rather than resurrect it silently.
+  coflow::Workload clean = randomWorkload(9);
+  std::ostringstream os;
+  workload::writeTrace(os, clean);
+  std::string text = os.str();
+  const auto pos = text.find("coflow ");
+  ASSERT_NE(pos, std::string::npos);
+  const auto eol = text.find('\n', pos);
+  text.insert(eol, " dl=-1");
+  std::istringstream is(text);
+  EXPECT_ANY_THROW(workload::readTrace(is));
+}
+
+TEST(TraceFuzz, DeadlinesAreInertForDeadlineBlindSchedulers) {
+  // A deadlined trace replayed under a pre-deadline scheduler must behave
+  // exactly as if the dl= attributes were absent — the field only feeds
+  // deadline-aware disciplines and the result counters.
+  const coflow::Workload deadlined = randomWorkload(3);
+  coflow::Workload stripped = deadlined;
+  std::size_t with_deadline = 0;
+  for (auto& job : stripped.jobs) {
+    for (auto& c : job.coflows) {
+      with_deadline += c.deadline > 0 ? 1 : 0;
+      c.deadline = 0;
+    }
+  }
+  ASSERT_GT(with_deadline, 0u) << "seed lost its deadlines";
+
+  const fabric::FabricConfig fc{deadlined.num_ports, 1.0};
+  sched::DClasScheduler a;
+  sched::DClasScheduler b;
+  const sim::SimResult with = sim::runSimulation(deadlined, fc, a);
+  const sim::SimResult without = sim::runSimulation(stripped, fc, b);
+  EXPECT_EQ(with.makespan, without.makespan);
+  ASSERT_EQ(with.coflows.size(), without.coflows.size());
+  for (std::size_t i = 0; i < with.coflows.size(); ++i) {
+    EXPECT_EQ(with.coflows[i].finish, without.coflows[i].finish) << i;
+    EXPECT_EQ(with.coflows[i].release, without.coflows[i].release) << i;
+  }
+  // Only the counters differ: the deadlined run reports misses.
+  EXPECT_EQ(with.deadline_coflows, with_deadline);
+  EXPECT_EQ(without.deadline_coflows, 0u);
+  EXPECT_EQ(without.deadline_misses, 0u);
 }
 
 TEST(TraceFuzz, ZeroByteFlowsStayRejected) {

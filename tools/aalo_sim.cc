@@ -2,14 +2,27 @@
 //
 //   aalo_sim --trace PATH [--sched LIST] [--ports-per-rack N]
 //            [--oversubscription X] [--delta SEC] [--csv PATH] [--jobs N]
-//            [--stats] [--metrics-dump PATH]
+//            [--stats] [--metrics-dump PATH] [--deadline-slack X]
+//            [--lp-bound] [--lp-check]
 //
 // PATH may be an aalo-trace file or a public coflow-benchmark trace
 // (e.g. FB2010-1Hr-150-0.txt) — the format is auto-detected.
 //
 // LIST is comma-separated from: aalo, aalo-strict, aalo-adaptive, fair,
-// varys, fifo, fifo-spill, fifo-lm, las, uncoordinated, gossip, clas,
-// offline (default: "aalo,fair,varys").
+// varys, fifo, fifo-spill, fifo-lm, las, sampling, dcoflow,
+// uncoordinated, gossip, clas, offline (default: "aalo,fair,varys").
+// --scheduler is an alias for --sched.
+//
+// --deadline-slack X assigns every coflow a deadline of its isolated
+// bottleneck time x (1 + uniform(0, X)) before the runs (for traces cut
+// without dl= attributes). When the workload carries deadlines, the
+// summary grows deadline-miss and admission-rejection columns.
+//
+// --lp-bound computes the offline LP-style lower bound on total CCT
+// (sched/lp_bound.h) and reports each scheduler's total CCT and its
+// distance from the bound (achieved / bound). --lp-check additionally
+// exits non-zero if any scheduler lands below the bound — a soundness
+// smoke used by scripts/ci.sh.
 //
 // Prints a per-scheduler summary; with --csv, writes one row per coflow
 // per scheduler (scheduler,coflow,job,release,finish,cct,bytes,width).
@@ -29,6 +42,7 @@
 // rounds, allocation reuse, heap rebuilds, CCT histograms, and — for the
 // D-CLAS schedulers — per-queue occupancy sampled at every allocation
 // round.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -44,18 +58,22 @@
 #include "sched/adaptive.h"
 #include "sched/clas.h"
 #include "sched/dclas.h"
+#include "sched/dcoflow.h"
 #include "sched/fair.h"
 #include "sched/fifo.h"
 #include "sched/fifo_lm.h"
 #include "sched/gossip.h"
 #include "sched/las.h"
+#include "sched/lp_bound.h"
 #include "sched/offline_opt.h"
+#include "sched/sampling.h"
 #include "sched/uncoordinated.h"
 #include "sched/varys.h"
 #include "sim/batch.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "workload/deadlines.h"
 #include "workload/trace_io.h"
 
 using namespace aalo;
@@ -66,7 +84,8 @@ namespace {
   std::fprintf(stderr,
                "usage: aalo_sim --trace PATH [--sched LIST] [--ports-per-rack N]\n"
                "                [--oversubscription X] [--delta SEC] [--csv PATH]\n"
-               "                [--jobs N] [--stats] [--metrics-dump PATH]\n");
+               "                [--jobs N] [--stats] [--metrics-dump PATH]\n"
+               "                [--deadline-slack X] [--lp-bound] [--lp-check]\n");
   std::exit(2);
 }
 
@@ -75,8 +94,8 @@ namespace {
 bool knownScheduler(const std::string& name) {
   static const char* const kNames[] = {
       "aalo", "aalo-strict", "aalo-adaptive", "fair",   "varys",
-      "fifo", "fifo-spill",  "fifo-lm",       "las",    "uncoordinated",
-      "gossip", "clas",      "offline"};
+      "fifo", "fifo-spill",  "fifo-lm",       "las",    "sampling",
+      "dcoflow", "uncoordinated", "gossip",   "clas",   "offline"};
   for (const char* const n : kNames) {
     if (name == n) return true;
   }
@@ -119,6 +138,12 @@ std::unique_ptr<sim::Scheduler> makeScheduler(const std::string& name,
     sched::LasConfig cfg;
     cfg.quantum = 2.0;
     return std::make_unique<sched::DecentralizedLasScheduler>(cfg);
+  }
+  if (name == "sampling") {
+    return std::make_unique<sched::SamplingScheduler>(sched::SamplingConfig{});
+  }
+  if (name == "dcoflow") {
+    return std::make_unique<sched::DCoflowScheduler>(sched::DCoflowConfig{});
   }
   if (name == "uncoordinated") {
     return std::make_unique<sched::UncoordinatedDClasScheduler>(sched::DClasConfig{},
@@ -163,6 +188,35 @@ void bridgeQueueTelemetry(obs::Registry& registry, const std::string& scheduler,
   }
 }
 
+/// Folds a sampling run's finish-time estimates into the registry:
+/// mature/immature finish counters and a relative-error histogram.
+void bridgeSamplingTelemetry(obs::Registry& registry, const std::string& scheduler,
+                             const sched::SamplingTelemetry& telemetry) {
+  if (telemetry.finishes.empty()) return;
+  const std::string labels = "scheduler=\"" + scheduler + "\"";
+  obs::Counter& mature = registry.counter(
+      "aalo_sim_sampling_mature_finishes_total",
+      "Coflows whose probe-based size estimate matured before they finished.",
+      labels);
+  obs::Counter& immature = registry.counter(
+      "aalo_sim_sampling_immature_finishes_total",
+      "Coflows that finished before all their probes completed (LAS fallback).",
+      labels);
+  obs::LatencyHistogram& error = registry.histogram(
+      "aalo_sim_sampling_estimate_rel_error",
+      "Relative error |estimate - actual| / actual of mature size estimates.",
+      obs::HistogramOptions{.first_bound = 0.01, .growth = 2.0, .num_bounds = 12},
+      labels);
+  for (const sched::SamplingEstimate& f : telemetry.finishes) {
+    if (!f.mature) {
+      immature.fetch_add(1);
+      continue;
+    }
+    mature.fetch_add(1);
+    if (f.actual > 0) error.observe(std::fabs(f.estimated - f.actual) / f.actual);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,6 +229,9 @@ int main(int argc, char** argv) {
   int jobs = 1;
   bool stats = false;
   std::string metrics_dump_path;
+  double deadline_slack = 0.0;
+  bool lp_bound = false;
+  bool lp_check = false;
 
   for (int i = 1; i < argc; ++i) {
     auto needValue = [&](const char* flag) -> const char* {
@@ -186,7 +243,8 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--trace")) {
       trace_path = needValue("--trace");
-    } else if (!std::strcmp(argv[i], "--sched")) {
+    } else if (!std::strcmp(argv[i], "--sched") ||
+               !std::strcmp(argv[i], "--scheduler")) {
       sched_list = needValue("--sched");
     } else if (!std::strcmp(argv[i], "--csv")) {
       csv_path = needValue("--csv");
@@ -202,6 +260,13 @@ int main(int argc, char** argv) {
       stats = true;
     } else if (!std::strcmp(argv[i], "--metrics-dump")) {
       metrics_dump_path = needValue("--metrics-dump");
+    } else if (!std::strcmp(argv[i], "--deadline-slack")) {
+      deadline_slack = std::atof(needValue("--deadline-slack"));
+    } else if (!std::strcmp(argv[i], "--lp-bound")) {
+      lp_bound = true;
+    } else if (!std::strcmp(argv[i], "--lp-check")) {
+      lp_bound = true;
+      lp_check = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       usage();
@@ -224,9 +289,24 @@ int main(int argc, char** argv) {
                    wl.num_ports);
     }
   }
+  if (deadline_slack > 0) {
+    workload::DeadlineConfig dl;
+    dl.slack = deadline_slack;
+    workload::assignDeadlines(wl, dl);
+  }
+  bool has_deadlines = false;
+  for (const auto& job : wl.jobs) {
+    for (const auto& c : job.coflows) has_deadlines = has_deadlines || c.deadline > 0;
+  }
   fabric::FabricConfig fc{wl.num_ports, util::kGbps};
   fc.rack.ports_per_rack = ports_per_rack;
   fc.rack.oversubscription = oversubscription;
+  sched::LpBoundResult bound;
+  if (lp_bound) {
+    bound = sched::computeCctLowerBound(wl, fc);
+    std::fprintf(stderr, "LP lower bound on total CCT: %s (%zu coflows)\n",
+                 util::formatSeconds(bound.total_cct).c_str(), bound.num_coflows);
+  }
 
   std::ofstream csv;
   if (!csv_path.empty()) {
@@ -260,22 +340,32 @@ int main(int argc, char** argv) {
   // worker thread touches only its own sink.
   obs::Registry registry;
   std::deque<sched::DClasTelemetry> telemetry;
+  std::deque<sched::SamplingTelemetry> sampling_telemetry;
   std::vector<sim::BatchJob> batch;
   for (const std::string& name : sched_names) {
     sched::DClasTelemetry* sink = nullptr;
+    sched::SamplingTelemetry* sampling_sink = nullptr;
     if (!metrics_dump_path.empty()) {
       telemetry.emplace_back();
       sink = &telemetry.back();
+      sampling_telemetry.emplace_back();
+      sampling_sink = &sampling_telemetry.back();
     }
     sim::BatchJob job;
     job.label = name;
     job.workload = &wl;
     job.fabric = fc;
-    job.make_scheduler = [&wl, name, delta, sink] {
+    job.make_scheduler = [&wl, name, delta, sink, sampling_sink] {
       auto scheduler = makeScheduler(name, wl, delta);
       if (sink != nullptr) {
         if (auto* dclas = dynamic_cast<sched::DClasScheduler*>(scheduler.get())) {
           dclas->setTelemetry(sink);
+        }
+      }
+      if (sampling_sink != nullptr) {
+        if (auto* sampling =
+                dynamic_cast<sched::SamplingScheduler*>(scheduler.get())) {
+          sampling->setTelemetry(sampling_sink);
         }
       }
       return scheduler;
@@ -293,10 +383,17 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> columns = {"scheduler", "avg CCT", "p95 CCT", "makespan",
                                       "rounds"};
+  if (has_deadlines) {
+    columns.insert(columns.end(), {"dl miss", "rejected"});
+  }
+  if (lp_bound) {
+    columns.insert(columns.end(), {"total CCT", "vs LP"});
+  }
   if (stats) {
     columns.insert(columns.end(), {"allocs", "reused", "rebuilds", "events", "rekeys"});
   }
   util::Table table(columns);
+  bool bound_violated = false;
   for (const auto& result : results) {
     util::Summary cct;
     for (const auto& rec : result.coflows) {
@@ -311,6 +408,27 @@ int main(int argc, char** argv) {
                                     util::formatSeconds(cct.percentile(95)),
                                     util::formatSeconds(result.makespan),
                                     std::to_string(result.allocation_rounds)};
+    if (has_deadlines) {
+      char miss[64];
+      std::snprintf(miss, sizeof(miss), "%zu/%zu (%.1f%%)", result.deadline_misses,
+                    result.deadline_coflows, 100.0 * result.deadlineMissRate());
+      row.push_back(miss);
+      row.push_back(std::to_string(result.rejected_coflows));
+    }
+    if (lp_bound) {
+      const double ratio = sched::boundRatio(result.totalCct(), bound);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3fx", ratio);
+      row.push_back(util::formatSeconds(result.totalCct()));
+      row.push_back(buf);
+      // Fluid event batching can shave at most O(eps) per coflow; any
+      // bigger shortfall means the bound (or the engine) is unsound.
+      if (ratio < 1.0 - 1e-6) {
+        bound_violated = true;
+        std::fprintf(stderr, "BOUND VIOLATION: %s total CCT %.9f < LP bound %.9f\n",
+                     result.scheduler.c_str(), result.totalCct(), bound.total_cct);
+      }
+    }
     if (stats) {
       row.push_back(std::to_string(result.allocate_calls));
       row.push_back(std::to_string(result.reused_allocations));
@@ -321,10 +439,12 @@ int main(int argc, char** argv) {
     table.addRow(std::move(row));
   }
   table.print(std::cout);
+  if (lp_check && bound_violated) return 1;
 
   if (!metrics_dump_path.empty()) {
     for (std::size_t j = 0; j < results.size(); ++j) {
       bridgeQueueTelemetry(registry, results[j].scheduler, telemetry[j]);
+      bridgeSamplingTelemetry(registry, results[j].scheduler, sampling_telemetry[j]);
     }
     registry.dumpFiles(metrics_dump_path);
     std::fprintf(stderr, "metrics written to %s and %s.json\n",

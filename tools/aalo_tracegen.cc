@@ -18,6 +18,7 @@
 #include <string>
 
 #include "util/units.h"
+#include "workload/deadlines.h"
 #include "workload/distributions.h"
 #include "workload/facebook.h"
 #include "workload/tpcds.h"
@@ -33,7 +34,7 @@ namespace {
                "usage: aalo_tracegen [--kind fb|tpcds|uniform|fixed] [--jobs N]\n"
                "                     [--ports P] [--seed S] [--interarrival SEC]\n"
                "                     [--size BYTES] [--waves W] [--coflows N]\n"
-               "                     [--out PATH]\n");
+               "                     [--deadline-slack X] [--out PATH]\n");
   std::exit(2);
 }
 
@@ -48,7 +49,8 @@ int main(int argc, char** argv) {
   double interarrival = 0.5;
   double size = 100 * util::kMB;
   int waves = 1;
-  std::size_t coflows = 0;  // 0 = use --jobs.
+  std::size_t coflows = 0;      // 0 = use --jobs.
+  double deadline_slack = 0.0;  // 0 = deadline-free trace.
 
   for (int i = 1; i < argc; ++i) {
     auto needValue = [&](const char* flag) -> const char* {
@@ -74,6 +76,8 @@ int main(int argc, char** argv) {
       waves = std::atoi(needValue("--waves"));
     } else if (!std::strcmp(argv[i], "--coflows")) {
       coflows = std::strtoull(needValue("--coflows"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--deadline-slack")) {
+      deadline_slack = std::atof(needValue("--deadline-slack"));
     } else if (!std::strcmp(argv[i], "--out")) {
       out_path = needValue("--out");
     } else {
@@ -115,6 +119,13 @@ int main(int argc, char** argv) {
     mw.max_waves = waves;
     mw.seed = seed + 1;
     workload::applyMultiWave(wl, mw);
+  }
+
+  if (deadline_slack > 0) {
+    workload::DeadlineConfig dl;
+    dl.slack = deadline_slack;
+    dl.seed = seed + 2;
+    workload::assignDeadlines(wl, dl);
   }
 
   if (out_path.empty()) {

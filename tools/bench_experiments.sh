@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Regenerates the "Scheduler zoo" section of EXPERIMENTS.md: CCT,
+# deadline-miss rate, and distance-from-LP-bound for the sampling and
+# dcoflow baselines vs D-CLAS (and friends) on the Facebook and TPC-DS
+# workloads, with and without deadlines.
+#
+#   tools/bench_experiments.sh              # regenerate EXPERIMENTS.md in place
+#   CHECK_ONLY=1 tools/bench_experiments.sh # run the sims + LP gate, leave
+#                                           # EXPERIMENTS.md untouched (CI smoke)
+#
+# Every run passes --lp-check, so the script doubles as a soundness gate:
+# it exits non-zero if any scheduler ever finishes below the LP lower
+# bound. Knobs (env): BUILD (build dir, default "build"), FB_JOBS,
+# PORTS, SEED, SLACK (deadline slack), SCHEDS (comma list).
+#
+# The tables land verbatim between the AUTOGEN markers in EXPERIMENTS.md;
+# everything outside the markers is hand-written and preserved.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${BUILD:-build}"
+FB_JOBS="${FB_JOBS:-200}"
+PORTS="${PORTS:-40}"
+SEED="${SEED:-4242}"
+SLACK="${SLACK:-0.5}"
+SCHEDS="${SCHEDS:-aalo,fair,las,sampling,dcoflow}"
+
+if [[ ! -x "$BUILD/tools/aalo_sim" || ! -x "$BUILD/tools/aalo_tracegen" ]]; then
+  echo "bench_experiments: building aalo_sim + aalo_tracegen in $BUILD" >&2
+  cmake -B "$BUILD" -S . >/dev/null
+  cmake --build "$BUILD" -j "$(nproc)" --target aalo_sim_cli aalo_tracegen
+fi
+
+out="$BUILD/experiments"
+mkdir -p "$out"
+
+gen() { # gen <name> <tracegen args...>
+  local name=$1
+  shift
+  "$BUILD/tools/aalo_tracegen" "$@" --out "$out/$name.trace" >/dev/null
+}
+
+gen fb           --kind fb    --jobs "$FB_JOBS" --ports "$PORTS" --seed "$SEED"
+gen fb_deadline  --kind fb    --jobs "$FB_JOBS" --ports "$PORTS" --seed "$SEED" \
+                 --deadline-slack "$SLACK"
+gen tpcds          --kind tpcds --ports "$PORTS" --seed "$SEED"
+gen tpcds_deadline --kind tpcds --ports "$PORTS" --seed "$SEED" \
+                   --deadline-slack "$SLACK"
+
+run() { # run <name> -> table on stdout; --lp-check makes LP violations fatal
+  local name=$1
+  "$BUILD/tools/aalo_sim" --trace "$out/$name.trace" --sched "$SCHEDS" \
+    --lp-check 2>"$out/$name.log"
+}
+
+section="$out/scheduler_zoo.md"
+{
+  echo "Workloads: \`fb\` = $FB_JOBS Facebook-style jobs, \`tpcds\` = the"
+  echo "TPC-DS DAG mix, both on $PORTS ports at 1 Gbps (seed $SEED);"
+  echo "\`*_deadline\` adds per-coflow deadlines at slack $SLACK of the"
+  echo "isolated completion time. \"vs LP\" is total CCT divided by the"
+  echo "offline LP-style lower bound (sched/lp_bound.h) — 1.000x would be"
+  echo "provably optimal, and every run is gated on never dipping below"
+  echo "1x (--lp-check). Rejected coflows still run as background traffic,"
+  echo "so dcoflow's CCT column includes them."
+  for name in fb fb_deadline tpcds tpcds_deadline; do
+    echo
+    echo "### $name"
+    echo
+    echo '```'
+    run "$name"
+    echo '```'
+  done
+} >"$section"
+echo "bench_experiments: tables written to $section" >&2
+
+if [[ "${CHECK_ONLY:-0}" != 0 ]]; then
+  echo "bench_experiments: CHECK_ONLY set — EXPERIMENTS.md left untouched" >&2
+  exit 0
+fi
+
+python3 - "$section" <<'EOF'
+import sys
+
+BEGIN = "<!-- BEGIN scheduler-zoo tables (tools/bench_experiments.sh) -->"
+END = "<!-- END scheduler-zoo tables -->"
+
+body = open(sys.argv[1]).read().rstrip() + "\n"
+doc = open("EXPERIMENTS.md").read()
+lo, hi = doc.find(BEGIN), doc.find(END)
+if lo < 0 or hi < 0 or hi < lo:
+    raise SystemExit("bench_experiments: AUTOGEN markers missing from EXPERIMENTS.md")
+open("EXPERIMENTS.md", "w").write(
+    doc[: lo + len(BEGIN)] + "\n" + body + doc[hi:])
+print("bench_experiments: EXPERIMENTS.md regenerated", file=sys.stderr)
+EOF
